@@ -1,0 +1,80 @@
+//! Criterion benchmarks regenerating the data behind the paper's figures
+//! (experiments E1, E3, E5, E6, E7, E8 of DESIGN.md).
+//!
+//! Each benchmark prints the regenerated rows once (so `cargo bench` output
+//! doubles as the source for EXPERIMENTS.md) and then times the computation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn fig1_examples(c: &mut Criterion) {
+    let sizes = [8u64, 32, 128];
+    let series = crn_bench::fig1_convergence(&sizes, 3);
+    eprintln!("\n[E1 / Figure 1] mean steps to convergence vs input size");
+    for (name, points) in &series {
+        for p in points {
+            eprintln!(
+                "  {name}: n={} steps={:.1} correct={}",
+                p.input_size, p.mean_steps, p.all_correct
+            );
+        }
+    }
+    c.bench_function("E1_fig1_convergence_series", |b| {
+        b.iter(|| crn_bench::fig1_convergence(&[8, 32], 2))
+    });
+}
+
+fn fig3_quilt(c: &mut Criterion) {
+    let (table, species, reactions) = crn_bench::fig3_quilt_table(12);
+    eprintln!("\n[E3 / Figure 3a] floor(3x/2) value table (Lemma 6.1 CRN: {species} species, {reactions} reactions)");
+    eprintln!("  {:?}", table);
+    c.bench_function("E3_fig3_quilt_table", |b| {
+        b.iter(|| crn_bench::fig3_quilt_table(12))
+    });
+}
+
+fn fig5_one_dim(c: &mut Criterion) {
+    let (n, p, deltas, leader, leaderless) = crn_bench::fig5_one_dim();
+    eprintln!("\n[E5 / Figure 5] staircase structure: n={n} p={p} deltas={deltas:?}");
+    eprintln!("  Theorem 3.1 CRN: {leader:?} (species, reactions); leaderless: {leaderless:?}");
+    c.bench_function("E5_fig5_one_dim_analysis", |b| b.iter(crn_bench::fig5_one_dim));
+}
+
+fn fig6_lemma41(c: &mut Criterion) {
+    let (base, step, delta, overshoot) = crn_bench::fig6_lemma41();
+    eprintln!("\n[E6 / Figure 6] Lemma 4.1 witness for max: base={base} step={step} delta={delta}");
+    eprintln!("  stripped max CRN overproduces to {overshoot} on input (2,3)");
+    c.bench_function("E6_fig6_lemma41_witness", |b| b.iter(crn_bench::fig6_lemma41));
+}
+
+fn fig7_regions(c: &mut Criterion) {
+    let (pieces, species, reactions) = crn_bench::fig7_characterization(8);
+    eprintln!("\n[E7 / Figure 7] characterization of the min-like example: {pieces} quilt-affine pieces");
+    eprintln!("  Lemma 6.2 CRN: {species} species, {reactions} reactions");
+    c.bench_function("E7_fig7_characterization", |b| {
+        b.iter(|| crn_bench::fig7_characterization(6))
+    });
+}
+
+fn fig8_arrangement(c: &mut Criterion) {
+    let census = crn_bench::fig8_region_census(6);
+    eprintln!("\n[E8 / Figure 8c] eventual regions by recession-cone dimension: {census:?}");
+    c.bench_function("E8_fig8_region_census", |b| {
+        b.iter(|| crn_bench::fig8_region_census(5))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = configured();
+    targets = fig1_examples, fig3_quilt, fig5_one_dim, fig6_lemma41, fig7_regions, fig8_arrangement
+}
+criterion_main!(figures);

@@ -1,0 +1,360 @@
+//! Experiment generators shared by the Criterion benchmarks and the
+//! `experiments` binary.
+//!
+//! Each public function regenerates the data behind one figure or worked
+//! example of the paper (the experiment ids E1–E12 of `DESIGN.md`), returning
+//! the rows as plain data so that benchmarks can time the computation and the
+//! binary can print the tables recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crn_core::characterize::{characterize, Characterization};
+use crn_core::impossibility::find_lemma41_witness;
+use crn_core::one_dim::{analyze_1d, synthesize_1d_leader, synthesize_1d_leaderless};
+use crn_core::quilt::QuiltAffine;
+use crn_core::scaling::InfinityScaling;
+use crn_core::spec::{EventuallyMin, ObliviousSpec};
+use crn_core::synthesis::{quilt_crn, synthesize};
+use crn_geometry::Arrangement;
+use crn_model::compose::concatenate;
+use crn_model::{examples, FunctionCrn};
+use crn_numeric::{NVec, QVec, Rational};
+use crn_popproto::run_pairwise;
+use crn_semilinear::examples as sl;
+use crn_sim::runner::convergence_series;
+use crn_sim::ConvergencePoint;
+
+/// E1: convergence of the Figure 1 example CRNs versus input size.
+///
+/// Returns `(name, series)` for the double, min and max CRNs.
+#[must_use]
+pub fn fig1_convergence(sizes: &[u64], trials: u32) -> Vec<(&'static str, Vec<ConvergencePoint>)> {
+    let cases: Vec<(&'static str, FunctionCrn, fn(u64) -> NVec, fn(&NVec) -> u64)> = vec![
+        (
+            "double (X -> 2Y)",
+            examples::double_crn(),
+            |n| NVec::from(vec![n]),
+            |x| 2 * x[0],
+        ),
+        (
+            "min (X1+X2 -> Y)",
+            examples::min_crn(),
+            |n| NVec::from(vec![n, n]),
+            |x| x[0].min(x[1]),
+        ),
+        (
+            "max (4 reactions)",
+            examples::max_crn(),
+            |n| NVec::from(vec![n, n]),
+            |x| x[0].max(x[1]),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, crn, make, expect)| {
+            let series = convergence_series(&crn, sizes, make, expect, trials, 10_000_000, 42)
+                .expect("series");
+            (name, series)
+        })
+        .collect()
+}
+
+/// E3: the value table and finite differences of the Figure 3a function
+/// `⌊3x/2⌋`, together with the species/reaction counts of its Lemma 6.1 CRN.
+#[must_use]
+pub fn fig3_quilt_table(bound: u64) -> (Vec<(u64, i64)>, usize, usize) {
+    let g = QuiltAffine::floor_linear(QVec::from(vec![Rational::new(3, 2)]), 2);
+    let table: Vec<(u64, i64)> = (0..=bound)
+        .map(|x| (x, g.eval(&NVec::from(vec![x])).expect("integer value")))
+        .collect();
+    let crn = quilt_crn(&g).expect("quilt CRN");
+    (table, crn.species_count(), crn.reaction_count())
+}
+
+/// E4/E7: characterize the Figure 7 example, returning the number of
+/// quilt-affine pieces and the synthesized CRN's size.
+#[must_use]
+pub fn fig7_characterization(bound: u64) -> (usize, usize, usize) {
+    let f = sl::figure7_example();
+    let Characterization::ObliviouslyComputable { spec } = characterize(&f, bound).expect("runs")
+    else {
+        panic!("Figure 7 example must be obliviously computable");
+    };
+    let pieces = match &spec {
+        ObliviousSpec::Compound { eventual, .. } => eventual.pieces().len(),
+        ObliviousSpec::Constant(_) => 0,
+    };
+    let crn = synthesize(&spec).expect("synthesizable");
+    (pieces, crn.species_count(), crn.reaction_count())
+}
+
+/// E5: the Theorem 3.1 structure (threshold, period, deltas) of the 1-D
+/// staircase example, plus its CRN sizes with and without a leader.
+#[must_use]
+pub fn fig5_one_dim() -> (u64, u64, Vec<u64>, (usize, usize), Option<(usize, usize)>) {
+    let f = |x: u64| if x < 3 { 0 } else { 2 * x + x % 2 };
+    let s = analyze_1d(f, 8, 4, 12).expect("structure");
+    let leader = synthesize_1d_leader(&s);
+    let leaderless = synthesize_1d_leaderless(&s, f)
+        .ok()
+        .map(|c| (c.species_count(), c.reaction_count()));
+    (
+        s.threshold(),
+        s.period,
+        s.deltas.clone(),
+        (leader.species_count(), leader.reaction_count()),
+        leaderless,
+    )
+}
+
+/// E6: the Lemma 4.1 witness for `max` and the overproduction it predicts.
+#[must_use]
+pub fn fig6_lemma41() -> (NVec, NVec, NVec, u64) {
+    let f = |x: &NVec| x[0].max(x[1]);
+    let witness = find_lemma41_witness(&f, 2, 4, 6).expect("max has a witness");
+    let overshoot = crn_core::impossibility::overproduction_after_stripping(
+        &examples::max_crn(),
+        &NVec::from(vec![2, 3]),
+        100_000,
+    )
+    .expect("reachability fits");
+    (witness.base, witness.step, witness.delta, overshoot)
+}
+
+/// E8: region counts and recession-cone dimensions of the Figure 8c
+/// arrangement (two pairs of parallel hyperplanes in `N^3`).
+#[must_use]
+pub fn fig8_region_census(bound: u64) -> Vec<(usize, usize)> {
+    let hyperplanes = vec![
+        crn_geometry::Hyperplane::new(crn_numeric::ZVec::from(vec![1, -1, 0]), 1),
+        crn_geometry::Hyperplane::new(crn_numeric::ZVec::from(vec![-1, 1, 0]), 1),
+        crn_geometry::Hyperplane::new(crn_numeric::ZVec::from(vec![0, 1, -1]), 1),
+        crn_geometry::Hyperplane::new(crn_numeric::ZVec::from(vec![0, -1, 1]), 1),
+    ];
+    let arrangement = Arrangement::from_hyperplanes(3, hyperplanes, 1);
+    let regions = arrangement.eventual_regions_in_box(bound);
+    let mut census: Vec<(usize, usize)> = Vec::new();
+    for d in 0..=3usize {
+        let count = regions
+            .iter()
+            .filter(|r| r.recession_cone().dimension() == d)
+            .count();
+        census.push((d, count));
+    }
+    census
+}
+
+/// E9: construction sizes (species, reactions) of the paper's constructions
+/// for a range of parameters.
+#[must_use]
+pub fn construction_sizes() -> Vec<(String, usize, usize)> {
+    let mut rows = Vec::new();
+    for p in [1u64, 2, 3, 4] {
+        let g = QuiltAffine::floor_linear(QVec::from(vec![Rational::new(1, p as i128)]), p);
+        let crn = quilt_crn(&g).expect("quilt CRN");
+        rows.push((
+            format!("Lemma 6.1, d=1, p={p}"),
+            crn.species_count(),
+            crn.reaction_count(),
+        ));
+    }
+    for p in [1u64, 2, 3] {
+        let g = QuiltAffine::floor_linear(
+            QVec::from(vec![Rational::new(1, p as i128), Rational::new(1, p as i128)]),
+            p,
+        );
+        let crn = quilt_crn(&g).expect("quilt CRN");
+        rows.push((
+            format!("Lemma 6.1, d=2, p={p}"),
+            crn.species_count(),
+            crn.reaction_count(),
+        ));
+    }
+    for n in [1u64, 3, 6] {
+        let f = move |x: u64| x.min(n);
+        let s = analyze_1d(f, n + 1, 2, 8).expect("structure");
+        let crn = synthesize_1d_leader(&s);
+        rows.push((
+            format!("Theorem 3.1, min(x,{n})"),
+            crn.species_count(),
+            crn.reaction_count(),
+        ));
+    }
+    for n in [2u64, 4] {
+        let f = move |x: u64| x.saturating_sub(n);
+        let s = analyze_1d(f, n + 1, 2, 8).expect("structure");
+        let crn = synthesize_1d_leaderless(&s, f).expect("superadditive");
+        rows.push((
+            format!("Theorem 9.2, (x-{n})+ leaderless"),
+            crn.species_count(),
+            crn.reaction_count(),
+        ));
+    }
+    // Lemma 6.2 on the Figure 2 function min(1, x).
+    let eventual =
+        EventuallyMin::new(NVec::from(vec![1]), vec![QuiltAffine::constant(1, 1)]).unwrap();
+    let mut restrictions = std::collections::BTreeMap::new();
+    restrictions.insert((0usize, 0u64), ObliviousSpec::Constant(0));
+    let spec = ObliviousSpec::compound(eventual, restrictions).unwrap();
+    let crn = synthesize(&spec).expect("synthesizable");
+    rows.push((
+        "Lemma 6.2, min(1,x)".to_owned(),
+        crn.species_count(),
+        crn.reaction_count(),
+    ));
+    rows
+}
+
+/// E10: composition overhead — steps to convergence for the composed
+/// `2·min(x1,x2)` pipeline versus the monolithic CRN computing it directly.
+#[must_use]
+pub fn composition_overhead(sizes: &[u64], trials: u32) -> Vec<(u64, f64, f64)> {
+    let composed = concatenate(&examples::min_crn(), &examples::double_crn()).expect("composes");
+    let mut monolithic = crn_model::Crn::new();
+    monolithic.parse_reaction("X1 + X2 -> 2Y").expect("valid");
+    let monolithic =
+        FunctionCrn::with_named_roles(monolithic, &["X1", "X2"], "Y", None).expect("roles");
+    let series_a = convergence_series(
+        &composed,
+        sizes,
+        |n| NVec::from(vec![n, n]),
+        |x| 2 * x[0].min(x[1]),
+        trials,
+        10_000_000,
+        7,
+    )
+    .expect("series");
+    let series_b = convergence_series(
+        &monolithic,
+        sizes,
+        |n| NVec::from(vec![n, n]),
+        |x| 2 * x[0].min(x[1]),
+        trials,
+        10_000_000,
+        7,
+    )
+    .expect("series");
+    sizes
+        .iter()
+        .zip(series_a.iter().zip(&series_b))
+        .map(|(&n, (a, b))| (n, a.mean_steps, b.mean_steps))
+        .collect()
+}
+
+/// E11: scaling-limit error `|f(⌊cz⌋)/c − f̂(z)|` for `⌊3x/2⌋` at increasing
+/// scale factors.
+#[must_use]
+pub fn scaling_error_series(factors: &[u64]) -> Vec<(u64, f64)> {
+    let g = QuiltAffine::floor_linear(QVec::from(vec![Rational::new(3, 2)]), 2);
+    let eventual = EventuallyMin::new(NVec::zeros(1), vec![g]).unwrap();
+    let scaling = InfinityScaling::of(&eventual);
+    let f = |x: &NVec| 3 * x[0] / 2;
+    let z = QVec::from(vec![Rational::new(7, 3)]);
+    crn_core::scaling::scaling_error_series(&scaling, &f, &z, factors)
+}
+
+/// E12: interaction counts of the Figure 1 CRNs under pairwise-collision
+/// (population-protocol style) scheduling.
+#[must_use]
+pub fn popproto_interactions(sizes: &[u64]) -> Vec<(u64, u64, u64)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let min = run_pairwise(&examples::min_crn(), &NVec::from(vec![n, n]), 3, 100_000_000)
+                .expect("runs");
+            let max = run_pairwise(&examples::max_crn(), &NVec::from(vec![n, n]), 3, 100_000_000)
+                .expect("runs");
+            (n, min.collisions, max.collisions)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_series_are_correct_and_growing() {
+        let series = fig1_convergence(&[4, 16], 3);
+        assert_eq!(series.len(), 3);
+        for (name, points) in &series {
+            assert!(points.iter().all(|p| p.all_correct), "{name} produced a wrong output");
+            assert!(points[0].mean_steps <= points[1].mean_steps);
+        }
+    }
+
+    #[test]
+    fn fig3_table_matches_closed_form() {
+        let (table, species, reactions) = fig3_quilt_table(8);
+        assert_eq!(table.len(), 9);
+        for (x, v) in table {
+            assert_eq!(v as u64, 3 * x / 2);
+        }
+        assert_eq!(species, 5);
+        assert_eq!(reactions, 3);
+    }
+
+    #[test]
+    fn fig5_structure_matches_staircase() {
+        let (threshold, period, deltas, leader_size, leaderless) = fig5_one_dim();
+        assert!(threshold >= 3);
+        assert_eq!(period, 2);
+        assert_eq!(deltas.iter().sum::<u64>(), 4);
+        assert!(leader_size.0 > 0 && leader_size.1 > 0);
+        // The staircase is not superadditive (f(3)=7 > f(1)+f(2)=0), so the
+        // leaderless construction refuses.
+        assert!(leaderless.is_none());
+    }
+
+    #[test]
+    fn fig6_witness_and_overshoot() {
+        let (_base, step, delta, overshoot) = fig6_lemma41();
+        assert!(!step.is_zero());
+        assert!(!delta.is_zero());
+        assert_eq!(overshoot, 5);
+    }
+
+    #[test]
+    fn fig7_characterization_has_three_pieces() {
+        let (pieces, species, reactions) = fig7_characterization(8);
+        assert_eq!(pieces, 3);
+        assert!(species > 10);
+        assert!(reactions > 10);
+    }
+
+    #[test]
+    fn fig8_census_matches_caption() {
+        let census = fig8_region_census(6);
+        assert_eq!(census, vec![(0, 0), (1, 1), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn construction_sizes_grow_with_period() {
+        let rows = construction_sizes();
+        assert!(rows.len() >= 10);
+        let d2: Vec<_> = rows.iter().filter(|(n, _, _)| n.contains("d=2")).collect();
+        assert!(d2[0].2 < d2[2].2, "reactions grow with the period");
+    }
+
+    #[test]
+    fn scaling_errors_shrink() {
+        let series = scaling_error_series(&[1, 8, 64]);
+        assert!(series[2].1 <= series[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn popproto_interactions_grow_with_size() {
+        let rows = popproto_interactions(&[4, 16]);
+        assert!(rows[0].1 <= rows[1].1);
+        assert!(rows[0].2 <= rows[1].2);
+    }
+
+    #[test]
+    fn composition_overhead_is_reported() {
+        let rows = composition_overhead(&[4, 8], 3);
+        assert_eq!(rows.len(), 2);
+        // The composed pipeline fires more reactions than the monolithic CRN.
+        assert!(rows[1].1 > rows[1].2);
+    }
+}

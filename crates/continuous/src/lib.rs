@@ -1,0 +1,19 @@
+//! Rate-independent continuous CRN computation: the real-valued function
+//! class of Chalk, Kornerup, Reeves and Soloveichik (reference [9] of the
+//! paper), which Section 8 relates to the discrete class via the ∞-scaling.
+//!
+//! A function `f̂ : R^d_{≥0} → R_{≥0}` is obliviously-computable by a
+//! continuous CRN iff it is superadditive, positive-continuous, and piecewise
+//! rational-linear; on the strictly positive orthant it is a minimum of
+//! finitely many rational-linear functions.  This crate provides that class
+//! ([`MinOfLinear`]), its membership predicates, and a small rate-independent
+//! continuous CRN executor used to sanity-check the composable examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crn;
+pub mod minlinear;
+
+pub use crn::{ContinuousCrn, ContinuousReaction};
+pub use minlinear::{MinOfLinear, RationalLinear};

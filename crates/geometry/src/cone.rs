@@ -1,0 +1,282 @@
+//! Polyhedral cones `{y ∈ R^d_{≥0} : A y ≥ 0}`: recession cones of regions.
+
+use crn_numeric::{QVec, Rational, ZVec};
+
+use crate::fourier_motzkin::{Constraint, InequalitySystem};
+use crate::matrix::QMatrix;
+
+/// A polyhedral cone `{y ∈ R^d : y ≥ 0, a_i · y ≥ 0 for all i}`.
+///
+/// Recession cones of regions (Definition 7.4) have exactly this homogeneous
+/// form: `recc(R) = {y ∈ R^d_{≥0} : S_R T y ≥ 0}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cone {
+    dim: usize,
+    normals: Vec<ZVec>,
+}
+
+impl Cone {
+    /// The cone `{y ≥ 0 : normal · y ≥ 0 for each normal}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a normal has the wrong dimension.
+    #[must_use]
+    pub fn new(dim: usize, normals: Vec<ZVec>) -> Self {
+        assert!(normals.iter().all(|n| n.dim() == dim), "dimension mismatch");
+        Cone { dim, normals }
+    }
+
+    /// The full nonnegative orthant `R^d_{≥0}`.
+    #[must_use]
+    pub fn orthant(dim: usize) -> Self {
+        Cone {
+            dim,
+            normals: Vec::new(),
+        }
+    }
+
+    /// The ambient dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The inequality normals (excluding the `y ≥ 0` constraints).
+    #[must_use]
+    pub fn normals(&self) -> &[ZVec] {
+        &self.normals
+    }
+
+    /// Whether the rational vector `y` belongs to the cone.
+    #[must_use]
+    pub fn contains(&self, y: &QVec) -> bool {
+        y.is_nonnegative()
+            && self
+                .normals
+                .iter()
+                .map(|n| n.to_qvec())
+                .all(|n| n.dot(y) >= Rational::ZERO)
+    }
+
+    /// Builds the base inequality system (all cone constraints plus `y ≥ 0`).
+    fn base_system(&self) -> InequalitySystem {
+        let mut sys = InequalitySystem::new(self.dim);
+        sys.push_nonnegativity();
+        for n in &self.normals {
+            sys.push(Constraint::at_least(n.to_qvec(), Rational::ZERO));
+        }
+        sys
+    }
+
+    /// Whether the cone contains a vector that is strictly positive in every
+    /// coordinate.  A region is *eventual* (Definition 7.10) exactly when its
+    /// recession cone has this property.
+    #[must_use]
+    pub fn contains_strictly_positive(&self) -> bool {
+        let mut sys = self.base_system();
+        for i in 0..self.dim {
+            let mut v = vec![Rational::ZERO; self.dim];
+            v[i] = Rational::ONE;
+            sys.push(Constraint::greater_than(QVec::from(v), Rational::ZERO));
+        }
+        sys.is_feasible()
+    }
+
+    /// Whether the cone contains a vector with `direction · y > 0`.
+    #[must_use]
+    pub fn contains_direction_with(&self, direction: &QVec) -> bool {
+        let mut sys = self.base_system();
+        sys.push(Constraint::greater_than(direction.clone(), Rational::ZERO));
+        sys.is_feasible()
+    }
+
+    /// The *implicit equalities* of the cone: the constraints (including the
+    /// nonnegativity constraints `y_i ≥ 0`) that hold with equality on every
+    /// point of the cone.  Returned as normal vectors `a` with `a·y = 0` on
+    /// the cone.
+    #[must_use]
+    pub fn implicit_equalities(&self) -> Vec<QVec> {
+        let mut equalities = Vec::new();
+        // Nonnegativity constraints e_i · y >= 0.
+        for i in 0..self.dim {
+            let mut v = vec![Rational::ZERO; self.dim];
+            v[i] = Rational::ONE;
+            let e_i = QVec::from(v);
+            if !self.contains_direction_with(&e_i) {
+                equalities.push(e_i);
+            }
+        }
+        // Explicit constraints a · y >= 0.
+        for n in &self.normals {
+            let a = n.to_qvec();
+            if !self.contains_direction_with(&a) {
+                equalities.push(a);
+            }
+        }
+        equalities
+    }
+
+    /// The dimension of the cone (the dimension of its linear span).
+    ///
+    /// Computed as `d − rank(implicit equalities)`: the span of the cone is
+    /// exactly the null space of its implicit-equality normals.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        let equalities = self.implicit_equalities();
+        if equalities.is_empty() {
+            return self.dim;
+        }
+        let m = QMatrix::from_rows(equalities, self.dim);
+        self.dim - m.rank()
+    }
+
+    /// A basis (over `Q`) of the linear span `W = span(cone)`, the
+    /// "determined subspace" of Section 7.4.
+    #[must_use]
+    pub fn span_basis(&self) -> Vec<QVec> {
+        let equalities = self.implicit_equalities();
+        if equalities.is_empty() {
+            // The span is all of R^d.
+            return (0..self.dim)
+                .map(|i| {
+                    let mut v = vec![Rational::ZERO; self.dim];
+                    v[i] = Rational::ONE;
+                    QVec::from(v)
+                })
+                .collect();
+        }
+        QMatrix::from_rows(equalities, self.dim).nullspace_basis()
+    }
+
+    /// Whether this cone is contained in `other` (the neighbor relation of
+    /// Definition 7.11 is `recc(U) ⊆ recc(R)`).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Cone) -> bool {
+        assert_eq!(self.dim, other.dim, "dimension mismatch");
+        // self ⊆ other iff no point of self violates a constraint of other:
+        // for each normal a of other (and each nonnegativity constraint,
+        // which self also satisfies by definition), the system
+        // {y ∈ self, a·y < 0} must be infeasible.
+        for n in &other.normals {
+            let mut sys = self.base_system();
+            // a·y < 0  ⟺  (−a)·y > 0.
+            sys.push(Constraint::greater_than(
+                n.to_qvec().scale(Rational::from(-1)),
+                Rational::ZERO,
+            ));
+            if sys.is_feasible() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(v: Vec<i64>) -> ZVec {
+        ZVec::from(v)
+    }
+
+    #[test]
+    fn orthant_is_full_dimensional() {
+        let orthant = Cone::orthant(3);
+        assert_eq!(orthant.dimension(), 3);
+        assert!(orthant.contains_strictly_positive());
+        assert!(orthant.contains(&QVec::from(vec![1, 2, 3])));
+        assert!(!orthant.contains(&QVec::from(vec![Rational::from(-1), Rational::ONE, Rational::ONE])));
+        assert_eq!(orthant.span_basis().len(), 3);
+    }
+
+    #[test]
+    fn halfplane_cone_in_two_dimensions() {
+        // {y >= 0 : y1 - y2 >= 0}: the part of the orthant below the diagonal.
+        let cone = Cone::new(2, vec![z(vec![1, -1])]);
+        assert_eq!(cone.dimension(), 2);
+        assert!(cone.contains_strictly_positive());
+        assert!(cone.contains(&QVec::from(vec![3, 1])));
+        assert!(!cone.contains(&QVec::from(vec![1, 3])));
+    }
+
+    #[test]
+    fn diagonal_ray_is_one_dimensional() {
+        // {y >= 0 : y1 - y2 >= 0 and y2 - y1 >= 0} = the diagonal ray.
+        let cone = Cone::new(2, vec![z(vec![1, -1]), z(vec![-1, 1])]);
+        assert_eq!(cone.dimension(), 1);
+        assert!(cone.contains_strictly_positive());
+        let basis = cone.span_basis();
+        assert_eq!(basis.len(), 1);
+        // The span is the diagonal: basis vector has equal components.
+        assert_eq!(basis[0][0], basis[0][1]);
+    }
+
+    #[test]
+    fn axis_cone_is_not_eventual() {
+        // {y >= 0 : -y2 >= 0} = the y1-axis: 1-dimensional, no strictly
+        // positive vector (corresponds to a non-eventual region).
+        let cone = Cone::new(2, vec![z(vec![0, -1])]);
+        assert_eq!(cone.dimension(), 1);
+        assert!(!cone.contains_strictly_positive());
+    }
+
+    #[test]
+    fn origin_cone_is_zero_dimensional() {
+        let cone = Cone::new(2, vec![z(vec![-1, 0]), z(vec![0, -1])]);
+        assert_eq!(cone.dimension(), 0);
+        assert!(!cone.contains_strictly_positive());
+        assert!(cone.span_basis().is_empty());
+    }
+
+    #[test]
+    fn subset_relation_matches_figure8b() {
+        // Figure 8b: the diagonal ray (under-determined region 4's cone) is a
+        // face of both adjacent full-dimensional cones.
+        let diagonal = Cone::new(2, vec![z(vec![1, -1]), z(vec![-1, 1])]);
+        let below = Cone::new(2, vec![z(vec![1, -1])]);
+        let above = Cone::new(2, vec![z(vec![-1, 1])]);
+        assert!(diagonal.is_subset_of(&below));
+        assert!(diagonal.is_subset_of(&above));
+        assert!(!below.is_subset_of(&above));
+        assert!(!above.is_subset_of(&below));
+        assert!(below.is_subset_of(&Cone::orthant(2)));
+        assert!(diagonal.is_subset_of(&diagonal));
+    }
+
+    #[test]
+    fn three_dimensional_pizza_slice() {
+        // Figure 8d, region 6: a 2-D "pizza slice" cone inside R^3.
+        // Constraints: y1 - y2 >= 0, y2 - y1 >= 0 (ties y1 = y2), y3 free.
+        let slice = Cone::new(3, vec![z(vec![1, -1, 0]), z(vec![-1, 1, 0])]);
+        assert_eq!(slice.dimension(), 2);
+        assert!(slice.contains_strictly_positive());
+        let span = slice.span_basis();
+        assert_eq!(span.len(), 2);
+        // The 1-D diagonal ray of region 5 is a subset.
+        let diag = Cone::new(
+            3,
+            vec![
+                z(vec![1, -1, 0]),
+                z(vec![-1, 1, 0]),
+                z(vec![0, 1, -1]),
+                z(vec![0, -1, 1]),
+            ],
+        );
+        assert_eq!(diag.dimension(), 1);
+        assert!(diag.is_subset_of(&slice));
+        assert!(!slice.is_subset_of(&diag));
+    }
+
+    #[test]
+    fn implicit_equalities_of_degenerate_cone() {
+        // {y >= 0 : -y1 - y2 >= 0} forces y1 = y2 = 0.
+        let cone = Cone::new(2, vec![z(vec![-1, -1])]);
+        let eq = cone.implicit_equalities();
+        // All three constraints (two nonnegativity + the explicit one) are
+        // implicit equalities.
+        assert_eq!(eq.len(), 3);
+        assert_eq!(cone.dimension(), 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Exact feasibility of systems of rational linear inequalities by
+//! Fourier–Motzkin elimination.
+//!
+//! The recession-cone computations of Section 7.3/7.4 reduce to questions of
+//! the form "does the cone contain a vector with `a·y > 0`?", "is this cone
+//! contained in that one?", and "does the cone contain a strictly positive
+//! vector?".  All of these are feasibility questions about small systems of
+//! linear inequalities over `Q^d`, which Fourier–Motzkin elimination decides
+//! exactly (the dimensions involved are tiny: `d ≤ 4` in every experiment).
+
+use crn_numeric::{QVec, Rational};
+
+/// A single linear constraint `coefficients · y ⋈ bound`, where `⋈` is `≥`
+/// (when `strict` is false) or `>` (when `strict` is true).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The coefficient vector.
+    pub coefficients: QVec,
+    /// The right-hand side.
+    pub bound: Rational,
+    /// Whether the inequality is strict.
+    pub strict: bool,
+}
+
+impl Constraint {
+    /// The constraint `coefficients · y ≥ bound`.
+    #[must_use]
+    pub fn at_least(coefficients: QVec, bound: Rational) -> Self {
+        Constraint {
+            coefficients,
+            bound,
+            strict: false,
+        }
+    }
+
+    /// The constraint `coefficients · y > bound`.
+    #[must_use]
+    pub fn greater_than(coefficients: QVec, bound: Rational) -> Self {
+        Constraint {
+            coefficients,
+            bound,
+            strict: true,
+        }
+    }
+
+    /// The constraint `coefficients · y ≤ bound` (stored with negated
+    /// coefficients).
+    #[must_use]
+    pub fn at_most(coefficients: QVec, bound: Rational) -> Self {
+        Constraint {
+            coefficients: coefficients.scale(Rational::from(-1)),
+            bound: -bound,
+            strict: false,
+        }
+    }
+}
+
+/// A conjunction of linear constraints over `Q^dim`.
+#[derive(Debug, Clone, Default)]
+pub struct InequalitySystem {
+    dim: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl InequalitySystem {
+    /// An empty (trivially feasible) system over `Q^dim`.
+    #[must_use]
+    pub fn new(dim: usize) -> Self {
+        InequalitySystem {
+            dim,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The ambient dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the system has no constraints.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Adds a constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint dimension does not match.
+    pub fn push(&mut self, constraint: Constraint) {
+        assert_eq!(
+            constraint.coefficients.dim(),
+            self.dim,
+            "constraint dimension mismatch"
+        );
+        self.constraints.push(constraint);
+    }
+
+    /// Adds the nonnegativity constraints `y_i ≥ 0` for every coordinate.
+    pub fn push_nonnegativity(&mut self) {
+        for i in 0..self.dim {
+            let mut v = vec![Rational::ZERO; self.dim];
+            v[i] = Rational::ONE;
+            self.push(Constraint::at_least(QVec::from(v), Rational::ZERO));
+        }
+    }
+
+    /// Decides whether the system has a solution over `Q^dim`, by
+    /// Fourier–Motzkin elimination.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        let mut constraints = self.constraints.clone();
+        for var in (0..self.dim).rev() {
+            constraints = eliminate_variable(&constraints, var);
+        }
+        // All variables eliminated: every constraint is now `0 ⋈ bound`.
+        constraints.iter().all(|c| {
+            if c.strict {
+                Rational::ZERO > c.bound
+            } else {
+                Rational::ZERO >= c.bound
+            }
+        })
+    }
+}
+
+/// Eliminates variable `var` from the constraint set, returning an equivalent
+/// (with respect to feasibility) set over the remaining variables; the
+/// coefficient of `var` in every returned constraint is zero.
+fn eliminate_variable(constraints: &[Constraint], var: usize) -> Vec<Constraint> {
+    let mut lower = Vec::new(); // coefficient of var > 0: gives a lower bound on var
+    let mut upper = Vec::new(); // coefficient of var < 0: gives an upper bound on var
+    let mut rest = Vec::new();
+    for c in constraints {
+        let coeff = c.coefficients[var];
+        if coeff.is_zero() {
+            rest.push(c.clone());
+        } else if coeff.is_negative() {
+            upper.push(c.clone());
+        } else {
+            lower.push(c.clone());
+        }
+    }
+    // Combine every (lower, upper) pair.
+    for lo in &lower {
+        for up in &upper {
+            let a = lo.coefficients[var];
+            let b = up.coefficients[var]; // negative
+            // lo: a*var + r_lo(y) >= b_lo   =>  var >= (b_lo - r_lo)/a
+            // up: b*var + r_up(y) >= b_up   =>  var <= (b_up - r_up)/b   (b < 0 flips)
+            // Combined: (b_lo - r_lo)/a <= (b_up - r_up)/b
+            // Multiply through by a * (-b) > 0:
+            //   -b*(b_lo - r_lo) <= a*(b_up - r_up) ... rearranged into >= form below.
+            let scale_lo = -b; // positive
+            let scale_up = a; // positive
+            let mut coeffs = vec![Rational::ZERO; lo.coefficients.dim()];
+            for k in 0..coeffs.len() {
+                if k == var {
+                    continue;
+                }
+                coeffs[k] = lo.coefficients[k] * scale_lo + up.coefficients[k] * scale_up;
+            }
+            let bound = lo.bound * scale_lo + up.bound * scale_up;
+            rest.push(Constraint {
+                coefficients: QVec::from(coeffs),
+                bound,
+                strict: lo.strict || up.strict,
+            });
+        }
+    }
+    // Drop the eliminated variable's coefficient (it is zero in `rest` already
+    // for combined constraints; original `rest` entries had zero there too).
+    rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(values: Vec<i64>) -> QVec {
+        QVec::from(values)
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        assert!(InequalitySystem::new(3).is_feasible());
+    }
+
+    #[test]
+    fn simple_feasible_and_infeasible_systems() {
+        // x >= 1 and x <= 2: feasible.
+        let mut sys = InequalitySystem::new(1);
+        sys.push(Constraint::at_least(qv(vec![1]), Rational::ONE));
+        sys.push(Constraint::at_most(qv(vec![1]), Rational::from(2)));
+        assert!(sys.is_feasible());
+        // x >= 2 and x <= 1: infeasible.
+        let mut sys = InequalitySystem::new(1);
+        sys.push(Constraint::at_least(qv(vec![1]), Rational::from(2)));
+        sys.push(Constraint::at_most(qv(vec![1]), Rational::ONE));
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn strict_inequalities_matter() {
+        // x > 0 and x <= 0: infeasible.
+        let mut sys = InequalitySystem::new(1);
+        sys.push(Constraint::greater_than(qv(vec![1]), Rational::ZERO));
+        sys.push(Constraint::at_most(qv(vec![1]), Rational::ZERO));
+        assert!(!sys.is_feasible());
+        // x >= 0 and x <= 0: feasible (x = 0).
+        let mut sys = InequalitySystem::new(1);
+        sys.push(Constraint::at_least(qv(vec![1]), Rational::ZERO));
+        sys.push(Constraint::at_most(qv(vec![1]), Rational::ZERO));
+        assert!(sys.is_feasible());
+    }
+
+    #[test]
+    fn two_dimensional_cone_membership() {
+        // The cone y1 >= y2 >= 0 contains a strictly positive vector.
+        let mut sys = InequalitySystem::new(2);
+        sys.push(Constraint::at_least(qv(vec![1, -1]), Rational::ZERO));
+        sys.push_nonnegativity();
+        sys.push(Constraint::greater_than(qv(vec![1, 0]), Rational::ZERO));
+        sys.push(Constraint::greater_than(qv(vec![0, 1]), Rational::ZERO));
+        assert!(sys.is_feasible());
+        // But the cone y1 >= y2, y2 >= 0, y1 <= 0 pins y to the origin; no
+        // strictly positive vector.
+        let mut sys = InequalitySystem::new(2);
+        sys.push(Constraint::at_least(qv(vec![1, -1]), Rational::ZERO));
+        sys.push_nonnegativity();
+        sys.push(Constraint::at_most(qv(vec![1, 0]), Rational::ZERO));
+        sys.push(Constraint::greater_than(qv(vec![0, 1]), Rational::ZERO));
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn rational_coefficients() {
+        // y/2 >= 3 and y <= 5: infeasible.
+        let mut sys = InequalitySystem::new(1);
+        sys.push(Constraint::at_least(
+            QVec::from(vec![Rational::new(1, 2)]),
+            Rational::from(3),
+        ));
+        sys.push(Constraint::at_most(qv(vec![1]), Rational::from(5)));
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn three_dimensional_system() {
+        // y1 + y2 + y3 >= 1, y1 <= 0, y2 <= 0, y3 <= 0: infeasible.
+        let mut sys = InequalitySystem::new(3);
+        sys.push(Constraint::at_least(qv(vec![1, 1, 1]), Rational::ONE));
+        for i in 0..3 {
+            let mut v = vec![0i64; 3];
+            v[i] = 1;
+            sys.push(Constraint::at_most(qv(v), Rational::ZERO));
+        }
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn unbounded_direction_is_feasible() {
+        // y1 - y2 >= 5 with y >= 0 is feasible (e.g. y = (5, 0)).
+        let mut sys = InequalitySystem::new(2);
+        sys.push(Constraint::at_least(qv(vec![1, -1]), Rational::from(5)));
+        sys.push_nonnegativity();
+        assert!(sys.is_feasible());
+    }
+}

@@ -1,0 +1,46 @@
+//! Rational polyhedral geometry for the Section 7 domain decomposition.
+//!
+//! The proof that every obliviously-computable function is eventually a
+//! minimum of quilt-affine functions decomposes the domain `N^d` by the
+//! boundary hyperplanes of the threshold sets in a fixed semilinear
+//! presentation (Section 7.2), classifies the resulting *regions* by the
+//! dimension of their *recession cones* (determined vs under-determined,
+//! Section 7.3), and relates under-determined regions to their *neighbors*
+//! (Section 7.4).  This crate makes those objects executable:
+//!
+//! * exact rational linear algebra ([`matrix`]): row reduction, rank, null
+//!   spaces, affine fitting;
+//! * exact feasibility of systems of linear inequalities by Fourier–Motzkin
+//!   elimination ([`fourier_motzkin`]);
+//! * hyperplanes, sign vectors and regions ([`region`]);
+//! * recession cones, their dimension, spans and the neighbor relation
+//!   ([`cone`]);
+//! * the full arrangement induced by a semilinear presentation
+//!   ([`arrangement`]), which is what the characterization pipeline in
+//!   `crn-core` consumes.
+//!
+//! ```
+//! use crn_geometry::arrangement::Arrangement;
+//! use crn_semilinear::examples;
+//!
+//! // Figure 7: the min-like example has three regions: two determined
+//! // half-planes and the under-determined diagonal.
+//! let arrangement = Arrangement::from_function(&examples::figure7_example());
+//! let regions = arrangement.regions_in_box(8);
+//! assert_eq!(regions.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod cone;
+pub mod fourier_motzkin;
+pub mod matrix;
+pub mod region;
+
+pub use arrangement::Arrangement;
+pub use cone::Cone;
+pub use fourier_motzkin::{Constraint, InequalitySystem};
+pub use matrix::QMatrix;
+pub use region::{Hyperplane, Region};

@@ -1,0 +1,380 @@
+//! Composition of function CRNs by concatenation (Section 2.3).
+//!
+//! Observation 2.2: if an upstream CRN `C_f` is output-oblivious, renaming its
+//! output species to the input species of a downstream CRN `C_g` (and keeping
+//! all other species disjoint) yields a CRN that stably computes `g ∘ f`.
+//! The module also provides the multi-upstream "feed-forward" wiring used by
+//! the Lemma 6.2 construction, where the global inputs are fanned out to
+//! several upstream modules whose outputs feed one downstream module.
+
+use std::collections::HashMap;
+
+use crate::crn::Crn;
+use crate::error::CrnError;
+use crate::function::{FunctionCrn, Roles};
+use crate::reaction::Reaction;
+use crate::species::Species;
+use crate::transform::import_module;
+
+/// Concatenates a single upstream CRN computing `f : N^d → N` with a
+/// downstream CRN computing `g : N → N`, yielding a CRN for `g ∘ f`.
+///
+/// The upstream output species is renamed to the downstream input species; all
+/// other species are kept disjoint by prefixing.  A fresh global leader `L` is
+/// introduced with the reaction `L -> L_f + L_g` (producing whichever module
+/// leaders exist), as in the paper's definition of the concatenated CRN.
+///
+/// Correctness (Observation 2.2) requires the *upstream* CRN to be
+/// output-oblivious; this function does not enforce that, because the paper
+/// also uses non-oblivious upstream CRNs to demonstrate how composition fails
+/// (Section 1.2) — callers that need the guarantee should check
+/// [`FunctionCrn::is_output_oblivious`] first.
+///
+/// # Errors
+///
+/// Returns [`CrnError::InvalidRoles`] if the downstream CRN does not have
+/// exactly one input.
+pub fn concatenate(upstream: &FunctionCrn, downstream: &FunctionCrn) -> Result<FunctionCrn, CrnError> {
+    if downstream.dim() != 1 {
+        return Err(CrnError::InvalidRoles(format!(
+            "downstream CRN must have exactly 1 input, has {}",
+            downstream.dim()
+        )));
+    }
+    compose_feed_forward(std::slice::from_ref(upstream), downstream, false)
+}
+
+/// Wires `upstreams[k]` to input `k` of `downstream`.
+///
+/// When `share_inputs` is `false`, the composed CRN's input list is the
+/// concatenation of the upstream input lists (each upstream owns its own
+/// inputs).  When `share_inputs` is `true`, all upstream CRNs must have the
+/// same arity `d`, the composed CRN has arity `d`, and fan-out reactions
+/// `X_i -> X_i^{(1)} + … + X_i^{(m)}` copy each global input to every
+/// upstream module — the "fan out" operation described in the proof of
+/// Lemma 6.2.
+///
+/// # Errors
+///
+/// Returns [`CrnError::InvalidRoles`] if the downstream arity does not match
+/// the number of upstream modules, or (with `share_inputs`) the upstream
+/// arities differ.
+pub fn compose_feed_forward(
+    upstreams: &[FunctionCrn],
+    downstream: &FunctionCrn,
+    share_inputs: bool,
+) -> Result<FunctionCrn, CrnError> {
+    if downstream.dim() != upstreams.len() {
+        return Err(CrnError::InvalidRoles(format!(
+            "downstream arity {} does not match {} upstream modules",
+            downstream.dim(),
+            upstreams.len()
+        )));
+    }
+    if share_inputs {
+        let dims: Vec<usize> = upstreams.iter().map(FunctionCrn::dim).collect();
+        if dims.windows(2).any(|w| w[0] != w[1]) {
+            return Err(CrnError::InvalidRoles(format!(
+                "shared-input composition requires equal upstream arities, got {dims:?}"
+            )));
+        }
+    }
+
+    let mut crn = Crn::new();
+    let mut module_leaders: Vec<Species> = Vec::new();
+    let mut upstream_input_species: Vec<Vec<Species>> = Vec::new();
+
+    // Import upstream modules; module k's output species is renamed to the
+    // wire name `W{k}` which doubles as downstream input k.
+    for (k, upstream) in upstreams.iter().enumerate() {
+        let mut shared = HashMap::new();
+        shared.insert(upstream.output(), format!("W{k}"));
+        let map = import_module(&mut crn, upstream.crn(), &format!("f{k}."), &shared);
+        if let Some(leader) = upstream.leader() {
+            module_leaders.push(map[&leader]);
+        }
+        upstream_input_species.push(
+            upstream
+                .roles()
+                .inputs
+                .iter()
+                .map(|s| map[s])
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    // Import the downstream module, identifying its inputs with the wires.
+    let mut shared = HashMap::new();
+    for (k, &input) in downstream.roles().inputs.iter().enumerate() {
+        shared.insert(input, format!("W{k}"));
+    }
+    shared.insert(downstream.output(), "Y_out".to_owned());
+    let down_map = import_module(&mut crn, downstream.crn(), "g.", &shared);
+    if let Some(leader) = downstream.leader() {
+        module_leaders.push(down_map[&leader]);
+    }
+    let output = down_map[&downstream.output()];
+
+    // Global inputs.
+    let global_inputs: Vec<Species> = if share_inputs {
+        let d = upstreams.first().map_or(0, FunctionCrn::dim);
+        let globals: Vec<Species> = (0..d).map(|i| crn.add_species(&format!("X{}", i + 1))).collect();
+        // Fan-out: X_i -> X_i^{(0)} + ... + X_i^{(m-1)}.
+        for (i, &global) in globals.iter().enumerate() {
+            let copies: Vec<(Species, u64)> = upstream_input_species
+                .iter()
+                .map(|inputs| (inputs[i], 1))
+                .collect();
+            crn.add_reaction(Reaction::new(vec![(global, 1)], copies));
+        }
+        globals
+    } else {
+        upstream_input_species.into_iter().flatten().collect()
+    };
+
+    // Global leader releasing every module leader.
+    let leader = if module_leaders.is_empty() {
+        None
+    } else {
+        let global_leader = crn.add_species("L");
+        crn.add_reaction(Reaction::new(
+            vec![(global_leader, 1)],
+            module_leaders.iter().map(|&l| (l, 1)).collect::<Vec<_>>(),
+        ));
+        Some(global_leader)
+    };
+
+    FunctionCrn::new(
+        crn,
+        Roles {
+            inputs: global_inputs,
+            output,
+            leader,
+        },
+    )
+}
+
+/// Adds explicit fan-out reactions `X_i -> X_i^{(1)} + … + X_i^{(copies)}` for
+/// a `dim`-ary input, returning the fresh CRN together with the global input
+/// species and the per-copy input species.
+///
+/// This is the standalone form of the fan-out wiring used inside
+/// [`compose_feed_forward`]; it is exposed for constructions that need to copy
+/// inputs without immediately composing (e.g. benchmarks measuring fan-out
+/// cost).
+#[must_use]
+pub fn fan_out(dim: usize, copies: usize) -> (Crn, Vec<Species>, Vec<Vec<Species>>) {
+    let mut crn = Crn::new();
+    let globals: Vec<Species> = (0..dim).map(|i| crn.add_species(&format!("X{}", i + 1))).collect();
+    let mut per_copy: Vec<Vec<Species>> = vec![Vec::new(); copies];
+    for (i, &global) in globals.iter().enumerate() {
+        let mut products = Vec::new();
+        for (k, copy_inputs) in per_copy.iter_mut().enumerate() {
+            let s = crn.add_species(&format!("X{}_{}", i + 1, k));
+            copy_inputs.push(s);
+            products.push((s, 1));
+        }
+        crn.add_reaction(Reaction::new(vec![(global, 1)], products));
+    }
+    (crn, globals, per_copy)
+}
+
+/// Places two function CRNs side by side with disjoint species (no wiring).
+///
+/// The result has the concatenated input list and reports the *first* CRN's
+/// output; it is used to build multi-output computations where each component
+/// is computed by a parallel CRN (footnote 6 of the paper).
+///
+/// # Errors
+///
+/// Returns [`CrnError::InvalidRoles`] if role resolution fails (should not
+/// happen for well-formed inputs).
+pub fn parallel_union(first: &FunctionCrn, second: &FunctionCrn) -> Result<FunctionCrn, CrnError> {
+    let mut crn = Crn::new();
+    let map_a = import_module(&mut crn, first.crn(), "a.", &HashMap::new());
+    let map_b = import_module(&mut crn, second.crn(), "b.", &HashMap::new());
+    let mut leaders = Vec::new();
+    if let Some(l) = first.leader() {
+        leaders.push(map_a[&l]);
+    }
+    if let Some(l) = second.leader() {
+        leaders.push(map_b[&l]);
+    }
+    let leader = if leaders.is_empty() {
+        None
+    } else {
+        let global = crn.add_species("L");
+        crn.add_reaction(Reaction::new(
+            vec![(global, 1)],
+            leaders.iter().map(|&l| (l, 1)).collect::<Vec<_>>(),
+        ));
+        Some(global)
+    };
+    let inputs: Vec<Species> = first
+        .roles()
+        .inputs
+        .iter()
+        .map(|s| map_a[s])
+        .chain(second.roles().inputs.iter().map(|s| map_b[s]))
+        .collect();
+    FunctionCrn::new(
+        crn,
+        Roles {
+            inputs,
+            output: map_a[&first.output()],
+            leader,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::reachability::check_stable_computation;
+    use crn_numeric::NVec;
+
+    #[test]
+    fn two_times_min_via_concatenation() {
+        // Section 1.2: 2·min(x1,x2) composed from X1+X2->W and W->2Y.
+        let min = examples::min_crn();
+        let double = examples::double_crn();
+        let composed = concatenate(&min, &double).unwrap();
+        assert!(composed.is_output_oblivious());
+        for x1 in 0..4u64 {
+            for x2 in 0..4u64 {
+                let expected = 2 * x1.min(x2);
+                let v = check_stable_computation(
+                    &composed,
+                    &NVec::from(vec![x1, x2]),
+                    expected,
+                    50_000,
+                )
+                .unwrap();
+                assert!(v.is_correct(), "2·min failed at ({x1},{x2})");
+            }
+        }
+    }
+
+    #[test]
+    fn composing_non_oblivious_max_with_double_can_overproduce() {
+        // Section 1.2: renaming the max CRN's output to W and adding W -> 2Y
+        // can erroneously produce up to 2(x1+x2) copies of Y.
+        let max = examples::max_crn();
+        let double = examples::double_crn();
+        let composed = concatenate(&max, &double).unwrap();
+        let v = check_stable_computation(&composed, &NVec::from(vec![1, 1]), 2, 100_000).unwrap();
+        assert!(!v.is_correct(), "composition of non-oblivious max must fail");
+        assert!(v.max_output_reachable > 2);
+        assert_eq!(v.max_output_reachable, 4); // 2(x1 + x2)
+    }
+
+    #[test]
+    fn concatenation_propagates_leaders() {
+        let min1 = examples::min1_leader_crn();
+        let double = examples::double_crn();
+        let composed = concatenate(&min1, &double).unwrap();
+        assert!(composed.has_leader());
+        // 2 · min(1, x)
+        for x in 0..4u64 {
+            let expected = 2 * x.min(1);
+            let v = check_stable_computation(&composed, &NVec::from(vec![x]), expected, 50_000)
+                .unwrap();
+            assert!(v.is_correct());
+        }
+    }
+
+    #[test]
+    fn downstream_must_be_unary_for_concatenate() {
+        let min = examples::min_crn();
+        assert!(matches!(
+            concatenate(&min, &examples::min_crn()),
+            Err(CrnError::InvalidRoles(_))
+        ));
+    }
+
+    #[test]
+    fn shared_input_feed_forward_computes_min_of_double_and_identity() {
+        // min(2x, x) = x computed as feed-forward with shared input x.
+        let double = examples::double_crn();
+        let identity = examples::identity_crn();
+        let min = examples::min_crn();
+        let composed =
+            compose_feed_forward(&[double, identity], &min, true).unwrap();
+        assert_eq!(composed.dim(), 1);
+        for x in 0..5u64 {
+            let v = check_stable_computation(&composed, &NVec::from(vec![x]), x, 100_000)
+                .unwrap();
+            assert!(v.is_correct(), "min(2x,x) failed at {x}");
+        }
+    }
+
+    #[test]
+    fn unshared_feed_forward_concatenates_input_lists() {
+        // min(2a, 3b) from separate inputs a and b.
+        let double = examples::multiply_crn(2);
+        let triple = examples::multiply_crn(3);
+        let min = examples::min_crn();
+        let composed = compose_feed_forward(&[double, triple], &min, false).unwrap();
+        assert_eq!(composed.dim(), 2);
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let expected = (2 * a).min(3 * b);
+                let v = check_stable_computation(
+                    &composed,
+                    &NVec::from(vec![a, b]),
+                    expected,
+                    100_000,
+                )
+                .unwrap();
+                assert!(v.is_correct(), "min(2a,3b) failed at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_inputs_require_equal_arities() {
+        let double = examples::double_crn(); // arity 1
+        let min = examples::min_crn(); // arity 2
+        let downstream = examples::min_crn();
+        assert!(matches!(
+            compose_feed_forward(&[double, min], &downstream, true),
+            Err(CrnError::InvalidRoles(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let double = examples::double_crn();
+        let min = examples::min_crn();
+        assert!(matches!(
+            compose_feed_forward(&[double], &min, false),
+            Err(CrnError::InvalidRoles(_))
+        ));
+    }
+
+    #[test]
+    fn fan_out_builds_copy_reactions() {
+        let (crn, globals, copies) = fan_out(2, 3);
+        assert_eq!(globals.len(), 2);
+        assert_eq!(copies.len(), 3);
+        assert_eq!(crn.reactions().len(), 2);
+        assert_eq!(crn.reactions()[0].product_size(), 3);
+    }
+
+    #[test]
+    fn parallel_union_keeps_modules_independent() {
+        let double = examples::double_crn();
+        let min1 = examples::min1_leader_crn();
+        let union = parallel_union(&double, &min1).unwrap();
+        assert_eq!(union.dim(), 2);
+        assert!(union.has_leader());
+        // The reported output is the first module's (2x), regardless of the
+        // second module's input.
+        for x in 0..4u64 {
+            let v = check_stable_computation(&union, &NVec::from(vec![x, 3]), 2 * x, 50_000)
+                .unwrap();
+            assert!(v.is_correct());
+        }
+    }
+}

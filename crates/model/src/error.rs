@@ -1,0 +1,79 @@
+//! Error type for CRN construction and analysis.
+
+use std::fmt;
+
+/// Errors raised while building or analysing CRNs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CrnError {
+    /// A species name was expected to exist but does not.
+    UnknownSpecies(String),
+    /// The input vector's dimension does not match the CRN's input arity.
+    DimensionMismatch {
+        /// Number of input species declared by the CRN.
+        expected: usize,
+        /// Dimension of the supplied input vector.
+        actual: usize,
+    },
+    /// A role (input/output/leader) was declared inconsistently.
+    InvalidRoles(String),
+    /// An exhaustive search exceeded its configured limits.
+    SearchLimitExceeded {
+        /// Human-readable description of which limit was hit.
+        limit: String,
+    },
+    /// The requested operation requires an output-oblivious CRN but the CRN
+    /// consumes its output species.
+    NotOutputOblivious,
+}
+
+impl fmt::Display for CrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrnError::UnknownSpecies(name) => write!(f, "unknown species `{name}`"),
+            CrnError::DimensionMismatch { expected, actual } => write!(
+                f,
+                "input dimension mismatch: CRN has {expected} input species, got {actual}"
+            ),
+            CrnError::InvalidRoles(msg) => write!(f, "invalid species roles: {msg}"),
+            CrnError::SearchLimitExceeded { limit } => {
+                write!(f, "exhaustive search exceeded limit: {limit}")
+            }
+            CrnError::NotOutputOblivious => {
+                write!(f, "operation requires an output-oblivious CRN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CrnError::UnknownSpecies("W".into()).to_string(),
+            "unknown species `W`"
+        );
+        assert!(CrnError::DimensionMismatch {
+            expected: 2,
+            actual: 3
+        }
+        .to_string()
+        .contains("2 input species"));
+        assert!(CrnError::SearchLimitExceeded {
+            limit: "10000 configurations".into()
+        }
+        .to_string()
+        .contains("10000"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<CrnError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! The worked example CRNs of Figures 1 and 2 of the paper.
+
+use crate::crn::Crn;
+use crate::function::FunctionCrn;
+
+/// Figure 1, left: `X -> 2Y` stably computes `f(x) = 2x`.
+///
+/// Output-oblivious and leaderless.
+#[must_use]
+pub fn double_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X -> 2Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+}
+
+/// Figure 1, middle: `X1 + X2 -> Y` stably computes `f(x1, x2) = min(x1, x2)`.
+///
+/// Output-oblivious and leaderless — the canonical composable CRN.
+#[must_use]
+pub fn min_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X1 + X2 -> Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).expect("valid roles")
+}
+
+/// Figure 1, right: the four-reaction CRN stably computing
+/// `f(x1, x2) = max(x1, x2)` as `x1 + x2 − min(x1, x2)`.
+///
+/// *Not* output-oblivious: the reaction `K + Y -> ∅` consumes the output.  The
+/// paper proves (Section 4) that this consumption is unavoidable: `max` is not
+/// obliviously-computable.
+#[must_use]
+pub fn max_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X1 -> Z1 + Y").expect("valid reaction");
+    crn.parse_reaction("X2 -> Z2 + Y").expect("valid reaction");
+    crn.parse_reaction("Z1 + Z2 -> K").expect("valid reaction");
+    crn.parse_reaction("K + Y -> 0").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).expect("valid roles")
+}
+
+/// Figure 2, left: the leaderless CRN `X -> Y`, `2Y -> Y` stably computing
+/// `min(1, x)`, which is **not** output-oblivious.
+#[must_use]
+pub fn min1_leaderless_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X -> Y").expect("valid reaction");
+    crn.parse_reaction("2Y -> Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+}
+
+/// Figure 2, right: the output-oblivious CRN `L + X -> Y` with a single leader
+/// stably computing `min(1, x)`.
+#[must_use]
+pub fn min1_leader_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("L + X -> Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("L")).expect("valid roles")
+}
+
+/// The identity CRN `X -> Y` computing `f(x) = x`, used as the downstream CRN
+/// in the proof of Lemma 2.3.
+#[must_use]
+pub fn identity_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X -> Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+}
+
+/// A CRN computing the constant function `f() = k` using a leader:
+/// `L -> k Y` (for `k = 0` the reaction is `L -> ∅`).
+#[must_use]
+pub fn constant_crn(k: u64) -> FunctionCrn {
+    let mut crn = Crn::new();
+    let l = crn.add_species("L");
+    let y = crn.add_species("Y");
+    crn.add_reaction(crate::reaction::Reaction::new(vec![(l, 1)], vec![(y, k)]));
+    FunctionCrn::with_named_roles(crn, &[], "Y", Some("L")).expect("valid roles")
+}
+
+/// The CRN `X -> kY` computing multiplication by a constant `k ≥ 1`,
+/// generalizing Figure 1 (left).
+#[must_use]
+pub fn multiply_crn(k: u64) -> FunctionCrn {
+    assert!(k >= 1, "use constant_crn(0) for the zero function");
+    let mut crn = Crn::new();
+    let x = crn.add_species("X");
+    let y = crn.add_species("Y");
+    crn.add_reaction(crate::reaction::Reaction::new(vec![(x, 1)], vec![(y, k)]));
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+}
+
+/// The two-reaction CRN `X -> 3Z`, `2Z -> Y` computing `⌊3x/2⌋`, the paper's
+/// running example of a (non-affine) quilt-affine function (Figure 3a).
+#[must_use]
+pub fn floor_three_halves_crn() -> FunctionCrn {
+    let mut crn = Crn::new();
+    crn.parse_reaction("X -> 3Z").expect("valid reaction");
+    crn.parse_reaction("2Z -> Y").expect("valid reaction");
+    FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+}
+
+/// The `k`-ary min CRN `X1 + X2 + … + Xk -> Y` used by the Lemma 6.2
+/// construction.
+#[must_use]
+pub fn min_k_crn(k: usize) -> FunctionCrn {
+    assert!(k >= 1, "min requires at least one input");
+    let mut crn = Crn::new();
+    let inputs: Vec<_> = (1..=k).map(|i| crn.add_species(&format!("X{i}"))).collect();
+    let y = crn.add_species("Y");
+    crn.add_reaction(crate::reaction::Reaction::new(
+        inputs.iter().map(|&s| (s, 1)).collect::<Vec<_>>(),
+        vec![(y, 1)],
+    ));
+    let names: Vec<String> = (1..=k).map(|i| format!("X{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    FunctionCrn::with_named_roles(crn, &name_refs, "Y", None).expect("valid roles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::check_stable_computation;
+    use crn_numeric::NVec;
+
+    #[test]
+    fn figure1_examples_have_expected_structure() {
+        assert!(double_crn().is_output_oblivious());
+        assert!(min_crn().is_output_oblivious());
+        assert!(!max_crn().is_output_oblivious());
+        assert_eq!(max_crn().reaction_count(), 4);
+        assert_eq!(max_crn().species_count(), 6);
+    }
+
+    #[test]
+    fn figure2_examples_have_expected_structure() {
+        assert!(!min1_leaderless_crn().is_output_oblivious());
+        assert!(!min1_leaderless_crn().has_leader());
+        assert!(min1_leader_crn().is_output_oblivious());
+        assert!(min1_leader_crn().has_leader());
+    }
+
+    #[test]
+    fn identity_computes_x() {
+        let id = identity_crn();
+        for x in 0..6 {
+            assert!(
+                check_stable_computation(&id, &NVec::from(vec![x]), x, 1000)
+                    .unwrap()
+                    .is_correct()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_crn_computes_k() {
+        for k in 0..4 {
+            let c = constant_crn(k);
+            assert!(c.is_output_oblivious());
+            let verdict =
+                check_stable_computation(&c, &NVec::from(vec![]), k, 1000).unwrap();
+            assert!(verdict.is_correct());
+        }
+    }
+
+    #[test]
+    fn multiply_crn_computes_kx() {
+        for k in 1..4u64 {
+            let m = multiply_crn(k);
+            for x in 0..5u64 {
+                assert!(
+                    check_stable_computation(&m, &NVec::from(vec![x]), k * x, 10_000)
+                        .unwrap()
+                        .is_correct()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floor_three_halves_crn_computes_quilt_affine_example() {
+        let crn = floor_three_halves_crn();
+        assert!(crn.is_output_oblivious());
+        for x in 0..8u64 {
+            let expected = 3 * x / 2;
+            assert!(
+                check_stable_computation(&crn, &NVec::from(vec![x]), expected, 50_000)
+                    .unwrap()
+                    .is_correct(),
+                "⌊3·{x}/2⌋ should be {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_k_generalizes_min() {
+        let min3 = min_k_crn(3);
+        assert!(min3.is_output_oblivious());
+        for x1 in 0..3u64 {
+            for x2 in 0..3u64 {
+                for x3 in 0..3u64 {
+                    let expected = x1.min(x2).min(x3);
+                    assert!(check_stable_computation(
+                        &min3,
+                        &NVec::from(vec![x1, x2, x3]),
+                        expected,
+                        10_000
+                    )
+                    .unwrap()
+                    .is_correct());
+                }
+            }
+        }
+    }
+}

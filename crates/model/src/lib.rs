@@ -1,0 +1,64 @@
+//! The discrete chemical reaction network (CRN) model of Severson, Haley and
+//! Doty, "Composable computation in discrete chemical reaction networks"
+//! (PODC 2019), Section 2.
+//!
+//! A CRN is a finite set of species and reactions `(R, P) ∈ N^S × N^S`.  A
+//! configuration assigns an integer count to every species; a reaction is
+//! applicable when its reactants are present and firing it replaces them by
+//! its products.  This crate provides:
+//!
+//! * the core data model ([`Species`], [`Reaction`], [`Configuration`], [`Crn`]),
+//! * *function CRNs* ([`FunctionCrn`]) with designated input species, output
+//!   species and an optional leader, including the stable-computation
+//!   semantics of Section 2.2,
+//! * exhaustive bounded reachability and stable-computation checking
+//!   ([`reachability`]),
+//! * the structural predicates of Section 2.3 (output-oblivious,
+//!   output-monotonic) and the transformation of Observation 2.4,
+//! * composition by concatenation (Observation 2.2 / Lemma 2.3), fan-out and
+//!   fixed-input hardcoding (Observation 5.3) in [`compose`] and [`transform`],
+//! * the worked example CRNs of Figures 1 and 2 in [`examples`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use crn_model::examples;
+//! use crn_numeric::NVec;
+//!
+//! // The single-reaction CRN X1 + X2 -> Y stably computes min(x1, x2).
+//! let min = examples::min_crn();
+//! let verdict = crn_model::reachability::check_stable_computation(
+//!     &min,
+//!     &NVec::from(vec![3, 5]),
+//!     3,
+//!     10_000,
+//! ).unwrap();
+//! assert!(verdict.is_correct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod config;
+pub mod crn;
+pub mod error;
+pub mod examples;
+pub mod function;
+pub mod reachability;
+pub mod reaction;
+pub mod species;
+pub mod transform;
+
+pub use compose::{concatenate, fan_out, parallel_union};
+pub use config::Configuration;
+pub use crn::Crn;
+pub use error::CrnError;
+pub use function::{FunctionCrn, Roles};
+pub use reachability::{
+    check_stable_computation, max_output_reachable, reachable_configurations, ReachabilityLimits,
+    StableComputationVerdict,
+};
+pub use reaction::Reaction;
+pub use species::{Species, SpeciesSet};
+pub use transform::{bimolecularize, hardcode_input, make_output_oblivious, rename_species};

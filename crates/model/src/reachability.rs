@@ -1,0 +1,497 @@
+//! Exhaustive bounded reachability and stable-computation checking.
+//!
+//! Stable computation (Section 2.2) is a reachability property: a CRN stably
+//! computes `f` on input `x` if from *every* configuration reachable from the
+//! initial configuration `I_x`, a *stable* configuration with output count
+//! `f(x)` remains reachable.  For the small CRNs used throughout the paper the
+//! reachable configuration space is finite, so the property can be checked
+//! exactly by exhaustive search; this module implements that check plus the
+//! "maximum output ever reachable" query used by the impossibility witnesses
+//! (Lemma 4.1 / Figure 6).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crn_numeric::NVec;
+
+use crate::config::Configuration;
+use crate::crn::Crn;
+use crate::error::CrnError;
+use crate::function::FunctionCrn;
+
+/// Limits for exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachabilityLimits {
+    /// Maximum number of distinct configurations to explore before giving up.
+    pub max_configurations: usize,
+}
+
+impl Default for ReachabilityLimits {
+    fn default() -> Self {
+        ReachabilityLimits {
+            max_configurations: 200_000,
+        }
+    }
+}
+
+/// The reachability graph over the configurations reachable from a start
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    configurations: Vec<Configuration>,
+    successors: Vec<Vec<usize>>,
+}
+
+impl ReachabilityGraph {
+    /// Explores all configurations reachable from `start` in `crn`,
+    /// breadth-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::SearchLimitExceeded`] if more than
+    /// `limits.max_configurations` distinct configurations are found.
+    pub fn explore(
+        crn: &Crn,
+        start: &Configuration,
+        limits: ReachabilityLimits,
+    ) -> Result<Self, CrnError> {
+        let mut index: HashMap<Configuration, usize> = HashMap::new();
+        let mut configurations = Vec::new();
+        let mut successors: Vec<Vec<usize>> = Vec::new();
+        let mut queue = VecDeque::new();
+
+        index.insert(start.clone(), 0);
+        configurations.push(start.clone());
+        successors.push(Vec::new());
+        queue.push_back(0usize);
+
+        while let Some(current) = queue.pop_front() {
+            let config = configurations[current].clone();
+            for reaction in crn.reactions() {
+                if !config.can_apply(reaction) {
+                    continue;
+                }
+                let next = config.apply(reaction);
+                let next_index = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if configurations.len() >= limits.max_configurations {
+                            return Err(CrnError::SearchLimitExceeded {
+                                limit: format!(
+                                    "{} reachable configurations",
+                                    limits.max_configurations
+                                ),
+                            });
+                        }
+                        let i = configurations.len();
+                        index.insert(next.clone(), i);
+                        configurations.push(next);
+                        successors.push(Vec::new());
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                if !successors[current].contains(&next_index) {
+                    successors[current].push(next_index);
+                }
+            }
+        }
+        Ok(ReachabilityGraph {
+            configurations,
+            successors,
+        })
+    }
+
+    /// The number of distinct reachable configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.configurations.len()
+    }
+
+    /// Whether the graph is empty (never the case after a successful explore).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.configurations.is_empty()
+    }
+
+    /// All reachable configurations (index 0 is the start configuration).
+    #[must_use]
+    pub fn configurations(&self) -> &[Configuration] {
+        &self.configurations
+    }
+
+    /// Whether `target` is reachable from the start configuration.
+    #[must_use]
+    pub fn contains(&self, target: &Configuration) -> bool {
+        self.configurations.iter().any(|c| c == target)
+    }
+
+    /// For every configuration, the maximum value of `metric` over all
+    /// configurations reachable from it (computed by fixpoint iteration; the
+    /// graph may contain cycles).
+    fn max_reachable_metric(&self, metric: impl Fn(&Configuration) -> u64) -> Vec<u64> {
+        let mut value: Vec<u64> = self.configurations.iter().map(&metric).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.configurations.len() {
+                for &j in &self.successors[i] {
+                    if value[j] > value[i] {
+                        value[i] = value[j];
+                        changed = true;
+                    }
+                }
+            }
+        }
+        value
+    }
+
+    /// For every configuration, the minimum value of `metric` over all
+    /// configurations reachable from it.
+    fn min_reachable_metric(&self, metric: impl Fn(&Configuration) -> u64) -> Vec<u64> {
+        let mut value: Vec<u64> = self.configurations.iter().map(&metric).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.configurations.len() {
+                for &j in &self.successors[i] {
+                    if value[j] < value[i] {
+                        value[i] = value[j];
+                        changed = true;
+                    }
+                }
+            }
+        }
+        value
+    }
+
+    /// For every configuration, whether some configuration satisfying `good`
+    /// is reachable from it.
+    fn can_reach(&self, good: &[bool]) -> Vec<bool> {
+        let mut ok = good.to_vec();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.configurations.len() {
+                if ok[i] {
+                    continue;
+                }
+                if self.successors[i].iter().any(|&j| ok[j]) {
+                    ok[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        ok
+    }
+}
+
+/// The result of checking whether a CRN stably computes a value on one input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StableComputationVerdict {
+    /// The input that was checked.
+    pub input: NVec,
+    /// The expected output `f(x)`.
+    pub expected_output: u64,
+    /// Whether the CRN stably computes `f(x)` on this input.
+    pub correct: bool,
+    /// The number of distinct reachable configurations explored.
+    pub reachable_configurations: usize,
+    /// The largest output count in any reachable configuration.  A value
+    /// greater than `expected_output` in an output-oblivious CRN is a proof of
+    /// incorrectness (output can never be consumed again).
+    pub max_output_reachable: u64,
+    /// The set of output values of stable reachable configurations.
+    pub stable_outputs: Vec<u64>,
+    /// If incorrect, a human-readable reason.
+    pub failure: Option<String>,
+}
+
+impl StableComputationVerdict {
+    /// Whether the CRN stably computes the expected value on this input.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+}
+
+/// Checks whether `crn` stably computes `expected_output` on input `x` by
+/// exhaustive bounded reachability.
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] for an input of the wrong arity and
+/// [`CrnError::SearchLimitExceeded`] if the reachable space exceeds
+/// `max_configurations`.
+pub fn check_stable_computation(
+    crn: &FunctionCrn,
+    x: &NVec,
+    expected_output: u64,
+    max_configurations: usize,
+) -> Result<StableComputationVerdict, CrnError> {
+    let start = crn.initial_configuration(x)?;
+    let graph = ReachabilityGraph::explore(
+        crn.crn(),
+        &start,
+        ReachabilityLimits { max_configurations },
+    )?;
+    let output = crn.output();
+    let out_of = |c: &Configuration| c.count(output);
+
+    let max_out = graph.max_reachable_metric(out_of);
+    let min_out = graph.min_reachable_metric(out_of);
+
+    // A configuration is stable when the output count can never change again.
+    let stable: Vec<bool> = (0..graph.len()).map(|i| max_out[i] == min_out[i]).collect();
+    let correct_stable: Vec<bool> = (0..graph.len())
+        .map(|i| stable[i] && graph.configurations[i].count(output) == expected_output)
+        .collect();
+    let can_recover = graph.can_reach(&correct_stable);
+
+    let mut stable_outputs: Vec<u64> = (0..graph.len())
+        .filter(|&i| stable[i])
+        .map(|i| graph.configurations[i].count(output))
+        .collect();
+    stable_outputs.sort_unstable();
+    stable_outputs.dedup();
+
+    let global_max_output = max_out[0];
+    let all_recover = can_recover.iter().all(|&b| b);
+    let failure = if all_recover {
+        None
+    } else {
+        let bad = (0..graph.len()).find(|&i| !can_recover[i]).expect("some bad index");
+        Some(format!(
+            "configuration {} cannot reach a stable configuration with output {}",
+            graph.configurations[bad].display(crn.crn().species()),
+            expected_output
+        ))
+    };
+
+    Ok(StableComputationVerdict {
+        input: x.clone(),
+        expected_output,
+        correct: all_recover,
+        reachable_configurations: graph.len(),
+        max_output_reachable: global_max_output,
+        stable_outputs,
+        failure,
+    })
+}
+
+/// Checks stable computation of `f` on every input in the box `[0, bound]^d`.
+///
+/// Returns the first failing verdict, or `Ok(None)` if all inputs pass.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`].
+pub fn check_on_box(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64,
+    bound: u64,
+    max_configurations: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    for x in NVec::enumerate_box(crn.dim(), bound) {
+        let verdict = check_stable_computation(crn, &x, f(&x), max_configurations)?;
+        if !verdict.is_correct() {
+            return Ok(Some(verdict));
+        }
+    }
+    Ok(None)
+}
+
+/// The maximum count of the output species over every configuration reachable
+/// from `I_x`.  Used to exhibit overproduction: for an output-oblivious CRN the
+/// output can never shrink, so a reachable output above `f(x)` shows the CRN
+/// does not stably compute `f`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`ReachabilityGraph::explore`].
+pub fn max_output_reachable(
+    crn: &FunctionCrn,
+    x: &NVec,
+    max_configurations: usize,
+) -> Result<u64, CrnError> {
+    let start = crn.initial_configuration(x)?;
+    let graph = ReachabilityGraph::explore(
+        crn.crn(),
+        &start,
+        ReachabilityLimits { max_configurations },
+    )?;
+    let output = crn.output();
+    Ok(graph
+        .configurations()
+        .iter()
+        .map(|c| c.count(output))
+        .max()
+        .unwrap_or(0))
+}
+
+/// All configurations reachable from `start` (convenience wrapper).
+///
+/// # Errors
+///
+/// Propagates the errors of [`ReachabilityGraph::explore`].
+pub fn reachable_configurations(
+    crn: &Crn,
+    start: &Configuration,
+    max_configurations: usize,
+) -> Result<Vec<Configuration>, CrnError> {
+    Ok(
+        ReachabilityGraph::explore(crn, start, ReachabilityLimits { max_configurations })?
+            .configurations()
+            .to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use proptest::prelude::*;
+
+    #[test]
+    fn double_crn_stably_computes_2x() {
+        let double = examples::double_crn();
+        for x in 0..6u64 {
+            let v =
+                check_stable_computation(&double, &NVec::from(vec![x]), 2 * x, 10_000).unwrap();
+            assert!(v.is_correct(), "failed at x={x}: {:?}", v.failure);
+            assert_eq!(v.max_output_reachable, 2 * x);
+            assert_eq!(v.stable_outputs, vec![2 * x]);
+        }
+    }
+
+    #[test]
+    fn min_crn_stably_computes_min() {
+        let min = examples::min_crn();
+        for x1 in 0..5u64 {
+            for x2 in 0..5u64 {
+                let v = check_stable_computation(
+                    &min,
+                    &NVec::from(vec![x1, x2]),
+                    x1.min(x2),
+                    10_000,
+                )
+                .unwrap();
+                assert!(v.is_correct());
+            }
+        }
+    }
+
+    #[test]
+    fn min_crn_rejects_wrong_value() {
+        let min = examples::min_crn();
+        let v = check_stable_computation(&min, &NVec::from(vec![2, 3]), 3, 10_000).unwrap();
+        assert!(!v.is_correct());
+        assert!(v.failure.is_some());
+    }
+
+    #[test]
+    fn max_crn_stably_computes_max_despite_overshoot() {
+        let max = examples::max_crn();
+        for x1 in 0..4u64 {
+            for x2 in 0..4u64 {
+                let v = check_stable_computation(
+                    &max,
+                    &NVec::from(vec![x1, x2]),
+                    x1.max(x2),
+                    50_000,
+                )
+                .unwrap();
+                assert!(v.is_correct(), "failed at ({x1},{x2}): {:?}", v.failure);
+                // The overshoot phenomenon from Section 1.2: the output can
+                // transiently exceed max(x1,x2) (it can reach x1+x2).
+                assert_eq!(v.max_output_reachable, x1 + x2);
+            }
+        }
+    }
+
+    #[test]
+    fn check_on_box_passes_for_min() {
+        let min = examples::min_crn();
+        let bad = check_on_box(&min, |x| x[0].min(x[1]), 3, 10_000).unwrap();
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    fn check_on_box_reports_failure() {
+        // X1 + X2 -> Y does NOT compute max; the box check finds the failure.
+        let min = examples::min_crn();
+        let bad = check_on_box(&min, |x| x[0].max(x[1]), 2, 10_000).unwrap();
+        let verdict = bad.expect("must fail somewhere");
+        assert!(!verdict.is_correct());
+    }
+
+    #[test]
+    fn max_output_reachable_detects_overshoot() {
+        let max = examples::max_crn();
+        let m = max_output_reachable(&max, &NVec::from(vec![2, 3]), 50_000).unwrap();
+        assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn search_limit_is_enforced() {
+        let double = examples::double_crn();
+        let err = check_stable_computation(&double, &NVec::from(vec![30]), 60, 5).unwrap_err();
+        assert!(matches!(err, CrnError::SearchLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn reachable_configurations_of_double() {
+        let double = examples::double_crn();
+        let start = double
+            .initial_configuration(&NVec::from(vec![2]))
+            .unwrap();
+        let reach = reachable_configurations(double.crn(), &start, 1000).unwrap();
+        // {2X}, {1X,2Y}, {0X,4Y}
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn min1x_leader_crn_is_oblivious_and_correct() {
+        let crn = examples::min1_leader_crn();
+        assert!(crn.is_output_oblivious());
+        for x in 0..5u64 {
+            let expected = x.min(1);
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000)
+                .unwrap();
+            assert!(v.is_correct());
+        }
+    }
+
+    #[test]
+    fn min1x_leaderless_crn_is_correct_but_not_oblivious() {
+        let crn = examples::min1_leaderless_crn();
+        assert!(!crn.is_output_oblivious());
+        for x in 0..5u64 {
+            let expected = x.min(1);
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000)
+                .unwrap();
+            assert!(v.is_correct());
+        }
+    }
+
+    proptest! {
+        /// Additivity of reachability (Section 2.2): if A ->* B then A + C ->* B + C.
+        #[test]
+        fn reachability_is_additive(x in 0u64..5, extra in 0u64..4) {
+            let double = examples::double_crn();
+            let input = NVec::from(vec![x]);
+            let start = double.initial_configuration(&input).unwrap();
+            let reach = reachable_configurations(double.crn(), &start, 10_000).unwrap();
+            // Add `extra` copies of the input species to both sides.
+            let x_species = double.roles().inputs[0];
+            let mut addition = Configuration::new();
+            addition.add(x_species, extra);
+            let start_plus = start.plus(&addition);
+            let reach_plus = reachable_configurations(double.crn(), &start_plus, 10_000).unwrap();
+            for b in &reach {
+                prop_assert!(reach_plus.contains(&b.plus(&addition)));
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Species identifiers and the interner that maps them to names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A chemical species, identified by a dense index into a [`SpeciesSet`].
+///
+/// Species are cheap copyable handles; their human-readable names live in the
+/// owning [`SpeciesSet`] (and therefore in the owning [`crate::Crn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Species(pub(crate) usize);
+
+impl Species {
+    /// The dense index of this species.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Species {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An interner assigning dense indices to species names.
+///
+/// ```
+/// use crn_model::SpeciesSet;
+///
+/// let mut set = SpeciesSet::new();
+/// let x = set.intern("X");
+/// let y = set.intern("Y");
+/// assert_ne!(x, y);
+/// assert_eq!(set.intern("X"), x);
+/// assert_eq!(set.name(x), "X");
+/// assert_eq!(set.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpeciesSet {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl SpeciesSet {
+    /// Creates an empty species set.
+    #[must_use]
+    pub fn new() -> Self {
+        SpeciesSet::default()
+    }
+
+    /// Interns `name`, returning the existing handle if it is already present.
+    pub fn intern(&mut self, name: &str) -> Species {
+        if let Some(&idx) = self.by_name.get(name) {
+            return Species(idx);
+        }
+        let idx = self.names.len();
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), idx);
+        Species(idx)
+    }
+
+    /// Looks up a species by name without interning.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Species> {
+        self.by_name.get(name).copied().map(Species)
+    }
+
+    /// The name of a species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the species does not belong to this set.
+    #[must_use]
+    pub fn name(&self, species: Species) -> &str {
+        &self.names[species.0]
+    }
+
+    /// The number of species.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all species in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Species> + '_ {
+        (0..self.names.len()).map(Species)
+    }
+
+    /// Iterates over `(species, name)` pairs in index order.
+    pub fn iter_named(&self) -> impl Iterator<Item = (Species, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Species(i), n.as_str()))
+    }
+
+    /// Rebuilds the name lookup table (needed after deserialization, which
+    /// skips the derived map).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut set = SpeciesSet::new();
+        let a = set.intern("A");
+        let b = set.intern("B");
+        assert_eq!(set.intern("A"), a);
+        assert_eq!(set.intern("B"), b);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.name(a), "A");
+        assert_eq!(set.name(b), "B");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut set = SpeciesSet::new();
+        assert_eq!(set.get("X"), None);
+        let x = set.intern("X");
+        assert_eq!(set.get("X"), Some(x));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn iteration_orders_by_index() {
+        let mut set = SpeciesSet::new();
+        let names = ["X1", "X2", "Y", "L"];
+        for n in names {
+            set.intern(n);
+        }
+        let collected: Vec<&str> = set.iter_named().map(|(_, n)| n).collect();
+        assert_eq!(collected, names);
+        assert_eq!(set.iter().count(), 4);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut set = SpeciesSet::new();
+        set.intern("A");
+        set.intern("B");
+        let json = serde_json_like_roundtrip(&set);
+        let mut restored: SpeciesSet = json;
+        assert_eq!(restored.get("A"), None, "index is skipped by serde");
+        restored.rebuild_index();
+        assert_eq!(restored.get("A"), Some(Species(0)));
+        assert_eq!(restored.get("B"), Some(Species(1)));
+    }
+
+    /// Simulates a serialize/deserialize cycle without pulling in a format
+    /// crate: clears the skipped field the way serde would.
+    fn serde_json_like_roundtrip(set: &SpeciesSet) -> SpeciesSet {
+        SpeciesSet {
+            names: set.names.clone(),
+            by_name: HashMap::new(),
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Pointwise partial-order helpers on `N^d` and the Dickson's-lemma search
+//! used by the Lemma 4.1 impossibility argument.
+
+use crate::vector::NVec;
+
+/// Pointwise `a ≤ b`.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+#[must_use]
+pub fn pointwise_le(a: &NVec, b: &NVec) -> bool {
+    a.le(b)
+}
+
+/// Componentwise maximum of two vectors.
+#[must_use]
+pub fn pointwise_max(a: &NVec, b: &NVec) -> NVec {
+    a.join(b)
+}
+
+/// Componentwise minimum of two vectors.
+#[must_use]
+pub fn pointwise_min(a: &NVec, b: &NVec) -> NVec {
+    a.meet(b)
+}
+
+/// Strict domination: `a ≤ b` and `a ≠ b`.
+#[must_use]
+pub fn dominates(b: &NVec, a: &NVec) -> bool {
+    a.le(b) && a != b
+}
+
+/// Whether the sequence is increasing in the pointwise order
+/// (`a_i ≤ a_{i+1}` and `a_i ≠ a_{i+1}` for all `i`).
+#[must_use]
+pub fn is_increasing(sequence: &[NVec]) -> bool {
+    sequence.windows(2).all(|w| dominates(&w[1], &w[0]))
+}
+
+/// Finds indices `i < j` with `sequence[i] ≤ sequence[j]` pointwise, if any.
+///
+/// Dickson's lemma guarantees such a pair always exists in any infinite
+/// sequence over `N^d`; Lemma 4.1 applies it to the sequence of stable output
+/// configurations `(O_i)` to find comparable configurations `O_i ≤ O_j`.
+/// This helper performs the finite search used by the executable witnesses.
+#[must_use]
+pub fn find_dominating_pair(sequence: &[NVec]) -> Option<(usize, usize)> {
+    for j in 1..sequence.len() {
+        for i in 0..j {
+            if sequence[i].le(&sequence[j]) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn le_and_domination() {
+        let a = NVec::from(vec![1, 2]);
+        let b = NVec::from(vec![1, 3]);
+        assert!(pointwise_le(&a, &b));
+        assert!(dominates(&b, &a));
+        assert!(!dominates(&a, &a));
+        assert!(!dominates(&a, &b));
+    }
+
+    #[test]
+    fn increasing_sequences() {
+        let seq = vec![
+            NVec::from(vec![0, 0]),
+            NVec::from(vec![1, 0]),
+            NVec::from(vec![1, 2]),
+        ];
+        assert!(is_increasing(&seq));
+        let not = vec![NVec::from(vec![1, 0]), NVec::from(vec![0, 1])];
+        assert!(!is_increasing(&not));
+        assert!(is_increasing(&[]));
+        assert!(is_increasing(&[NVec::from(vec![5])]));
+    }
+
+    #[test]
+    fn dominating_pair_found() {
+        // Antichain followed by a dominating element.
+        let seq = vec![
+            NVec::from(vec![3, 0]),
+            NVec::from(vec![0, 3]),
+            NVec::from(vec![1, 1]),
+            NVec::from(vec![4, 1]),
+        ];
+        let (i, j) = find_dominating_pair(&seq).unwrap();
+        assert!(i < j);
+        assert!(seq[i].le(&seq[j]));
+        // The first such pair in order of j then i is (0, 3).
+        assert_eq!((i, j), (0, 3));
+    }
+
+    #[test]
+    fn dominating_pair_absent_in_antichain() {
+        let seq = vec![
+            NVec::from(vec![3, 0]),
+            NVec::from(vec![2, 1]),
+            NVec::from(vec![1, 2]),
+            NVec::from(vec![0, 3]),
+        ];
+        assert_eq!(find_dominating_pair(&seq), None);
+    }
+
+    proptest! {
+        /// Dickson's lemma, finitary form: any 1-D sequence of length ≥ 2 has a
+        /// dominating pair iff it is not strictly decreasing; in particular any
+        /// sequence over N^1 of length > max+1 must contain one.
+        #[test]
+        fn dickson_one_dimensional(values in proptest::collection::vec(0u64..10, 12)) {
+            let seq: Vec<NVec> = values.iter().map(|&v| NVec::from(vec![v])).collect();
+            // With 12 values in [0, 10), some pair i < j must satisfy v_i <= v_j.
+            prop_assert!(find_dominating_pair(&seq).is_some());
+        }
+
+        #[test]
+        fn pair_returned_is_valid(values in proptest::collection::vec(proptest::collection::vec(0u64..5, 2), 1..15)) {
+            let seq: Vec<NVec> = values.into_iter().map(NVec::from).collect();
+            if let Some((i, j)) = find_dominating_pair(&seq) {
+                prop_assert!(i < j);
+                prop_assert!(seq[i].le(&seq[j]));
+            }
+        }
+    }
+}

@@ -1,0 +1,718 @@
+//! Integer and rational vectors indexed by input components `1..=d`.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::rational::Rational;
+
+/// A vector in `N^d`: nonnegative integer counts, used for CRN inputs `x` and
+/// thresholds `n`.
+///
+/// ```
+/// use crn_numeric::NVec;
+/// let x = NVec::from(vec![2, 5]);
+/// let n = NVec::from(vec![3, 3]);
+/// assert_eq!(x.join(&n), NVec::from(vec![3, 5]));       // x ∨ n
+/// assert_eq!(x.saturating_sub(&n), NVec::from(vec![0, 2])); // (x − n)+
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct NVec(Vec<u64>);
+
+/// A vector in `Z^d`: signed integers, used for hyperplane normals and
+/// difference vectors.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct ZVec(Vec<i64>);
+
+/// A vector in `Q^d`: rationals, used for gradients of quilt-affine functions.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct QVec(Vec<Rational>);
+
+impl NVec {
+    /// The zero vector of dimension `dim`.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        NVec(vec![0; dim])
+    }
+
+    /// A vector with every component equal to `value`.
+    #[must_use]
+    pub fn constant(dim: usize, value: u64) -> Self {
+        NVec(vec![value; dim])
+    }
+
+    /// The `i`-th standard basis vector `e_i` (0-indexed) of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    #[must_use]
+    pub fn basis(dim: usize, i: usize) -> Self {
+        assert!(i < dim, "basis index {i} out of range for dimension {dim}");
+        let mut v = vec![0; dim];
+        v[i] = 1;
+        NVec(v)
+    }
+
+    /// The dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the all-zero vector.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &u64> {
+        self.0.iter()
+    }
+
+    /// A view of the components as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Pointwise `self ≤ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn le(&self, other: &NVec) -> bool {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Pointwise `self ≥ other`.
+    #[must_use]
+    pub fn ge(&self, other: &NVec) -> bool {
+        other.le(self)
+    }
+
+    /// Componentwise maximum `x ∨ n` (the join used in Lemma 6.2).
+    #[must_use]
+    pub fn join(&self, other: &NVec) -> NVec {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        NVec(self.0.iter().zip(&other.0).map(|(a, b)| *a.max(b)).collect())
+    }
+
+    /// Componentwise minimum `x ∧ n`.
+    #[must_use]
+    pub fn meet(&self, other: &NVec) -> NVec {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        NVec(self.0.iter().zip(&other.0).map(|(a, b)| *a.min(b)).collect())
+    }
+
+    /// Componentwise truncated subtraction `(self − other)+` (Lemma 6.2).
+    #[must_use]
+    pub fn saturating_sub(&self, other: &NVec) -> NVec {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        NVec(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        )
+    }
+
+    /// Sum of all components (the "total input size" `‖x‖₁`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Residue of each component modulo `p`, giving the congruence class
+    /// `x mod p ∈ Z^d/pZ^d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn mod_p(&self, p: u64) -> Vec<u64> {
+        assert!(p > 0, "period must be positive");
+        self.0.iter().map(|&c| c % p).collect()
+    }
+
+    /// Converts to a signed vector.
+    #[must_use]
+    pub fn to_zvec(&self) -> ZVec {
+        ZVec(self.0.iter().map(|&c| c as i64).collect())
+    }
+
+    /// Returns a copy with component `i` replaced by `value` (the fixed-input
+    /// restriction `x(i) → j` of Theorem 5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    #[must_use]
+    pub fn with_component(&self, i: usize, value: u64) -> NVec {
+        assert!(i < self.dim(), "component index out of range");
+        let mut v = self.0.clone();
+        v[i] = value;
+        NVec(v)
+    }
+
+    /// Removes component `i`, reducing the dimension by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    #[must_use]
+    pub fn without_component(&self, i: usize) -> NVec {
+        assert!(i < self.dim(), "component index out of range");
+        let mut v = self.0.clone();
+        v.remove(i);
+        NVec(v)
+    }
+
+    /// Inserts `value` at position `i`, increasing the dimension by one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > dim`.
+    #[must_use]
+    pub fn with_inserted(&self, i: usize, value: u64) -> NVec {
+        assert!(i <= self.dim(), "insertion index out of range");
+        let mut v = self.0.clone();
+        v.insert(i, value);
+        NVec(v)
+    }
+
+    /// Enumerates all vectors in the box `[0, bound]^d` (inclusive), in
+    /// lexicographic order.
+    #[must_use]
+    pub fn enumerate_box(dim: usize, bound: u64) -> Vec<NVec> {
+        Self::enumerate_box_corners(&NVec::zeros(dim), &NVec::constant(dim, bound))
+    }
+
+    /// Enumerates all integer vectors `lo ≤ x ≤ hi` (inclusive), in
+    /// lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `lo !≤ hi` in some component.
+    #[must_use]
+    pub fn enumerate_box_corners(lo: &NVec, hi: &NVec) -> Vec<NVec> {
+        assert_eq!(lo.dim(), hi.dim(), "dimension mismatch");
+        assert!(lo.le(hi), "lower corner must be ≤ upper corner");
+        let dim = lo.dim();
+        if dim == 0 {
+            return vec![NVec(vec![])];
+        }
+        let mut out = Vec::new();
+        let mut current = lo.0.clone();
+        loop {
+            out.push(NVec(current.clone()));
+            // Increment like an odometer.
+            let mut i = dim;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if current[i] < hi.0[i] {
+                    current[i] += 1;
+                    // Reset trailing components to their lower bound.
+                    for (k, c) in current.iter_mut().enumerate().skip(i + 1) {
+                        *c = lo.0[k];
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl From<Vec<u64>> for NVec {
+    fn from(value: Vec<u64>) -> Self {
+        NVec(value)
+    }
+}
+
+impl From<&[u64]> for NVec {
+    fn from(value: &[u64]) -> Self {
+        NVec(value.to_vec())
+    }
+}
+
+impl Index<usize> for NVec {
+    type Output = u64;
+    fn index(&self, index: usize) -> &u64 {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for NVec {
+    fn index_mut(&mut self, index: usize) -> &mut u64 {
+        &mut self.0[index]
+    }
+}
+
+impl Add<&NVec> for &NVec {
+    type Output = NVec;
+    fn add(self, rhs: &NVec) -> NVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        NVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl fmt::Debug for NVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for NVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<u64> for NVec {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        NVec(iter.into_iter().collect())
+    }
+}
+
+impl ZVec {
+    /// The zero vector of dimension `dim`.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        ZVec(vec![0; dim])
+    }
+
+    /// The dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the all-zero vector.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &i64> {
+        self.0.iter()
+    }
+
+    /// A view of the components as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// Integer dot product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &ZVec) -> i128 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| i128::from(*a) * i128::from(*b))
+            .sum()
+    }
+
+    /// Dot product with a nonnegative vector.
+    #[must_use]
+    pub fn dot_n(&self, other: &NVec) -> i128 {
+        self.dot(&other.to_zvec())
+    }
+
+    /// Converts to an `NVec` if all components are nonnegative.
+    #[must_use]
+    pub fn to_nvec(&self) -> Option<NVec> {
+        if self.0.iter().all(|&c| c >= 0) {
+            Some(NVec(self.0.iter().map(|&c| c as u64).collect()))
+        } else {
+            None
+        }
+    }
+
+    /// Converts to a rational vector.
+    #[must_use]
+    pub fn to_qvec(&self) -> QVec {
+        QVec(self.0.iter().map(|&c| Rational::from(c)).collect())
+    }
+}
+
+impl From<Vec<i64>> for ZVec {
+    fn from(value: Vec<i64>) -> Self {
+        ZVec(value)
+    }
+}
+
+impl Index<usize> for ZVec {
+    type Output = i64;
+    fn index(&self, index: usize) -> &i64 {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for ZVec {
+    fn index_mut(&mut self, index: usize) -> &mut i64 {
+        &mut self.0[index]
+    }
+}
+
+impl Add<&ZVec> for &ZVec {
+    type Output = ZVec;
+    fn add(self, rhs: &ZVec) -> ZVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        ZVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a + b).collect())
+    }
+}
+
+impl Sub<&ZVec> for &ZVec {
+    type Output = ZVec;
+    fn sub(self, rhs: &ZVec) -> ZVec {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        ZVec(self.0.iter().zip(&rhs.0).map(|(a, b)| a - b).collect())
+    }
+}
+
+impl fmt::Debug for ZVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for ZVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<i64> for ZVec {
+    fn from_iter<T: IntoIterator<Item = i64>>(iter: T) -> Self {
+        ZVec(iter.into_iter().collect())
+    }
+}
+
+impl QVec {
+    /// The zero vector of dimension `dim`.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        QVec(vec![Rational::ZERO; dim])
+    }
+
+    /// The dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &Rational> {
+        self.0.iter()
+    }
+
+    /// A view of the components as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Rational] {
+        &self.0
+    }
+
+    /// Whether every component is `>= 0` (required of quilt-affine gradients).
+    #[must_use]
+    pub fn is_nonnegative(&self) -> bool {
+        self.0.iter().all(Rational::is_nonnegative)
+    }
+
+    /// Whether this is the all-zero vector.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(Rational::is_zero)
+    }
+
+    /// Rational dot product with another rational vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &QVec) -> Rational {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| *a * *b).sum()
+    }
+
+    /// Dot product with a nonnegative integer vector `∇g · x`.
+    #[must_use]
+    pub fn dot_n(&self, x: &NVec) -> Rational {
+        assert_eq!(self.dim(), x.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| *a * Rational::from(*b))
+            .sum()
+    }
+
+    /// Dot product with a signed integer vector.
+    #[must_use]
+    pub fn dot_z(&self, x: &ZVec) -> Rational {
+        assert_eq!(self.dim(), x.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| *a * Rational::from(*b))
+            .sum()
+    }
+
+    /// Componentwise sum of two rational vectors.
+    #[must_use]
+    pub fn add(&self, other: &QVec) -> QVec {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        QVec(self.0.iter().zip(&other.0).map(|(a, b)| *a + *b).collect())
+    }
+
+    /// Componentwise difference of two rational vectors.
+    #[must_use]
+    pub fn sub(&self, other: &QVec) -> QVec {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        QVec(self.0.iter().zip(&other.0).map(|(a, b)| *a - *b).collect())
+    }
+
+    /// Scales every component by `c`.
+    #[must_use]
+    pub fn scale(&self, c: Rational) -> QVec {
+        QVec(self.0.iter().map(|a| *a * c).collect())
+    }
+
+    /// The average of a nonempty set of vectors (used for the strip extension
+    /// in Lemma 7.16: `∇_avg = (1/m) Σ ∇_{g_i}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or dimensions differ.
+    #[must_use]
+    pub fn average(vectors: &[QVec]) -> QVec {
+        assert!(!vectors.is_empty(), "cannot average an empty set");
+        let dim = vectors[0].dim();
+        let mut acc = QVec::zeros(dim);
+        for v in vectors {
+            acc = acc.add(v);
+        }
+        acc.scale(Rational::new(1, vectors.len() as i128))
+    }
+
+    /// Least common multiple of all component denominators; scaling by this
+    /// clears every denominator.
+    #[must_use]
+    pub fn denominator_lcm(&self) -> i128 {
+        self.0
+            .iter()
+            .fold(1i128, |acc, r| crate::gcd::lcm_i128(acc, r.denom()))
+    }
+}
+
+impl From<Vec<Rational>> for QVec {
+    fn from(value: Vec<Rational>) -> Self {
+        QVec(value)
+    }
+}
+
+impl From<Vec<i64>> for QVec {
+    fn from(value: Vec<i64>) -> Self {
+        QVec(value.into_iter().map(Rational::from).collect())
+    }
+}
+
+impl Index<usize> for QVec {
+    type Output = Rational;
+    fn index(&self, index: usize) -> &Rational {
+        &self.0[index]
+    }
+}
+
+impl IndexMut<usize> for QVec {
+    fn index_mut(&mut self, index: usize) -> &mut Rational {
+        &mut self.0[index]
+    }
+}
+
+impl fmt::Debug for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for QVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Rational> for QVec {
+    fn from_iter<T: IntoIterator<Item = Rational>>(iter: T) -> Self {
+        QVec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nvec_order_and_lattice() {
+        let a = NVec::from(vec![1, 4]);
+        let b = NVec::from(vec![2, 4]);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(b.ge(&a));
+        assert_eq!(a.join(&b), b);
+        assert_eq!(a.meet(&b), a);
+        let c = NVec::from(vec![3, 1]);
+        assert!(!a.le(&c) && !c.le(&a));
+        assert_eq!(a.join(&c), NVec::from(vec![3, 4]));
+        assert_eq!(a.meet(&c), NVec::from(vec![1, 1]));
+    }
+
+    #[test]
+    fn nvec_saturating_sub_is_truncated_subtraction() {
+        let x = NVec::from(vec![5, 1, 3]);
+        let n = NVec::from(vec![2, 4, 3]);
+        assert_eq!(x.saturating_sub(&n), NVec::from(vec![3, 0, 0]));
+        // x ∨ n = (x − n)+ + n, the identity used in the Lemma 6.2 construction.
+        assert_eq!(&x.saturating_sub(&n) + &n, x.join(&n));
+    }
+
+    #[test]
+    fn nvec_mod_and_components() {
+        let x = NVec::from(vec![7, 9]);
+        assert_eq!(x.mod_p(3), vec![1, 0]);
+        assert_eq!(x.with_component(1, 0), NVec::from(vec![7, 0]));
+        assert_eq!(x.without_component(0), NVec::from(vec![9]));
+        assert_eq!(x.with_inserted(1, 5), NVec::from(vec![7, 5, 9]));
+        assert_eq!(x.total(), 16);
+    }
+
+    #[test]
+    fn nvec_basis() {
+        assert_eq!(NVec::basis(3, 1), NVec::from(vec![0, 1, 0]));
+    }
+
+    #[test]
+    fn enumerate_box_has_expected_size_and_membership() {
+        let points = NVec::enumerate_box(2, 3);
+        assert_eq!(points.len(), 16);
+        assert!(points.contains(&NVec::from(vec![0, 0])));
+        assert!(points.contains(&NVec::from(vec![3, 3])));
+        assert!(points.contains(&NVec::from(vec![2, 1])));
+        // All points are distinct.
+        let mut sorted = points.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn enumerate_box_corners() {
+        let lo = NVec::from(vec![1, 2]);
+        let hi = NVec::from(vec![2, 4]);
+        let points = NVec::enumerate_box_corners(&lo, &hi);
+        assert_eq!(points.len(), 6);
+        assert!(points.iter().all(|p| p.ge(&lo) && hi.ge(p)));
+    }
+
+    #[test]
+    fn enumerate_box_dimension_zero() {
+        assert_eq!(NVec::enumerate_box(0, 5).len(), 1);
+    }
+
+    #[test]
+    fn zvec_dot() {
+        let a = ZVec::from(vec![1, -1]);
+        let x = ZVec::from(vec![3, 5]);
+        assert_eq!(a.dot(&x), -2);
+        assert_eq!(a.dot_n(&NVec::from(vec![3, 5])), -2);
+    }
+
+    #[test]
+    fn zvec_conversion() {
+        assert_eq!(ZVec::from(vec![1, 2]).to_nvec(), Some(NVec::from(vec![1, 2])));
+        assert_eq!(ZVec::from(vec![1, -2]).to_nvec(), None);
+    }
+
+    #[test]
+    fn qvec_dot_and_average() {
+        // Gradients (1,0) and (0,1) from the max example; their average is (1/2, 1/2),
+        // the gradient of ⌈(x1+x2)/2⌉ used as the strip extension in Fig 7d.
+        let g1 = QVec::from(vec![1, 0]);
+        let g2 = QVec::from(vec![0, 1]);
+        let avg = QVec::average(&[g1.clone(), g2.clone()]);
+        assert_eq!(avg, QVec::from(vec![Rational::new(1, 2), Rational::new(1, 2)]));
+        let x = NVec::from(vec![3, 4]);
+        assert_eq!(avg.dot_n(&x), Rational::new(7, 2));
+        assert_eq!(g1.dot_n(&x), Rational::from(3));
+        assert_eq!(g2.dot_n(&x), Rational::from(4));
+    }
+
+    #[test]
+    fn qvec_denominator_lcm() {
+        let v = QVec::from(vec![Rational::new(1, 2), Rational::new(2, 3)]);
+        assert_eq!(v.denominator_lcm(), 6);
+        assert_eq!(QVec::from(vec![1, 2]).denominator_lcm(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn join_is_upper_bound(a in proptest::collection::vec(0u64..50, 3), b in proptest::collection::vec(0u64..50, 3)) {
+            let x = NVec::from(a);
+            let y = NVec::from(b);
+            let j = x.join(&y);
+            prop_assert!(x.le(&j));
+            prop_assert!(y.le(&j));
+        }
+
+        #[test]
+        fn saturating_sub_plus_join_identity(a in proptest::collection::vec(0u64..50, 3), b in proptest::collection::vec(0u64..50, 3)) {
+            let x = NVec::from(a);
+            let n = NVec::from(b);
+            prop_assert_eq!(&x.saturating_sub(&n) + &n, x.join(&n));
+        }
+
+        #[test]
+        fn qvec_dot_linear_in_x(g in proptest::collection::vec(0i64..5, 2), a in proptest::collection::vec(0u64..20, 2), b in proptest::collection::vec(0u64..20, 2)) {
+            let g = QVec::from(g);
+            let x = NVec::from(a);
+            let y = NVec::from(b);
+            prop_assert_eq!(g.dot_n(&(&x + &y)), g.dot_n(&x) + g.dot_n(&y));
+        }
+    }
+}

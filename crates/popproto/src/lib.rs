@@ -1,0 +1,22 @@
+//! Population protocols: the sibling model of the paper (Section 1), and a
+//! pairwise-collision execution substrate for bimolecular CRNs.
+//!
+//! Population protocols are CRNs restricted to reactions with exactly two
+//! reactants and two products; the paper notes its results apply to both
+//! models.  This crate provides:
+//!
+//! * the protocol model itself ([`protocol`]): states, a joint transition
+//!   function, input/output maps, and a random-pair scheduler that counts
+//!   interactions;
+//! * compilation of bimolecular-reactant CRNs into a pairwise-collision
+//!   simulation ([`from_crn`]), used by experiment E12 to run the paper's
+//!   constructions under population-protocol-style scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod from_crn;
+pub mod protocol;
+
+pub use from_crn::{run_pairwise, PairwiseOutcome};
+pub use protocol::{PopulationProtocol, ProtocolOutcome};

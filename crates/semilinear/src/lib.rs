@@ -1,0 +1,37 @@
+//! Semilinear sets and semilinear (piecewise affine) functions over `N^d`.
+//!
+//! The functions stably computable by discrete CRNs are exactly the semilinear
+//! functions (Lemma 2.7 of the paper, citing Chen–Doty–Soloveichik), and the
+//! paper's characterization of obliviously-computable functions starts from a
+//! fixed semilinear presentation: a finite union of affine partial functions
+//! whose disjoint domains are Boolean combinations of *threshold sets*
+//! `{x : a·x ≥ b}` and *mod sets* `{x : a·x ≡ b (mod c)}` (Definitions 2.5 and
+//! 2.6).  This crate provides those presentations and the predicates used on
+//! them (membership, nondecreasingness, superadditivity, fixed-input
+//! restriction), plus the library of example functions used throughout the
+//! paper.
+//!
+//! ```
+//! use crn_numeric::NVec;
+//! use crn_semilinear::examples;
+//!
+//! let min = examples::min2();
+//! assert_eq!(min.eval(&NVec::from(vec![3, 5])).unwrap(), 3);
+//! assert!(min.is_nondecreasing_on_box(6).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod examples;
+pub mod function;
+pub mod modset;
+pub mod set;
+pub mod threshold;
+
+pub use affine::AffinePiece;
+pub use function::{SemilinearFunction, SemilinearFunctionError};
+pub use modset::ModSet;
+pub use set::SemilinearSet;
+pub use threshold::ThresholdSet;

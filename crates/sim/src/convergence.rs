@@ -1,0 +1,170 @@
+//! Running a function CRN until it converges (is silent) under a scheduler.
+
+use serde::{Deserialize, Serialize};
+
+use crn_model::{CrnError, FunctionCrn};
+use crn_numeric::NVec;
+
+use crate::scheduler::Scheduler;
+
+/// The result of running a function CRN on one input until silence (or a step
+/// bound).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// The input supplied.
+    pub input: NVec,
+    /// The count of the output species when the run stopped.
+    pub output: u64,
+    /// The number of reactions fired.
+    pub steps: u64,
+    /// Whether the CRN became silent (no reaction applicable).
+    pub silent: bool,
+}
+
+/// Runs `crn` on input `x` under `scheduler` until no reaction is applicable,
+/// the scheduler declines to pick one, or `max_steps` is reached.
+///
+/// For output-oblivious CRNs driven by a fair scheduler, silence implies the
+/// output equals the stably computed value; for non-oblivious CRNs (or unfair
+/// schedulers) the report may show transient overshoot, which is exactly what
+/// the Section 1.2 experiments demonstrate.
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+pub fn run_to_silence(
+    crn: &FunctionCrn,
+    x: &NVec,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+) -> Result<ConvergenceReport, CrnError> {
+    let mut config = crn.initial_configuration(x)?;
+    let mut steps = 0u64;
+    let silent = loop {
+        if steps >= max_steps {
+            break false;
+        }
+        let applicable = crn.crn().applicable_reactions(&config);
+        if applicable.is_empty() {
+            break true;
+        }
+        match scheduler.select(crn.crn(), &config, &applicable) {
+            None => break true,
+            Some(i) => {
+                config = config.apply(&crn.crn().reactions()[i]);
+                steps += 1;
+            }
+        }
+    };
+    Ok(ConvergenceReport {
+        input: x.clone(),
+        output: crn.output_count(&config),
+        steps,
+        silent,
+    })
+}
+
+/// The largest output count observed at any point of a single run (transient
+/// overshoot detection, used for the composition experiments of E10).
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+pub fn peak_output(
+    crn: &FunctionCrn,
+    x: &NVec,
+    scheduler: &mut dyn Scheduler,
+    max_steps: u64,
+) -> Result<u64, CrnError> {
+    let mut config = crn.initial_configuration(x)?;
+    let mut peak = crn.output_count(&config);
+    let mut steps = 0u64;
+    while steps < max_steps {
+        let applicable = crn.crn().applicable_reactions(&config);
+        if applicable.is_empty() {
+            break;
+        }
+        match scheduler.select(crn.crn(), &config, &applicable) {
+            None => break,
+            Some(i) => {
+                config = config.apply(&crn.crn().reactions()[i]);
+                peak = peak.max(crn.output_count(&config));
+                steps += 1;
+            }
+        }
+    }
+    Ok(peak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{PriorityScheduler, PropensityScheduler, UniformScheduler};
+    use crn_model::examples;
+
+    #[test]
+    fn min_converges_to_min_under_uniform_scheduler() {
+        let min = examples::min_crn();
+        let mut sched = UniformScheduler::seeded(3);
+        let report = run_to_silence(&min, &NVec::from(vec![9, 4]), &mut sched, 100_000).unwrap();
+        assert!(report.silent);
+        assert_eq!(report.output, 4);
+        assert_eq!(report.steps, 4);
+    }
+
+    #[test]
+    fn max_converges_to_max_under_fair_schedulers() {
+        let max = examples::max_crn();
+        for seed in 0..3 {
+            let mut uniform = UniformScheduler::seeded(seed);
+            let r = run_to_silence(&max, &NVec::from(vec![6, 11]), &mut uniform, 100_000).unwrap();
+            assert!(r.silent);
+            assert_eq!(r.output, 11);
+            let mut weighted = PropensityScheduler::seeded(seed);
+            let r = run_to_silence(&max, &NVec::from(vec![6, 11]), &mut weighted, 100_000).unwrap();
+            assert!(r.silent);
+            assert_eq!(r.output, 11);
+        }
+    }
+
+    #[test]
+    fn adversarial_schedule_overshoots_max() {
+        // Fire the two input-consuming reactions first: the output transiently
+        // reaches x1 + x2 before the clean-up reactions bring it back down.
+        let max = examples::max_crn();
+        let mut adversary = PriorityScheduler::new(vec![0, 1, 2, 3]);
+        let peak = peak_output(&max, &NVec::from(vec![5, 7]), &mut adversary, 100_000).unwrap();
+        assert_eq!(peak, 12);
+        // Even so, the final silent output is correct (stable computation).
+        let mut adversary = PriorityScheduler::new(vec![0, 1, 2, 3]);
+        let r = run_to_silence(&max, &NVec::from(vec![5, 7]), &mut adversary, 100_000).unwrap();
+        assert!(r.silent);
+        assert_eq!(r.output, 7);
+    }
+
+    #[test]
+    fn oblivious_crn_never_overshoots() {
+        let min = examples::min_crn();
+        for seed in 0..5 {
+            let mut sched = UniformScheduler::seeded(seed);
+            let peak = peak_output(&min, &NVec::from(vec![8, 3]), &mut sched, 100_000).unwrap();
+            assert!(peak <= 3);
+        }
+    }
+
+    #[test]
+    fn step_limit_reported_as_not_silent() {
+        let double = examples::double_crn();
+        let mut sched = UniformScheduler::seeded(0);
+        let report = run_to_silence(&double, &NVec::from(vec![50]), &mut sched, 5).unwrap();
+        assert!(!report.silent);
+        assert_eq!(report.steps, 5);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let min = examples::min_crn();
+        let mut sched = UniformScheduler::seeded(0);
+        assert!(run_to_silence(&min, &NVec::from(vec![1]), &mut sched, 10).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact Gillespie stochastic simulation (SSA).
+//!
+//! The CRN model is a continuous-time Markov chain: in configuration `C`, each
+//! reaction fires at a rate equal to its mass-action propensity, and the time
+//! to the next firing is exponentially distributed with the total propensity
+//! as its rate (Gillespie 1977, reference [20] of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crn_model::{Configuration, Crn};
+
+use crate::scheduler::propensity;
+
+/// The outcome of one Gillespie run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GillespieOutcome {
+    /// The final configuration when the run stopped.
+    pub final_configuration: Configuration,
+    /// Number of reactions fired.
+    pub steps: u64,
+    /// Simulated (physical) time elapsed.
+    pub time: f64,
+    /// Whether the run stopped because no reaction was applicable.
+    pub silent: bool,
+}
+
+/// An exact stochastic simulator for a CRN.
+///
+/// ```
+/// use crn_model::examples;
+/// use crn_numeric::NVec;
+/// use crn_sim::Gillespie;
+///
+/// let double = examples::double_crn();
+/// let start = double.initial_configuration(&NVec::from(vec![10])).unwrap();
+/// let mut sim = Gillespie::new(double.crn().clone(), 42);
+/// let outcome = sim.run(&start, 1_000_000);
+/// assert!(outcome.silent);
+/// assert_eq!(outcome.final_configuration.count(double.output()), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gillespie {
+    crn: Crn,
+    rng: StdRng,
+}
+
+impl Gillespie {
+    /// Creates a simulator for `crn` with a deterministic RNG seed.
+    #[must_use]
+    pub fn new(crn: Crn, seed: u64) -> Self {
+        Gillespie {
+            crn,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The simulated CRN.
+    #[must_use]
+    pub fn crn(&self) -> &Crn {
+        &self.crn
+    }
+
+    /// Runs from `start` until the CRN is silent or `max_steps` reactions have
+    /// fired.
+    #[must_use]
+    pub fn run(&mut self, start: &Configuration, max_steps: u64) -> GillespieOutcome {
+        let mut config = start.clone();
+        let mut time = 0.0f64;
+        let mut steps = 0u64;
+        while steps < max_steps {
+            let propensities: Vec<f64> = (0..self.crn.reactions().len())
+                .map(|i| propensity(&self.crn, &config, i))
+                .collect();
+            let total: f64 = propensities.iter().sum();
+            if total <= 0.0 {
+                return GillespieOutcome {
+                    final_configuration: config,
+                    steps,
+                    time,
+                    silent: true,
+                };
+            }
+            // Exponential waiting time with rate `total`.
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            time += -u.ln() / total;
+            // Choose the reaction proportionally to its propensity.
+            let mut target = self.rng.gen::<f64>() * total;
+            let mut chosen = propensities.len() - 1;
+            for (i, a) in propensities.iter().enumerate() {
+                if target < *a {
+                    chosen = i;
+                    break;
+                }
+                target -= a;
+            }
+            config = config.apply(&self.crn.reactions()[chosen]);
+            steps += 1;
+        }
+        GillespieOutcome {
+            final_configuration: config,
+            steps,
+            time,
+            silent: false,
+        }
+    }
+
+    /// Runs from `start`, recording `(time, count-of-species)` after every
+    /// firing — the trajectory data behind the convergence-time figures.
+    #[must_use]
+    pub fn run_recording(
+        &mut self,
+        start: &Configuration,
+        tracked: crn_model::Species,
+        max_steps: u64,
+    ) -> (GillespieOutcome, Vec<(f64, u64)>) {
+        let mut config = start.clone();
+        let mut time = 0.0f64;
+        let mut steps = 0u64;
+        let mut trajectory = vec![(0.0, config.count(tracked))];
+        loop {
+            if steps >= max_steps {
+                return (
+                    GillespieOutcome {
+                        final_configuration: config,
+                        steps,
+                        time,
+                        silent: false,
+                    },
+                    trajectory,
+                );
+            }
+            let propensities: Vec<f64> = (0..self.crn.reactions().len())
+                .map(|i| propensity(&self.crn, &config, i))
+                .collect();
+            let total: f64 = propensities.iter().sum();
+            if total <= 0.0 {
+                return (
+                    GillespieOutcome {
+                        final_configuration: config,
+                        steps,
+                        time,
+                        silent: true,
+                    },
+                    trajectory,
+                );
+            }
+            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+            time += -u.ln() / total;
+            let mut target = self.rng.gen::<f64>() * total;
+            let mut chosen = propensities.len() - 1;
+            for (i, a) in propensities.iter().enumerate() {
+                if target < *a {
+                    chosen = i;
+                    break;
+                }
+                target -= a;
+            }
+            config = config.apply(&self.crn.reactions()[chosen]);
+            steps += 1;
+            trajectory.push((time, config.count(tracked)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_model::examples;
+    use crn_numeric::NVec;
+
+    #[test]
+    fn double_crn_terminates_with_exact_output() {
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![25])).unwrap();
+        let mut sim = Gillespie::new(double.crn().clone(), 1);
+        let out = sim.run(&start, 1_000_000);
+        assert!(out.silent);
+        assert_eq!(out.steps, 25);
+        assert_eq!(out.final_configuration.count(double.output()), 50);
+        assert!(out.time > 0.0);
+    }
+
+    #[test]
+    fn min_crn_computes_min_under_ssa() {
+        let min = examples::min_crn();
+        let start = min
+            .initial_configuration(&NVec::from(vec![17, 40]))
+            .unwrap();
+        let mut sim = Gillespie::new(min.crn().clone(), 2);
+        let out = sim.run(&start, 1_000_000);
+        assert!(out.silent);
+        assert_eq!(out.final_configuration.count(min.output()), 17);
+    }
+
+    #[test]
+    fn max_crn_converges_to_max_with_fair_ssa() {
+        let max = examples::max_crn();
+        for seed in 0..5 {
+            let start = max.initial_configuration(&NVec::from(vec![8, 13])).unwrap();
+            let mut sim = Gillespie::new(max.crn().clone(), seed);
+            let out = sim.run(&start, 1_000_000);
+            assert!(out.silent);
+            assert_eq!(out.final_configuration.count(max.output()), 13);
+        }
+    }
+
+    #[test]
+    fn step_limit_is_honoured() {
+        let double = examples::double_crn();
+        let start = double
+            .initial_configuration(&NVec::from(vec![100]))
+            .unwrap();
+        let mut sim = Gillespie::new(double.crn().clone(), 3);
+        let out = sim.run(&start, 10);
+        assert!(!out.silent);
+        assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn recording_tracks_output_monotonically_for_oblivious_crn() {
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![12])).unwrap();
+        let mut sim = Gillespie::new(double.crn().clone(), 4);
+        let (out, trajectory) = sim.run_recording(&start, double.output(), 1_000_000);
+        assert!(out.silent);
+        assert!(trajectory.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(trajectory.last().unwrap().1, 24);
+        assert!(trajectory.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let max = examples::max_crn();
+        let start = max.initial_configuration(&NVec::from(vec![5, 9])).unwrap();
+        let run = |seed| Gillespie::new(max.crn().clone(), seed).run(&start, 1_000_000);
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.final_configuration, b.final_configuration);
+    }
+}

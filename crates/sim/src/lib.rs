@@ -1,0 +1,44 @@
+//! Stochastic simulation of discrete chemical reaction networks.
+//!
+//! The paper's model (Section 2.2) is a continuous-time Markov process; its
+//! correctness notion ("stable computation") is rate-independent, but the
+//! simulator lets us *measure* the constructions: convergence time versus
+//! input size (experiment E9), composition overhead (E10), and the behaviour
+//! of the Figure 1 examples (E1).  The crate provides:
+//!
+//! * exact Gillespie stochastic simulation ([`gillespie`]) with mass-action
+//!   propensities,
+//! * discrete schedulers ([`scheduler`]) — uniform, propensity-weighted and
+//!   adversarial priority schedulers — for exploring reachability-style
+//!   executions without a notion of real time,
+//! * convergence runs ([`convergence`]) that execute until the CRN is silent
+//!   or a step bound is hit, and
+//! * a batch experiment runner ([`runner`]) with summary statistics.
+//!
+//! ```
+//! use crn_model::examples;
+//! use crn_numeric::NVec;
+//! use crn_sim::convergence::run_to_silence;
+//! use crn_sim::scheduler::UniformScheduler;
+//!
+//! let min = examples::min_crn();
+//! let mut scheduler = UniformScheduler::seeded(7);
+//! let report = run_to_silence(&min, &NVec::from(vec![30, 40]), &mut scheduler, 100_000).unwrap();
+//! assert_eq!(report.output, 30);
+//! assert!(report.silent);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod gillespie;
+pub mod runner;
+pub mod scheduler;
+pub mod stats;
+
+pub use convergence::{run_to_silence, ConvergenceReport};
+pub use gillespie::{Gillespie, GillespieOutcome};
+pub use runner::{convergence_series, measure_convergence, ConvergencePoint, TrialSummary};
+pub use scheduler::{PriorityScheduler, PropensityScheduler, Scheduler, UniformScheduler};
+pub use stats::Summary;

@@ -1,0 +1,197 @@
+//! Batch experiment runner: repeated trials and convergence-versus-input-size
+//! series (the data behind experiments E1, E9, E10, E12).
+
+use serde::{Deserialize, Serialize};
+
+use crn_model::{CrnError, FunctionCrn};
+use crn_numeric::NVec;
+
+use crate::convergence::run_to_silence;
+use crate::gillespie::Gillespie;
+use crate::scheduler::UniformScheduler;
+use crate::stats::Summary;
+
+/// Summary of repeated trials of one CRN on one input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSummary {
+    /// The input supplied to every trial.
+    pub input: NVec,
+    /// Statistics over the step counts of the trials.
+    pub steps: Summary,
+    /// Statistics over the simulated times (Gillespie only; zero otherwise).
+    pub time: Summary,
+    /// The set of distinct final outputs observed (a correct, converging CRN
+    /// yields a single value here).
+    pub outputs: Vec<u64>,
+    /// Fraction of trials that reached silence before the step bound.
+    pub silent_fraction: f64,
+}
+
+/// Runs `trials` independent Gillespie simulations of `crn` on `x`.
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+pub fn measure_convergence(
+    crn: &FunctionCrn,
+    x: &NVec,
+    trials: u32,
+    max_steps: u64,
+    seed: u64,
+) -> Result<TrialSummary, CrnError> {
+    let start = crn.initial_configuration(x)?;
+    let mut step_samples = Vec::with_capacity(trials as usize);
+    let mut time_samples = Vec::with_capacity(trials as usize);
+    let mut outputs = Vec::new();
+    let mut silent = 0u32;
+    for t in 0..trials {
+        let mut sim = Gillespie::new(crn.crn().clone(), seed.wrapping_add(u64::from(t)));
+        let outcome = sim.run(&start, max_steps);
+        step_samples.push(outcome.steps);
+        time_samples.push(outcome.time);
+        outputs.push(outcome.final_configuration.count(crn.output()));
+        if outcome.silent {
+            silent += 1;
+        }
+    }
+    outputs.sort_unstable();
+    outputs.dedup();
+    Ok(TrialSummary {
+        input: x.clone(),
+        steps: Summary::of_counts(&step_samples),
+        time: Summary::of(&time_samples),
+        outputs,
+        silent_fraction: f64::from(silent) / f64::from(trials),
+    })
+}
+
+/// One point of a convergence-versus-input-size series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Total input size `‖x‖₁`.
+    pub input_size: u64,
+    /// The input vector used at this point.
+    pub input: NVec,
+    /// Mean number of reactions fired until silence.
+    pub mean_steps: f64,
+    /// Mean simulated time until silence.
+    pub mean_time: f64,
+    /// Whether every trial produced the expected output.
+    pub all_correct: bool,
+}
+
+/// Sweeps input sizes and measures convergence, producing the series plotted
+/// in the E1/E9 experiments.  `make_input` maps a size `n` to the input vector
+/// (e.g. `|n| NVec::from(vec![n, n])`), and `expected` gives the correct
+/// output for that input.
+///
+/// # Errors
+///
+/// Propagates errors from [`measure_convergence`].
+pub fn convergence_series(
+    crn: &FunctionCrn,
+    sizes: &[u64],
+    make_input: impl Fn(u64) -> NVec,
+    expected: impl Fn(&NVec) -> u64,
+    trials: u32,
+    max_steps: u64,
+    seed: u64,
+) -> Result<Vec<ConvergencePoint>, CrnError> {
+    let mut series = Vec::with_capacity(sizes.len());
+    for (k, &n) in sizes.iter().enumerate() {
+        let input = make_input(n);
+        let summary = measure_convergence(
+            crn,
+            &input,
+            trials,
+            max_steps,
+            seed.wrapping_add(k as u64 * 1000),
+        )?;
+        let want = expected(&input);
+        series.push(ConvergencePoint {
+            input_size: input.total(),
+            input: input.clone(),
+            mean_steps: summary.steps.mean,
+            mean_time: summary.time.mean,
+            all_correct: summary.outputs == vec![want] && summary.silent_fraction == 1.0,
+        });
+    }
+    Ok(series)
+}
+
+/// Runs one discrete-scheduler trial per input in a box and checks the output
+/// against `expected`; returns the number of mismatches.  This is a cheap
+/// smoke test used by examples (the exhaustive checker in `crn-model`
+/// provides the real guarantee).
+///
+/// # Errors
+///
+/// Propagates errors from [`run_to_silence`].
+pub fn spot_check_on_box(
+    crn: &FunctionCrn,
+    expected: impl Fn(&NVec) -> u64,
+    bound: u64,
+    max_steps: u64,
+    seed: u64,
+) -> Result<usize, CrnError> {
+    let mut mismatches = 0;
+    for (k, x) in NVec::enumerate_box(crn.dim(), bound).into_iter().enumerate() {
+        let mut scheduler = UniformScheduler::seeded(seed.wrapping_add(k as u64));
+        let report = run_to_silence(crn, &x, &mut scheduler, max_steps)?;
+        if !report.silent || report.output != expected(&x) {
+            mismatches += 1;
+        }
+    }
+    Ok(mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_model::examples;
+
+    #[test]
+    fn measure_convergence_of_min() {
+        let min = examples::min_crn();
+        let summary =
+            measure_convergence(&min, &NVec::from(vec![20, 35]), 10, 1_000_000, 7).unwrap();
+        assert_eq!(summary.outputs, vec![20]);
+        assert_eq!(summary.silent_fraction, 1.0);
+        assert_eq!(summary.steps.mean, 20.0);
+        assert!(summary.time.mean > 0.0);
+    }
+
+    #[test]
+    fn convergence_series_grows_with_input_size() {
+        let max = examples::max_crn();
+        let series = convergence_series(
+            &max,
+            &[5, 10, 20],
+            |n| NVec::from(vec![n, n]),
+            |x| x[0].max(x[1]),
+            5,
+            1_000_000,
+            11,
+        )
+        .unwrap();
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|p| p.all_correct));
+        assert!(series[0].mean_steps < series[2].mean_steps);
+        assert!(series[0].input_size < series[2].input_size);
+    }
+
+    #[test]
+    fn spot_check_box_all_pass_for_double() {
+        let double = examples::double_crn();
+        let mismatches = spot_check_on_box(&double, |x| 2 * x[0], 6, 100_000, 3).unwrap();
+        assert_eq!(mismatches, 0);
+    }
+
+    #[test]
+    fn spot_check_box_detects_wrong_spec() {
+        let double = examples::double_crn();
+        // Claiming the double CRN computes 3x must produce mismatches.
+        let mismatches = spot_check_on_box(&double, |x| 3 * x[0], 4, 100_000, 3).unwrap();
+        assert!(mismatches > 0);
+    }
+}

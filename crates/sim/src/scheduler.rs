@@ -1,0 +1,231 @@
+//! Discrete reaction schedulers.
+//!
+//! A scheduler repeatedly picks an applicable reaction to fire.  The stable
+//! computation semantics quantifies over *all* schedules, so besides the
+//! "natural" stochastic schedulers we provide an adversarial priority
+//! scheduler used in the composition experiments (E10) to starve a downstream
+//! module, mirroring the adversarial executions discussed in Section 1.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crn_model::{Configuration, Crn};
+
+/// Chooses which applicable reaction fires next.
+pub trait Scheduler {
+    /// Picks one of `applicable` (indices into `crn.reactions()`), or `None`
+    /// to halt even though reactions remain applicable.
+    fn select(&mut self, crn: &Crn, config: &Configuration, applicable: &[usize]) -> Option<usize>;
+}
+
+/// Picks an applicable reaction uniformly at random.
+///
+/// Uniform choice over applicable reactions is a *fair* scheduler in the sense
+/// of footnote 2 of the paper: every configuration that stays reachable is
+/// eventually reached with probability 1, so runs driven by this scheduler
+/// converge to the stably-computed output.
+#[derive(Debug, Clone)]
+pub struct UniformScheduler {
+    rng: StdRng,
+}
+
+impl UniformScheduler {
+    /// A scheduler with the given RNG seed (deterministic runs).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        UniformScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn select(&mut self, _crn: &Crn, _config: &Configuration, applicable: &[usize]) -> Option<usize> {
+        if applicable.is_empty() {
+            return None;
+        }
+        Some(applicable[self.rng.gen_range(0..applicable.len())])
+    }
+}
+
+/// Picks an applicable reaction with probability proportional to its
+/// mass-action propensity (the jump chain of the Gillespie process).
+#[derive(Debug, Clone)]
+pub struct PropensityScheduler {
+    rng: StdRng,
+}
+
+impl PropensityScheduler {
+    /// A scheduler with the given RNG seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        PropensityScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// The mass-action propensity of reaction `index` in `config`: the number of
+/// distinct ways to choose its reactant multiset, `∏_s C(count_s, r_s)·r_s!`
+/// (i.e. the falling factorial), with unit rate constant.
+#[must_use]
+pub fn propensity(crn: &Crn, config: &Configuration, index: usize) -> f64 {
+    let reaction = &crn.reactions()[index];
+    let mut a = 1.0f64;
+    for (&s, &r) in reaction.reactants() {
+        let count = config.count(s);
+        if count < r {
+            return 0.0;
+        }
+        for k in 0..r {
+            a *= (count - k) as f64;
+        }
+    }
+    a
+}
+
+impl Scheduler for PropensityScheduler {
+    fn select(&mut self, crn: &Crn, config: &Configuration, applicable: &[usize]) -> Option<usize> {
+        if applicable.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> = applicable
+            .iter()
+            .map(|&i| propensity(crn, config, i))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.rng.gen::<f64>() * total;
+        for (k, w) in weights.iter().enumerate() {
+            if target < *w {
+                return Some(applicable[k]);
+            }
+            target -= w;
+        }
+        Some(*applicable.last().expect("nonempty"))
+    }
+}
+
+/// Always fires the applicable reaction that appears earliest in a fixed
+/// priority order.
+///
+/// With the priority order chosen adversarially this scheduler exhibits the
+/// worst-case executions discussed in Section 1.2 (e.g. exhausting the inputs
+/// of the max CRN before its clean-up reactions run, or starving a downstream
+/// module of the shared species).  It is *not* fair, so it may converge to a
+/// non-stable configuration; experiments use it to demonstrate overshoot.
+#[derive(Debug, Clone)]
+pub struct PriorityScheduler {
+    priority: Vec<usize>,
+}
+
+impl PriorityScheduler {
+    /// A scheduler firing reactions in the given preference order (indices
+    /// into `crn.reactions()`; reactions not listed are never chosen unless
+    /// nothing listed is applicable, in which case the lowest index wins).
+    #[must_use]
+    pub fn new(priority: Vec<usize>) -> Self {
+        PriorityScheduler { priority }
+    }
+
+    /// The scheduler that always fires the lowest-indexed applicable reaction.
+    #[must_use]
+    pub fn in_order(reaction_count: usize) -> Self {
+        PriorityScheduler {
+            priority: (0..reaction_count).collect(),
+        }
+    }
+}
+
+impl Scheduler for PriorityScheduler {
+    fn select(&mut self, _crn: &Crn, _config: &Configuration, applicable: &[usize]) -> Option<usize> {
+        if applicable.is_empty() {
+            return None;
+        }
+        for &p in &self.priority {
+            if applicable.contains(&p) {
+                return Some(p);
+            }
+        }
+        applicable.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_model::examples;
+
+    #[test]
+    fn propensity_counts_ordered_tuples() {
+        let min = examples::min_crn();
+        let crn = min.crn();
+        let x1 = crn.species_named("X1").unwrap();
+        let x2 = crn.species_named("X2").unwrap();
+        let config = Configuration::from_counts(vec![(x1, 3), (x2, 2)]);
+        // X1 + X2 -> Y has propensity 3 * 2 = 6.
+        assert_eq!(propensity(crn, &config, 0), 6.0);
+        let empty = Configuration::new();
+        assert_eq!(propensity(crn, &empty, 0), 0.0);
+    }
+
+    #[test]
+    fn propensity_uses_falling_factorials_for_homodimers() {
+        let mut crn = crn_model::Crn::new();
+        crn.parse_reaction("2Z -> Y").unwrap();
+        let z = crn.species_named("Z").unwrap();
+        let config = Configuration::from_counts(vec![(z, 4)]);
+        // 4 * 3 = 12 ordered pairs.
+        assert_eq!(propensity(&crn, &config, 0), 12.0);
+    }
+
+    #[test]
+    fn uniform_scheduler_is_deterministic_given_seed() {
+        let max = examples::max_crn();
+        let crn = max.crn();
+        let x1 = crn.species_named("X1").unwrap();
+        let x2 = crn.species_named("X2").unwrap();
+        let config = Configuration::from_counts(vec![(x1, 2), (x2, 2)]);
+        let applicable = crn.applicable_reactions(&config);
+        let pick = |seed| {
+            let mut s = UniformScheduler::seeded(seed);
+            (0..10)
+                .map(|_| s.select(crn, &config, &applicable).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pick(1), pick(1));
+    }
+
+    #[test]
+    fn schedulers_return_none_when_nothing_applicable() {
+        let min = examples::min_crn();
+        let empty = Configuration::new();
+        assert_eq!(
+            UniformScheduler::seeded(0).select(min.crn(), &empty, &[]),
+            None
+        );
+        assert_eq!(
+            PropensityScheduler::seeded(0).select(min.crn(), &empty, &[]),
+            None
+        );
+        assert_eq!(
+            PriorityScheduler::in_order(1).select(min.crn(), &empty, &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn priority_scheduler_prefers_listed_reactions() {
+        let max = examples::max_crn();
+        let crn = max.crn();
+        let x1 = crn.species_named("X1").unwrap();
+        let x2 = crn.species_named("X2").unwrap();
+        let config = Configuration::from_counts(vec![(x1, 1), (x2, 1)]);
+        let applicable = crn.applicable_reactions(&config);
+        // Prefer reaction 1 (X2 -> Z2 + Y) over reaction 0.
+        let mut sched = PriorityScheduler::new(vec![1, 0]);
+        assert_eq!(sched.select(crn, &config, &applicable), Some(1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Summary statistics for batches of measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a batch of nonnegative measurements (step counts,
+/// interaction counts, simulated times).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarizes a batch of samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty batch");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: percentile(&sorted, 0.5),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+
+    /// Summarizes integer samples (convenience for step counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn of_counts(samples: &[u64]) -> Self {
+        let as_f64: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        Summary::of(&as_f64)
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_batch() {
+        let s = Summary::of(&[4.0, 4.0, 4.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.p95, 4.0);
+    }
+
+    #[test]
+    fn summary_of_known_batch() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_converted() {
+        let s = Summary::of_counts(&[10, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+        assert_eq!(s.max, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_batch_panics() {
+        let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.5), 50.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The impossibility side of the paper (Section 4 / Figure 6): `max` is
+//! semilinear and nondecreasing yet not obliviously-computable.
+//!
+//! Run with `cargo run --example max_impossibility`.
+
+use composable_crn::core::characterize::{characterize, Characterization};
+use composable_crn::core::impossibility::{find_lemma41_witness, overproduction_after_stripping};
+use composable_crn::model::examples;
+use composable_crn::numeric::NVec;
+use composable_crn::semilinear::examples as sl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A Lemma 4.1 witness (the Figure 6 pattern a_i = (i,0), Δ_ij = (0,j)).
+    let f = |x: &NVec| x[0].max(x[1]);
+    let witness = find_lemma41_witness(&f, 2, 4, 2).expect("max has a witness");
+    println!(
+        "Lemma 4.1 witness for max: base {}, step {}, unit shift {} ({} elements verified)",
+        witness.base, witness.step, witness.delta, witness.verified_elements
+    );
+
+    // 2. The executable consequence: strip the output-consuming reaction from
+    //    the Figure 1 max CRN (as Lemma 2.3 would) and watch it overproduce.
+    let max_crn = examples::max_crn();
+    for (x1, x2) in [(1u64, 1u64), (2, 3), (4, 4)] {
+        let peak = overproduction_after_stripping(&max_crn, &NVec::from(vec![x1, x2]), 200_000)?;
+        println!(
+            "stripped max CRN on ({x1},{x2}): output reaches {peak}, but max = {}",
+            x1.max(x2)
+        );
+    }
+
+    // 3. The full characterization pipeline agrees (Theorem 5.2 / 5.4).
+    match characterize(&sl::max2(), 8)? {
+        Characterization::NotObliviouslyComputable { reason, .. } => {
+            println!("characterize(max): NOT obliviously computable — {reason}");
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    // ... and for the equation (2) counterexample of Section 7.4.
+    match characterize(&sl::equation2_counterexample(), 8)? {
+        Characterization::NotObliviouslyComputable { reason, .. } => {
+            println!("characterize(eq. 2 example): NOT obliviously computable — {reason}");
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    // ... while the Figure 7 example is computable.
+    match characterize(&sl::figure7_example(), 8)? {
+        Characterization::ObliviouslyComputable { .. } => {
+            println!("characterize(Figure 7 example): obliviously computable");
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    Ok(())
+}

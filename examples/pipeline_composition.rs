@@ -1,0 +1,49 @@
+//! Feed-forward composition of output-oblivious modules (Observation 2.2):
+//! a three-stage pipeline computing `min(2·a, 3·b) + 1` and a demonstration of
+//! how composing a *non*-oblivious upstream CRN (max) fails.
+//!
+//! Run with `cargo run --example pipeline_composition`.
+
+use composable_crn::model::compose::{compose_feed_forward, concatenate};
+use composable_crn::model::{check_stable_computation, examples};
+use composable_crn::numeric::NVec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1: multiply each input by a constant (2a and 3b).
+    // Stage 2: take the minimum.
+    // Stage 3: add one via the Theorem 3.1 construction for f(w) = w + 1.
+    let stage1 = [examples::multiply_crn(2), examples::multiply_crn(3)];
+    let stage2 = examples::min_crn();
+    let min_of_scaled = compose_feed_forward(&stage1, &stage2, false)?;
+
+    let add_one = {
+        let structure = composable_crn::core::one_dim::analyze_1d(|x| x + 1, 1, 1, 4)?;
+        composable_crn::core::one_dim::synthesize_1d_leader(&structure)
+    };
+    let pipeline = concatenate(&min_of_scaled, &add_one)?;
+    println!(
+        "pipeline CRN: {} species, {} reactions, output-oblivious: {}",
+        pipeline.species_count(),
+        pipeline.reaction_count(),
+        pipeline.is_output_oblivious()
+    );
+    for (a, b) in [(0u64, 0u64), (2, 1), (3, 5), (5, 2)] {
+        let expected = (2 * a).min(3 * b) + 1;
+        let verdict =
+            check_stable_computation(&pipeline, &NVec::from(vec![a, b]), expected, 500_000)?;
+        println!(
+            "min(2·{a}, 3·{b}) + 1 = {expected}: stably computed = {}",
+            verdict.is_correct()
+        );
+    }
+
+    // Composing the non-oblivious max CRN breaks (Section 1.2).
+    let bad = concatenate(&examples::max_crn(), &examples::double_crn())?;
+    let verdict = check_stable_computation(&bad, &NVec::from(vec![1, 1]), 2, 200_000)?;
+    println!(
+        "2·max(1,1) via naive concatenation: correct = {}, output can reach {} (should be 2)",
+        verdict.is_correct(),
+        verdict.max_output_reachable
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Property-based integration tests for composition (Observation 2.2) and the
+//! quilt-affine construction (Lemma 6.1), spanning `crn-core`, `crn-model`
+//! and `crn-sim`.
+
+use composable_crn::core::quilt::QuiltAffine;
+use composable_crn::core::synthesis::quilt_crn;
+use composable_crn::model::compose::concatenate;
+use composable_crn::model::{check_stable_computation, examples};
+use composable_crn::numeric::{NVec, QVec, Rational};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lemma 6.1: the quilt CRN for floor((a x1 + b x2)/q) computes it, for
+    /// random small coefficients.
+    #[test]
+    fn quilt_crn_computes_floored_linear(a in 1u64..4, b in 1u64..4, q in 1u64..4, x1 in 0u64..4, x2 in 0u64..4) {
+        let g = QuiltAffine::floor_linear(
+            QVec::from(vec![
+                Rational::new(a as i128, q as i128),
+                Rational::new(b as i128, q as i128),
+            ]),
+            q,
+        );
+        let crn = quilt_crn(&g).unwrap();
+        prop_assert!(crn.is_output_oblivious());
+        let expected = (a * x1 + b * x2) / q;
+        let verdict = check_stable_computation(&crn, &NVec::from(vec![x1, x2]), expected, 200_000).unwrap();
+        prop_assert!(verdict.is_correct());
+    }
+
+    /// Observation 2.2: composing an output-oblivious upstream CRN (multiply
+    /// by k) with a downstream CRN (multiply by m) computes the composition.
+    #[test]
+    fn concatenation_computes_composition(k in 1u64..4, m in 1u64..4, x in 0u64..6) {
+        let upstream = examples::multiply_crn(k);
+        let downstream = examples::multiply_crn(m);
+        let composed = concatenate(&upstream, &downstream).unwrap();
+        prop_assert!(composed.is_output_oblivious());
+        let verdict = check_stable_computation(&composed, &NVec::from(vec![x]), k * m * x, 500_000).unwrap();
+        prop_assert!(verdict.is_correct());
+    }
+
+    /// Observation 2.1 in executable form: an output-oblivious CRN never
+    /// reaches an output count above the value it stably computes.
+    #[test]
+    fn oblivious_crns_never_overshoot(x1 in 0u64..5, x2 in 0u64..5) {
+        let min = examples::min_crn();
+        let verdict = check_stable_computation(&min, &NVec::from(vec![x1, x2]), x1.min(x2), 100_000).unwrap();
+        prop_assert!(verdict.is_correct());
+        prop_assert_eq!(verdict.max_output_reachable, x1.min(x2));
+    }
+}
