@@ -32,7 +32,10 @@ fn lemma61_synthesis_cost(c: &mut Criterion) {
     for p in [2u64, 3, 4] {
         group.bench_function(format!("d2_p{p}"), |b| {
             let g = QuiltAffine::floor_linear(
-                QVec::from(vec![Rational::new(1, p as i128), Rational::new(1, p as i128)]),
+                QVec::from(vec![
+                    Rational::new(1, p as i128),
+                    Rational::new(1, p as i128),
+                ]),
                 p,
             );
             b.iter(|| quilt_crn(&g).expect("quilt CRN"))
@@ -44,7 +47,8 @@ fn lemma61_synthesis_cost(c: &mut Criterion) {
 fn theorem31_synthesis_cost(c: &mut Criterion) {
     c.bench_function("E9_theorem31_pipeline", |b| {
         b.iter(|| {
-            let s = analyze_1d(|x| if x < 3 { 0 } else { 2 * x + x % 2 }, 8, 4, 12).expect("structure");
+            let s =
+                analyze_1d(|x| if x < 3 { 0 } else { 2 * x + x % 2 }, 8, 4, 12).expect("structure");
             synthesize_1d_leader(&s)
         })
     });
@@ -52,7 +56,9 @@ fn theorem31_synthesis_cost(c: &mut Criterion) {
 
 fn composition_overhead(c: &mut Criterion) {
     let rows = crn_bench::composition_overhead(&[8, 32, 128], 3);
-    eprintln!("\n[E10] composed 2·min vs monolithic: (n, composed mean steps, monolithic mean steps)");
+    eprintln!(
+        "\n[E10] composed 2·min vs monolithic: (n, composed mean steps, monolithic mean steps)"
+    );
     for row in &rows {
         eprintln!("  {row:?}");
     }

@@ -45,19 +45,25 @@ fn fig5_one_dim(c: &mut Criterion) {
     let (n, p, deltas, leader, leaderless) = crn_bench::fig5_one_dim();
     eprintln!("\n[E5 / Figure 5] staircase structure: n={n} p={p} deltas={deltas:?}");
     eprintln!("  Theorem 3.1 CRN: {leader:?} (species, reactions); leaderless: {leaderless:?}");
-    c.bench_function("E5_fig5_one_dim_analysis", |b| b.iter(crn_bench::fig5_one_dim));
+    c.bench_function("E5_fig5_one_dim_analysis", |b| {
+        b.iter(crn_bench::fig5_one_dim)
+    });
 }
 
 fn fig6_lemma41(c: &mut Criterion) {
     let (base, step, delta, overshoot) = crn_bench::fig6_lemma41();
     eprintln!("\n[E6 / Figure 6] Lemma 4.1 witness for max: base={base} step={step} delta={delta}");
     eprintln!("  stripped max CRN overproduces to {overshoot} on input (2,3)");
-    c.bench_function("E6_fig6_lemma41_witness", |b| b.iter(crn_bench::fig6_lemma41));
+    c.bench_function("E6_fig6_lemma41_witness", |b| {
+        b.iter(crn_bench::fig6_lemma41)
+    });
 }
 
 fn fig7_regions(c: &mut Criterion) {
     let (pieces, species, reactions) = crn_bench::fig7_characterization(8);
-    eprintln!("\n[E7 / Figure 7] characterization of the min-like example: {pieces} quilt-affine pieces");
+    eprintln!(
+        "\n[E7 / Figure 7] characterization of the min-like example: {pieces} quilt-affine pieces"
+    );
     eprintln!("  Lemma 6.2 CRN: {species} species, {reactions} reactions");
     c.bench_function("E7_fig7_characterization", |b| {
         b.iter(|| crn_bench::fig7_characterization(6))

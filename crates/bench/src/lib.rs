@@ -1,10 +1,10 @@
-//! Experiment generators shared by the Criterion benchmarks and the
-//! `experiments` binary.
+//! Experiment generators shared by the Criterion benchmarks.
 //!
 //! Each public function regenerates the data behind one figure or worked
-//! example of the paper (the experiment ids E1–E12 of `DESIGN.md`), returning
-//! the rows as plain data so that benchmarks can time the computation and the
-//! binary can print the tables recorded in `EXPERIMENTS.md`.
+//! example of the paper (the experiment ids E1–E12 of the repo-root
+//! `DESIGN.md`), returning the rows as plain data so that the bench targets
+//! under `benches/` can print the tables recorded in the repo-root
+//! `EXPERIMENTS.md` and then time the computation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,12 +25,18 @@ use crn_semilinear::examples as sl;
 use crn_sim::runner::convergence_series;
 use crn_sim::ConvergencePoint;
 
+/// A named Figure 1 case: the CRN, its input builder and expected output.
+type Fig1Case = (&'static str, FunctionCrn, fn(u64) -> NVec, fn(&NVec) -> u64);
+
+/// Size of a constructed CRN as `(species, reactions)`.
+pub type CrnSize = (usize, usize);
+
 /// E1: convergence of the Figure 1 example CRNs versus input size.
 ///
 /// Returns `(name, series)` for the double, min and max CRNs.
 #[must_use]
 pub fn fig1_convergence(sizes: &[u64], trials: u32) -> Vec<(&'static str, Vec<ConvergencePoint>)> {
-    let cases: Vec<(&'static str, FunctionCrn, fn(u64) -> NVec, fn(&NVec) -> u64)> = vec![
+    let cases: Vec<Fig1Case> = vec![
         (
             "double (X -> 2Y)",
             examples::double_crn(),
@@ -92,7 +98,7 @@ pub fn fig7_characterization(bound: u64) -> (usize, usize, usize) {
 /// E5: the Theorem 3.1 structure (threshold, period, deltas) of the 1-D
 /// staircase example, plus its CRN sizes with and without a leader.
 #[must_use]
-pub fn fig5_one_dim() -> (u64, u64, Vec<u64>, (usize, usize), Option<(usize, usize)>) {
+pub fn fig5_one_dim() -> (u64, u64, Vec<u64>, CrnSize, Option<CrnSize>) {
     let f = |x: u64| if x < 3 { 0 } else { 2 * x + x % 2 };
     let s = analyze_1d(f, 8, 4, 12).expect("structure");
     let leader = synthesize_1d_leader(&s);
@@ -161,7 +167,10 @@ pub fn construction_sizes() -> Vec<(String, usize, usize)> {
     }
     for p in [1u64, 2, 3] {
         let g = QuiltAffine::floor_linear(
-            QVec::from(vec![Rational::new(1, p as i128), Rational::new(1, p as i128)]),
+            QVec::from(vec![
+                Rational::new(1, p as i128),
+                Rational::new(1, p as i128),
+            ]),
             p,
         );
         let crn = quilt_crn(&g).expect("quilt CRN");
@@ -261,10 +270,20 @@ pub fn popproto_interactions(sizes: &[u64]) -> Vec<(u64, u64, u64)> {
     sizes
         .iter()
         .map(|&n| {
-            let min = run_pairwise(&examples::min_crn(), &NVec::from(vec![n, n]), 3, 100_000_000)
-                .expect("runs");
-            let max = run_pairwise(&examples::max_crn(), &NVec::from(vec![n, n]), 3, 100_000_000)
-                .expect("runs");
+            let min = run_pairwise(
+                &examples::min_crn(),
+                &NVec::from(vec![n, n]),
+                3,
+                100_000_000,
+            )
+            .expect("runs");
+            let max = run_pairwise(
+                &examples::max_crn(),
+                &NVec::from(vec![n, n]),
+                3,
+                100_000_000,
+            )
+            .expect("runs");
             (n, min.collisions, max.collisions)
         })
         .collect()
@@ -279,7 +298,10 @@ mod tests {
         let series = fig1_convergence(&[4, 16], 3);
         assert_eq!(series.len(), 3);
         for (name, points) in &series {
-            assert!(points.iter().all(|p| p.all_correct), "{name} produced a wrong output");
+            assert!(
+                points.iter().all(|p| p.all_correct),
+                "{name} produced a wrong output"
+            );
             assert!(points[0].mean_steps <= points[1].mean_steps);
         }
     }

@@ -76,10 +76,7 @@ impl Characterization {
 /// Returns errors only for malformed presentations (evaluation failures);
 /// bounded-search shortfalls are reported as
 /// [`Characterization::Inconclusive`].
-pub fn characterize(
-    f: &SemilinearFunction,
-    bound: u64,
-) -> Result<Characterization, CoreError> {
+pub fn characterize(f: &SemilinearFunction, bound: u64) -> Result<Characterization, CoreError> {
     // Condition (i): nondecreasing.
     if let Some((x, y)) = f.is_nondecreasing_on_box(bound) {
         return Ok(Characterization::NotObliviouslyComputable {
@@ -149,8 +146,7 @@ pub fn structure_to_spec(structure: &Structure1D) -> ObliviousSpec {
             Rational::from(structure.eval(rep) as i64) - gradient.dot_n(&NVec::from(vec![rep])),
         );
     }
-    let piece =
-        QuiltAffine::new(gradient, p, offsets).expect("eventual structure is quilt-affine");
+    let piece = QuiltAffine::new(gradient, p, offsets).expect("eventual structure is quilt-affine");
     let eventual =
         EventuallyMin::new(NVec::from(vec![n]), vec![piece]).expect("one piece, same dimension");
     let mut restrictions = BTreeMap::new();
@@ -164,10 +160,7 @@ pub fn structure_to_spec(structure: &Structure1D) -> ObliviousSpec {
 }
 
 /// Multi-dimensional case: the Section 7 pipeline proper.
-fn characterize_multi(
-    f: &SemilinearFunction,
-    bound: u64,
-) -> Result<Characterization, CoreError> {
+fn characterize_multi(f: &SemilinearFunction, bound: u64) -> Result<Characterization, CoreError> {
     let dim = f.dim();
     let arrangement = Arrangement::from_function(f);
     let period = arrangement.period();
@@ -232,8 +225,9 @@ fn characterize_multi(
         let oracle = |x: &NVec| eval_or_zero(f, x);
         if let Some(witness) = find_lemma41_witness(&oracle, dim, bound.min(6), 6) {
             return Ok(Characterization::NotObliviouslyComputable {
-                reason: "f is not eventually a min of quilt-affine functions (Lemma 4.1 witness found)"
-                    .into(),
+                reason:
+                    "f is not eventually a min of quilt-affine functions (Lemma 4.1 witness found)"
+                        .into(),
                 witness: Some(witness),
             });
         }
@@ -254,7 +248,9 @@ fn characterize_multi(
                 }
                 Characterization::NotObliviouslyComputable { reason, witness } => {
                     return Ok(Characterization::NotObliviouslyComputable {
-                        reason: format!("restriction x({i}) = {j} is not obliviously computable: {reason}"),
+                        reason: format!(
+                            "restriction x({i}) = {j} is not obliviously computable: {reason}"
+                        ),
                         witness,
                     });
                 }
@@ -407,8 +403,8 @@ fn fit_strip_extension(
                 if !strip_class.contains(&y) || !y.ge(&rep) {
                     continue;
                 }
-                let g_y = avg.dot_n(&y)
-                    + offsets[&strip_class.representative().as_slice().to_vec()];
+                let g_y =
+                    avg.dot_n(&y) + offsets[&strip_class.representative().as_slice().to_vec()];
                 let candidate = g_y - avg.dot_n(&rep);
                 best = Some(best.map_or(candidate, |b: Rational| b.min(candidate)));
             }
@@ -456,10 +452,7 @@ mod tests {
         };
         for x1 in 0..8u64 {
             for x2 in 0..8u64 {
-                assert_eq!(
-                    spec.eval(&NVec::from(vec![x1, x2])).unwrap(),
-                    x1.min(x2)
-                );
+                assert_eq!(spec.eval(&NVec::from(vec![x1, x2])).unwrap(), x1.min(x2));
             }
         }
     }
@@ -516,16 +509,28 @@ mod tests {
     #[test]
     fn one_dimensional_examples() {
         for (name, f, oracle) in [
-            ("floor_three_halves", sl::floor_three_halves(), Box::new(|x: u64| 3 * x / 2) as Box<dyn Fn(u64) -> u64>),
+            (
+                "floor_three_halves",
+                sl::floor_three_halves(),
+                Box::new(|x: u64| 3 * x / 2) as Box<dyn Fn(u64) -> u64>,
+            ),
             ("min_one", sl::min_one(), Box::new(|x: u64| x.min(1))),
-            ("staircase", sl::staircase_1d(), Box::new(|x: u64| if x < 3 { 0 } else { 2 * x + x % 2 })),
+            (
+                "staircase",
+                sl::staircase_1d(),
+                Box::new(|x: u64| if x < 3 { 0 } else { 2 * x + x % 2 }),
+            ),
         ] {
             let verdict = characterize(&f, 10).unwrap();
             let Characterization::ObliviouslyComputable { spec } = verdict else {
                 panic!("{name} must be obliviously computable");
             };
             for x in 0..12u64 {
-                assert_eq!(spec.eval(&NVec::from(vec![x])).unwrap(), oracle(x), "{name}({x})");
+                assert_eq!(
+                    spec.eval(&NVec::from(vec![x])).unwrap(),
+                    oracle(x),
+                    "{name}({x})"
+                );
             }
         }
     }

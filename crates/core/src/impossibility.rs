@@ -83,11 +83,11 @@ pub fn find_lemma41_witness(
                     continue;
                 }
                 for j in 1..=repeats {
-                    let a_j = &*base + &scale(step, j);
+                    let a_j = base + &scale(step, j);
                     let shift = scale(delta, j);
                     let rhs = i128::from(f(&(&a_j + &shift))) - i128::from(f(&a_j));
                     for i in 0..j {
-                        let a_i = &*base + &scale(step, i);
+                        let a_i = base + &scale(step, i);
                         let lhs = i128::from(f(&(&a_i + &shift))) - i128::from(f(&a_i));
                         if lhs <= rhs {
                             continue 'delta;

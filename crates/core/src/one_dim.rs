@@ -163,7 +163,8 @@ pub fn synthesize_1d_leader(structure: &Structure1D) -> FunctionCrn {
         vec![(y, f0), (first_state, 1)],
     ));
     for i in 0..n {
-        let diff = structure.initial_values[(i + 1) as usize] - structure.initial_values[i as usize];
+        let diff =
+            structure.initial_values[(i + 1) as usize] - structure.initial_values[i as usize];
         let next = if i + 1 == n {
             p_states[((i + 1) % p) as usize]
         } else {
@@ -177,7 +178,10 @@ pub fn synthesize_1d_leader(structure: &Structure1D) -> FunctionCrn {
     for a in 0..p {
         crn.add_reaction(Reaction::new(
             vec![(p_states[a as usize], 1), (x, 1)],
-            vec![(y, structure.deltas[a as usize]), (p_states[((a + 1) % p) as usize], 1)],
+            vec![
+                (y, structure.deltas[a as usize]),
+                (p_states[((a + 1) % p) as usize], 1),
+            ],
         ));
     }
     FunctionCrn::new(
@@ -283,7 +287,10 @@ pub fn synthesize_1d_leaderless(
         for b in a..p {
             crn.add_reaction(Reaction::new(
                 vec![(p_states[a as usize], 1), (p_states[b as usize], 1)],
-                vec![(y, correction(n + a, n + b)?), (state_for(2 * n + a + b), 1)],
+                vec![
+                    (y, correction(n + a, n + b)?),
+                    (state_for(2 * n + a + b), 1),
+                ],
             ));
         }
     }
@@ -344,8 +351,7 @@ mod tests {
         assert!(crn.is_output_oblivious());
         assert!(crn.has_leader());
         for x in 0..6u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), x.min(1), 50_000)
-                .unwrap();
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), x.min(1), 50_000).unwrap();
             assert!(v.is_correct(), "min(1,{x}) failed");
         }
     }
@@ -356,8 +362,8 @@ mod tests {
         let crn = synthesize_1d_leader(&s);
         assert!(crn.is_output_oblivious());
         for x in 0..9u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), 3 * x / 2, 100_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&crn, &NVec::from(vec![x]), 3 * x / 2, 100_000).unwrap();
             assert!(v.is_correct(), "⌊3·{x}/2⌋ failed");
         }
     }
@@ -370,8 +376,8 @@ mod tests {
         assert!(crn.is_output_oblivious());
         for x in 0..10u64 {
             let expected = f.eval(&NVec::from(vec![x])).unwrap();
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 200_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&crn, &NVec::from(vec![x]), expected, 200_000).unwrap();
             assert!(v.is_correct(), "staircase({x}) failed");
         }
     }
@@ -384,8 +390,7 @@ mod tests {
         assert!(crn.is_output_oblivious());
         assert!(!crn.has_leader());
         for x in 0..7u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), 2 * x, 200_000)
-                .unwrap();
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), 2 * x, 200_000).unwrap();
             assert!(v.is_correct(), "2·{x} failed");
         }
     }
@@ -398,8 +403,7 @@ mod tests {
         let crn = synthesize_1d_leaderless(&s, f).unwrap();
         assert!(crn.is_output_oblivious());
         for x in 0..9u64 {
-            let v =
-                check_stable_computation(&crn, &NVec::from(vec![x]), x / 2, 500_000).unwrap();
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), x / 2, 500_000).unwrap();
             assert!(v.is_correct(), "⌊{x}/2⌋ failed");
         }
     }

@@ -117,9 +117,8 @@ impl QuiltAffine {
     pub fn floor_linear(gradient: QVec, period: u64) -> Self {
         let dim = gradient.dim();
         assert!(
-            (Rational::from(period as i64)
-                * Rational::new(1, gradient.denominator_lcm()))
-            .is_integer(),
+            (Rational::from(period as i64) * Rational::new(1, gradient.denominator_lcm()))
+                .is_integer(),
             "period must clear the gradient denominators"
         );
         let mut offsets = BTreeMap::new();
@@ -217,7 +216,11 @@ impl QuiltAffine {
     pub fn is_nonnegative(&self) -> bool {
         CongruenceClass::enumerate_all(self.dim, self.period)
             .iter()
-            .all(|class| self.eval(&class.representative()).map(|v| v >= 0).unwrap_or(false))
+            .all(|class| {
+                self.eval(&class.representative())
+                    .map(|v| v >= 0)
+                    .unwrap_or(false)
+            })
     }
 
     /// The translate `x ↦ g(x + shift)`, still quilt-affine with the same
@@ -305,7 +308,14 @@ mod tests {
         for class in CongruenceClass::enumerate_all(2, 3) {
             let rep = class.representative().as_slice().to_vec();
             let dented = [[1, 2], [2, 2], [2, 1]].iter().any(|d| rep == d.to_vec());
-            offsets.insert(rep, if dented { Rational::from(-1) } else { Rational::ZERO });
+            offsets.insert(
+                rep,
+                if dented {
+                    Rational::from(-1)
+                } else {
+                    Rational::ZERO
+                },
+            );
         }
         QuiltAffine::new(QVec::from(vec![1, 2]), 3, offsets).unwrap()
     }
@@ -355,18 +365,18 @@ mod tests {
     #[test]
     fn non_integer_values_rejected() {
         // Gradient 1/2 with period 1 cannot be integer-valued.
-        let err = QuiltAffine::affine(
-            QVec::from(vec![Rational::new(1, 2)]),
-            Rational::ZERO,
-        )
-        .unwrap_err();
+        let err =
+            QuiltAffine::affine(QVec::from(vec![Rational::new(1, 2)]), Rational::ZERO).unwrap_err();
         assert!(matches!(err, CoreError::NotInteger(_)));
     }
 
     #[test]
     fn missing_offset_rejected() {
         let err = QuiltAffine::new(QVec::from(vec![1]), 2, BTreeMap::new()).unwrap_err();
-        assert!(matches!(err, CoreError::InvalidSpec(_) | CoreError::NotInteger(_)));
+        assert!(matches!(
+            err,
+            CoreError::InvalidSpec(_) | CoreError::NotInteger(_)
+        ));
     }
 
     #[test]

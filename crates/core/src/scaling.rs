@@ -4,7 +4,6 @@
 use crn_continuous::MinOfLinear;
 use crn_numeric::{NVec, QVec, Rational};
 
-use crate::error::CoreError;
 use crate::spec::EventuallyMin;
 
 /// The ∞-scaling `f̂(z) = lim_{c→∞} f(⌊cz⌋)/c` of a function with an

@@ -163,9 +163,8 @@ impl ObliviousSpec {
                 let n = eventual.threshold();
                 if x.ge(n) {
                     let v = eventual.eval(x)?;
-                    u64::try_from(v).map_err(|_| {
-                        CoreError::NotInteger(format!("f({x}) = {v} is negative"))
-                    })
+                    u64::try_from(v)
+                        .map_err(|_| CoreError::NotInteger(format!("f({x}) = {v} is negative")))
                 } else {
                     let (i, j) = (0..x.dim())
                         .find_map(|i| (x[i] < n[i]).then_some((i, x[i])))
@@ -189,7 +188,10 @@ impl ObliviousSpec {
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn check_nondecreasing_on_box(&self, bound: u64) -> Result<Option<(NVec, NVec)>, CoreError> {
+    pub fn check_nondecreasing_on_box(
+        &self,
+        bound: u64,
+    ) -> Result<Option<(NVec, NVec)>, CoreError> {
         let dim = self.dim();
         for x in NVec::enumerate_box(dim, bound) {
             let fx = self.eval(&x)?;

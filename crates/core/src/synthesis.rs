@@ -42,7 +42,9 @@ pub fn quilt_crn(g: &QuiltAffine) -> Result<FunctionCrn, CoreError> {
     let d = g.dim();
     let p = g.period();
     let mut crn = Crn::new();
-    let inputs: Vec<_> = (0..d).map(|i| crn.add_species(&format!("X{}", i + 1))).collect();
+    let inputs: Vec<_> = (0..d)
+        .map(|i| crn.add_species(&format!("X{}", i + 1)))
+        .collect();
     let y = crn.add_species("Y");
     let leader = crn.add_species("L");
     let classes = CongruenceClass::enumerate_all(d, p);
@@ -54,7 +56,10 @@ pub fn quilt_crn(g: &QuiltAffine) -> Result<FunctionCrn, CoreError> {
         })
         .collect();
     let index_of = |class: &CongruenceClass| -> usize {
-        classes.iter().position(|c| c == class).expect("class enumerated")
+        classes
+            .iter()
+            .position(|c| c == class)
+            .expect("class enumerated")
     };
 
     let g0 = g.eval(&NVec::zeros(d))?;
@@ -92,7 +97,9 @@ pub fn quilt_crn(g: &QuiltAffine) -> Result<FunctionCrn, CoreError> {
 pub fn projection_crn(d: usize, i: usize) -> FunctionCrn {
     assert!(i < d, "projection index out of range");
     let mut crn = Crn::new();
-    let inputs: Vec<_> = (0..d).map(|k| crn.add_species(&format!("X{}", k + 1))).collect();
+    let inputs: Vec<_> = (0..d)
+        .map(|k| crn.add_species(&format!("X{}", k + 1)))
+        .collect();
     let y = crn.add_species("Y");
     crn.add_reaction(Reaction::new(vec![(inputs[i], 1)], vec![(y, 1)]));
     FunctionCrn::new(
@@ -136,7 +143,10 @@ pub fn indicator_combiner_crn(j: u64) -> FunctionCrn {
     let v = crn.add_species("V");
     let y = crn.add_species("Y");
     crn.add_reaction(Reaction::new(vec![(a, 1)], vec![(y, 1)]));
-    crn.add_reaction(Reaction::new(vec![(v, j + 1), (b, 1)], vec![(v, j + 1), (y, 1)]));
+    crn.add_reaction(Reaction::new(
+        vec![(v, j + 1), (b, 1)],
+        vec![(v, j + 1), (y, 1)],
+    ));
     FunctionCrn::new(
         crn,
         Roles {
@@ -194,8 +204,7 @@ pub fn eventual_min_crn(
             quilt
         } else {
             // (x_i − n_i)+ feeding g(· + n).
-            let clamps: Vec<FunctionCrn> =
-                (0..d).map(|i| clamp_below_crn(threshold[i])).collect();
+            let clamps: Vec<FunctionCrn> = (0..d).map(|i| clamp_below_crn(threshold[i])).collect();
             compose_feed_forward(&clamps, &quilt, false)?
         };
         piece_modules.push(module);
@@ -275,8 +284,8 @@ mod tests {
         assert_eq!(crn.species_count(), 5);
         assert_eq!(crn.reaction_count(), 3);
         for x in 0..10u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), 3 * x / 2, 100_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&crn, &NVec::from(vec![x]), 3 * x / 2, 100_000).unwrap();
             assert!(v.is_correct(), "⌊3·{x}/2⌋ failed");
         }
     }
@@ -289,13 +298,9 @@ mod tests {
         for x1 in 0..4u64 {
             for x2 in 0..4u64 {
                 let expected = x1 + 2 * x2 + 1;
-                let v = check_stable_computation(
-                    &crn,
-                    &NVec::from(vec![x1, x2]),
-                    expected,
-                    100_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&crn, &NVec::from(vec![x1, x2]), expected, 100_000)
+                        .unwrap();
                 assert!(v.is_correct(), "failed at ({x1},{x2})");
             }
         }
@@ -337,8 +342,9 @@ mod tests {
     fn clamp_and_projection_primitives() {
         let clamp = clamp_below_crn(2);
         for x in 0..7u64 {
-            let v = check_stable_computation(&clamp, &NVec::from(vec![x]), x.saturating_sub(2), 10_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&clamp, &NVec::from(vec![x]), x.saturating_sub(2), 10_000)
+                    .unwrap();
             assert!(v.is_correct());
         }
         let proj = projection_crn(3, 1);
@@ -355,13 +361,9 @@ mod tests {
             for b in 0..3u64 {
                 for v in 0..4u64 {
                     let expected = a + if v > 1 { b } else { 0 };
-                    let verdict = check_stable_computation(
-                        &c,
-                        &NVec::from(vec![a, b, v]),
-                        expected,
-                        50_000,
-                    )
-                    .unwrap();
+                    let verdict =
+                        check_stable_computation(&c, &NVec::from(vec![a, b, v]), expected, 50_000)
+                            .unwrap();
                     assert!(verdict.is_correct(), "c({a},{b},{v}) failed");
                 }
             }
@@ -378,13 +380,9 @@ mod tests {
         for x1 in 0..3u64 {
             for x2 in 0..3u64 {
                 let expected = x1.min(x2) + 1;
-                let v = check_stable_computation(
-                    &crn,
-                    &NVec::from(vec![x1, x2]),
-                    expected,
-                    500_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&crn, &NVec::from(vec![x1, x2]), expected, 500_000)
+                        .unwrap();
                 assert!(v.is_correct(), "min(x1,x2)+1 failed at ({x1},{x2})");
             }
         }
@@ -393,11 +391,9 @@ mod tests {
     #[test]
     fn synthesize_min_one_spec() {
         // The Figure 2 function min(1, x) via the full Lemma 6.2 pipeline.
-        let eventual = crate::spec::EventuallyMin::new(
-            NVec::from(vec![1]),
-            vec![QuiltAffine::constant(1, 1)],
-        )
-        .unwrap();
+        let eventual =
+            crate::spec::EventuallyMin::new(NVec::from(vec![1]), vec![QuiltAffine::constant(1, 1)])
+                .unwrap();
         let mut restrictions = BTreeMap::new();
         restrictions.insert((0usize, 0u64), ObliviousSpec::Constant(0));
         let spec = ObliviousSpec::compound(eventual, restrictions).unwrap();
@@ -405,8 +401,8 @@ mod tests {
         assert!(crn.is_output_oblivious());
         assert!(crn.has_leader());
         for x in 0..5u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), x.min(1), 500_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&crn, &NVec::from(vec![x]), x.min(1), 500_000).unwrap();
             assert!(v.is_correct(), "min(1,{x}) failed");
         }
     }
@@ -428,13 +424,9 @@ mod tests {
         // spot checks (the composed CRN's reachable space grows quickly).
         for x1 in 0..3u64 {
             for x2 in 0..3u64 {
-                let v = check_stable_computation(
-                    &crn,
-                    &NVec::from(vec![x1, x2]),
-                    x1.min(x2),
-                    500_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&crn, &NVec::from(vec![x1, x2]), x1.min(x2), 500_000)
+                        .unwrap();
                 assert!(v.is_correct(), "min failed at ({x1},{x2})");
             }
         }
@@ -455,8 +447,7 @@ mod tests {
             QuiltAffine::new(QVec::from(vec![Rational::new(3, 2)]), 2, offsets).unwrap()
         };
         let expected = |x: u64| if x < 2 { 0 } else { 3 * x / 2 - 2 };
-        let eventual =
-            crate::spec::EventuallyMin::new(NVec::from(vec![2]), vec![piece]).unwrap();
+        let eventual = crate::spec::EventuallyMin::new(NVec::from(vec![2]), vec![piece]).unwrap();
         let mut restrictions = BTreeMap::new();
         restrictions.insert((0usize, 0u64), ObliviousSpec::Constant(0));
         restrictions.insert((0usize, 1u64), ObliviousSpec::Constant(0));
@@ -471,8 +462,8 @@ mod tests {
         // reachable space grows too fast for exhaustive search beyond that,
         // so larger inputs are covered by stochastic spot checks.
         for x in 0..3u64 {
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected(x), 500_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&crn, &NVec::from(vec![x]), expected(x), 500_000).unwrap();
             assert!(v.is_correct(), "finite-region spec failed at {x}");
         }
         let mismatches = spot_check_on_box(&crn, |x| expected(x[0]), 6, 1_000_000, 17).unwrap();

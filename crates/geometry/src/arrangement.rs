@@ -52,7 +52,10 @@ impl Arrangement {
     #[must_use]
     pub fn from_hyperplanes(dim: usize, hyperplanes: Vec<Hyperplane>, period: u64) -> Self {
         assert!(period > 0, "period must be positive");
-        assert!(hyperplanes.iter().all(|h| h.dim() == dim), "dimension mismatch");
+        assert!(
+            hyperplanes.iter().all(|h| h.dim() == dim),
+            "dimension mismatch"
+        );
         Arrangement {
             dim,
             hyperplanes,

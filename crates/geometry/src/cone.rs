@@ -187,7 +187,11 @@ mod tests {
         assert_eq!(orthant.dimension(), 3);
         assert!(orthant.contains_strictly_positive());
         assert!(orthant.contains(&QVec::from(vec![1, 2, 3])));
-        assert!(!orthant.contains(&QVec::from(vec![Rational::from(-1), Rational::ONE, Rational::ONE])));
+        assert!(!orthant.contains(&QVec::from(vec![
+            Rational::from(-1),
+            Rational::ONE,
+            Rational::ONE
+        ])));
         assert_eq!(orthant.span_basis().len(), 3);
     }
 

@@ -152,21 +152,22 @@ fn eliminate_variable(constraints: &[Constraint], var: usize) -> Vec<Constraint>
     // Combine every (lower, upper) pair.
     for lo in &lower {
         for up in &upper {
-            let a = lo.coefficients[var];
-            let b = up.coefficients[var]; // negative
+            // With a = lo.coefficients[var] > 0 and b = up.coefficients[var] < 0:
             // lo: a*var + r_lo(y) >= b_lo   =>  var >= (b_lo - r_lo)/a
             // up: b*var + r_up(y) >= b_up   =>  var <= (b_up - r_up)/b   (b < 0 flips)
             // Combined: (b_lo - r_lo)/a <= (b_up - r_up)/b
             // Multiply through by a * (-b) > 0:
             //   -b*(b_lo - r_lo) <= a*(b_up - r_up) ... rearranged into >= form below.
+            let a = lo.coefficients[var];
+            let b = up.coefficients[var];
             let scale_lo = -b; // positive
             let scale_up = a; // positive
             let mut coeffs = vec![Rational::ZERO; lo.coefficients.dim()];
-            for k in 0..coeffs.len() {
+            for (k, coeff) in coeffs.iter_mut().enumerate() {
                 if k == var {
                     continue;
                 }
-                coeffs[k] = lo.coefficients[k] * scale_lo + up.coefficients[k] * scale_up;
+                *coeff = lo.coefficients[k] * scale_lo + up.coefficients[k] * scale_up;
             }
             let bound = lo.bound * scale_lo + up.bound * scale_up;
             rest.push(Constraint {

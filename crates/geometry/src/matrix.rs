@@ -48,11 +48,8 @@ impl QMatrix {
     /// each nonzero row.
     #[must_use]
     pub fn reduced_row_echelon(&self) -> (QMatrix, Vec<usize>) {
-        let mut rows: Vec<Vec<Rational>> = self
-            .rows
-            .iter()
-            .map(|r| r.as_slice().to_vec())
-            .collect();
+        let mut rows: Vec<Vec<Rational>> =
+            self.rows.iter().map(|r| r.as_slice().to_vec()).collect();
         let mut pivots = Vec::new();
         let mut pivot_row = 0usize;
         for col in 0..self.cols {
@@ -67,15 +64,15 @@ impl QMatrix {
             // Normalize the pivot row.
             let pivot = rows[pivot_row][col];
             for entry in rows[pivot_row].iter_mut() {
-                *entry = *entry / pivot;
+                *entry /= pivot;
             }
             // Eliminate the column from every other row.
-            for r in 0..rows.len() {
-                if r != pivot_row && !rows[r][col].is_zero() {
-                    let factor = rows[r][col];
-                    for c in 0..self.cols {
-                        let delta = factor * rows[pivot_row][c];
-                        rows[r][c] = rows[r][c] - delta;
+            let pivot_vals = rows[pivot_row].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != pivot_row && !row[col].is_zero() {
+                    let factor = row[col];
+                    for (entry, &p) in row.iter_mut().zip(&pivot_vals) {
+                        *entry -= factor * p;
                     }
                 }
             }
@@ -185,15 +182,9 @@ mod tests {
 
     #[test]
     fn rank_of_simple_matrices() {
-        let identity = QMatrix::from_rows(
-            vec![QVec::from(vec![1, 0]), QVec::from(vec![0, 1])],
-            2,
-        );
+        let identity = QMatrix::from_rows(vec![QVec::from(vec![1, 0]), QVec::from(vec![0, 1])], 2);
         assert_eq!(identity.rank(), 2);
-        let singular = QMatrix::from_rows(
-            vec![QVec::from(vec![1, 2]), QVec::from(vec![2, 4])],
-            2,
-        );
+        let singular = QMatrix::from_rows(vec![QVec::from(vec![1, 2]), QVec::from(vec![2, 4])], 2);
         assert_eq!(singular.rank(), 1);
         let zero = QMatrix::from_rows(vec![QVec::from(vec![0, 0])], 2);
         assert_eq!(zero.rank(), 0);
@@ -213,20 +204,14 @@ mod tests {
 
     #[test]
     fn nullspace_of_full_rank_matrix_is_trivial() {
-        let identity = QMatrix::from_rows(
-            vec![QVec::from(vec![1, 0]), QVec::from(vec![0, 1])],
-            2,
-        );
+        let identity = QMatrix::from_rows(vec![QVec::from(vec![1, 0]), QVec::from(vec![0, 1])], 2);
         assert!(identity.nullspace_basis().is_empty());
     }
 
     #[test]
     fn solve_unique_system() {
         // x + y = 3, x - y = 1  =>  x = 2, y = 1.
-        let m = QMatrix::from_rows(
-            vec![QVec::from(vec![1, 1]), QVec::from(vec![1, -1])],
-            2,
-        );
+        let m = QMatrix::from_rows(vec![QVec::from(vec![1, 1]), QVec::from(vec![1, -1])], 2);
         let (sol, unique) = m.solve(&[q(3, 1), q(1, 1)]).unwrap();
         assert!(unique);
         assert_eq!(sol, vec![q(2, 1), q(1, 1)]);
@@ -234,10 +219,7 @@ mod tests {
 
     #[test]
     fn solve_inconsistent_system() {
-        let m = QMatrix::from_rows(
-            vec![QVec::from(vec![1, 1]), QVec::from(vec![1, 1])],
-            2,
-        );
+        let m = QMatrix::from_rows(vec![QVec::from(vec![1, 1]), QVec::from(vec![1, 1])], 2);
         assert!(m.solve(&[q(1, 1), q(2, 1)]).is_none());
     }
 

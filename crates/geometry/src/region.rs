@@ -83,7 +83,11 @@ impl Region {
     /// be unknown), or a sign is not `±1`.
     #[must_use]
     pub fn from_signs(hyperplanes: Vec<Hyperplane>, signs: Vec<i8>) -> Self {
-        assert_eq!(hyperplanes.len(), signs.len(), "sign vector length mismatch");
+        assert_eq!(
+            hyperplanes.len(),
+            signs.len(),
+            "sign vector length mismatch"
+        );
         assert!(signs.iter().all(|&s| s == 1 || s == -1), "signs must be ±1");
         assert!(
             !hyperplanes.is_empty(),

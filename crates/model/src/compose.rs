@@ -34,7 +34,10 @@ use crate::transform::import_module;
 ///
 /// Returns [`CrnError::InvalidRoles`] if the downstream CRN does not have
 /// exactly one input.
-pub fn concatenate(upstream: &FunctionCrn, downstream: &FunctionCrn) -> Result<FunctionCrn, CrnError> {
+pub fn concatenate(
+    upstream: &FunctionCrn,
+    downstream: &FunctionCrn,
+) -> Result<FunctionCrn, CrnError> {
     if downstream.dim() != 1 {
         return Err(CrnError::InvalidRoles(format!(
             "downstream CRN must have exactly 1 input, has {}",
@@ -118,7 +121,9 @@ pub fn compose_feed_forward(
     // Global inputs.
     let global_inputs: Vec<Species> = if share_inputs {
         let d = upstreams.first().map_or(0, FunctionCrn::dim);
-        let globals: Vec<Species> = (0..d).map(|i| crn.add_species(&format!("X{}", i + 1))).collect();
+        let globals: Vec<Species> = (0..d)
+            .map(|i| crn.add_species(&format!("X{}", i + 1)))
+            .collect();
         // Fan-out: X_i -> X_i^{(0)} + ... + X_i^{(m-1)}.
         for (i, &global) in globals.iter().enumerate() {
             let copies: Vec<(Species, u64)> = upstream_input_species
@@ -165,7 +170,9 @@ pub fn compose_feed_forward(
 #[must_use]
 pub fn fan_out(dim: usize, copies: usize) -> (Crn, Vec<Species>, Vec<Vec<Species>>) {
     let mut crn = Crn::new();
-    let globals: Vec<Species> = (0..dim).map(|i| crn.add_species(&format!("X{}", i + 1))).collect();
+    let globals: Vec<Species> = (0..dim)
+        .map(|i| crn.add_species(&format!("X{}", i + 1)))
+        .collect();
     let mut per_copy: Vec<Vec<Species>> = vec![Vec::new(); copies];
     for (i, &global) in globals.iter().enumerate() {
         let mut products = Vec::new();
@@ -264,7 +271,10 @@ mod tests {
         let double = examples::double_crn();
         let composed = concatenate(&max, &double).unwrap();
         let v = check_stable_computation(&composed, &NVec::from(vec![1, 1]), 2, 100_000).unwrap();
-        assert!(!v.is_correct(), "composition of non-oblivious max must fail");
+        assert!(
+            !v.is_correct(),
+            "composition of non-oblivious max must fail"
+        );
         assert!(v.max_output_reachable > 2);
         assert_eq!(v.max_output_reachable, 4); // 2(x1 + x2)
     }
@@ -299,12 +309,10 @@ mod tests {
         let double = examples::double_crn();
         let identity = examples::identity_crn();
         let min = examples::min_crn();
-        let composed =
-            compose_feed_forward(&[double, identity], &min, true).unwrap();
+        let composed = compose_feed_forward(&[double, identity], &min, true).unwrap();
         assert_eq!(composed.dim(), 1);
         for x in 0..5u64 {
-            let v = check_stable_computation(&composed, &NVec::from(vec![x]), x, 100_000)
-                .unwrap();
+            let v = check_stable_computation(&composed, &NVec::from(vec![x]), x, 100_000).unwrap();
             assert!(v.is_correct(), "min(2x,x) failed at {x}");
         }
     }
@@ -320,13 +328,9 @@ mod tests {
         for a in 0..4u64 {
             for b in 0..4u64 {
                 let expected = (2 * a).min(3 * b);
-                let v = check_stable_computation(
-                    &composed,
-                    &NVec::from(vec![a, b]),
-                    expected,
-                    100_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&composed, &NVec::from(vec![a, b]), expected, 100_000)
+                        .unwrap();
                 assert!(v.is_correct(), "min(2a,3b) failed at ({a},{b})");
             }
         }
@@ -372,8 +376,8 @@ mod tests {
         // The reported output is the first module's (2x), regardless of the
         // second module's input.
         for x in 0..4u64 {
-            let v = check_stable_computation(&union, &NVec::from(vec![x, 3]), 2 * x, 50_000)
-                .unwrap();
+            let v =
+                check_stable_computation(&union, &NVec::from(vec![x, 3]), 2 * x, 50_000).unwrap();
             assert!(v.is_correct());
         }
     }

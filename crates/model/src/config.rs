@@ -111,10 +111,7 @@ impl Configuration {
     /// Pointwise `self ≥ other` (i.e. `other ≤ self` in `N^S`).
     #[must_use]
     pub fn ge(&self, other: &Configuration) -> bool {
-        other
-            .counts
-            .iter()
-            .all(|(&s, &c)| self.count(s) >= c)
+        other.counts.iter().all(|(&s, &c)| self.count(s) >= c)
     }
 
     /// Pointwise sum `self + other` (reachability is additive: if `A →* B`
@@ -261,10 +258,7 @@ mod tests {
         assert!(b.ge(&a));
         assert!(!a.ge(&b));
         assert_eq!(b.minus(&a), Configuration::from_counts(vec![(x, 1)]));
-        assert_eq!(
-            a.plus(&b),
-            Configuration::from_counts(vec![(x, 3), (y, 4)])
-        );
+        assert_eq!(a.plus(&b), Configuration::from_counts(vec![(x, 3), (y, 4)]));
     }
 
     #[test]

@@ -153,7 +153,11 @@ impl Crn {
     /// The maximum reaction order (number of reactant molecules) in the CRN.
     #[must_use]
     pub fn max_order(&self) -> u64 {
-        self.reactions.iter().map(Reaction::order).max().unwrap_or(0)
+        self.reactions
+            .iter()
+            .map(Reaction::order)
+            .max()
+            .unwrap_or(0)
     }
 
     /// A multi-line listing of all reactions, with species names.

@@ -144,11 +144,9 @@ mod tests {
     fn identity_computes_x() {
         let id = identity_crn();
         for x in 0..6 {
-            assert!(
-                check_stable_computation(&id, &NVec::from(vec![x]), x, 1000)
-                    .unwrap()
-                    .is_correct()
-            );
+            assert!(check_stable_computation(&id, &NVec::from(vec![x]), x, 1000)
+                .unwrap()
+                .is_correct());
         }
     }
 
@@ -157,8 +155,7 @@ mod tests {
         for k in 0..4 {
             let c = constant_crn(k);
             assert!(c.is_output_oblivious());
-            let verdict =
-                check_stable_computation(&c, &NVec::from(vec![]), k, 1000).unwrap();
+            let verdict = check_stable_computation(&c, &NVec::from(vec![]), k, 1000).unwrap();
             assert!(verdict.is_correct());
         }
     }

@@ -231,11 +231,8 @@ pub fn check_stable_computation(
     max_configurations: usize,
 ) -> Result<StableComputationVerdict, CrnError> {
     let start = crn.initial_configuration(x)?;
-    let graph = ReachabilityGraph::explore(
-        crn.crn(),
-        &start,
-        ReachabilityLimits { max_configurations },
-    )?;
+    let graph =
+        ReachabilityGraph::explore(crn.crn(), &start, ReachabilityLimits { max_configurations })?;
     let output = crn.output();
     let out_of = |c: &Configuration| c.count(output);
 
@@ -261,7 +258,9 @@ pub fn check_stable_computation(
     let failure = if all_recover {
         None
     } else {
-        let bad = (0..graph.len()).find(|&i| !can_recover[i]).expect("some bad index");
+        let bad = (0..graph.len())
+            .find(|&i| !can_recover[i])
+            .expect("some bad index");
         Some(format!(
             "configuration {} cannot reach a stable configuration with output {}",
             graph.configurations[bad].display(crn.crn().species()),
@@ -316,11 +315,8 @@ pub fn max_output_reachable(
     max_configurations: usize,
 ) -> Result<u64, CrnError> {
     let start = crn.initial_configuration(x)?;
-    let graph = ReachabilityGraph::explore(
-        crn.crn(),
-        &start,
-        ReachabilityLimits { max_configurations },
-    )?;
+    let graph =
+        ReachabilityGraph::explore(crn.crn(), &start, ReachabilityLimits { max_configurations })?;
     let output = crn.output();
     Ok(graph
         .configurations()
@@ -357,8 +353,7 @@ mod tests {
     fn double_crn_stably_computes_2x() {
         let double = examples::double_crn();
         for x in 0..6u64 {
-            let v =
-                check_stable_computation(&double, &NVec::from(vec![x]), 2 * x, 10_000).unwrap();
+            let v = check_stable_computation(&double, &NVec::from(vec![x]), 2 * x, 10_000).unwrap();
             assert!(v.is_correct(), "failed at x={x}: {:?}", v.failure);
             assert_eq!(v.max_output_reachable, 2 * x);
             assert_eq!(v.stable_outputs, vec![2 * x]);
@@ -370,13 +365,9 @@ mod tests {
         let min = examples::min_crn();
         for x1 in 0..5u64 {
             for x2 in 0..5u64 {
-                let v = check_stable_computation(
-                    &min,
-                    &NVec::from(vec![x1, x2]),
-                    x1.min(x2),
-                    10_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&min, &NVec::from(vec![x1, x2]), x1.min(x2), 10_000)
+                        .unwrap();
                 assert!(v.is_correct());
             }
         }
@@ -395,13 +386,9 @@ mod tests {
         let max = examples::max_crn();
         for x1 in 0..4u64 {
             for x2 in 0..4u64 {
-                let v = check_stable_computation(
-                    &max,
-                    &NVec::from(vec![x1, x2]),
-                    x1.max(x2),
-                    50_000,
-                )
-                .unwrap();
+                let v =
+                    check_stable_computation(&max, &NVec::from(vec![x1, x2]), x1.max(x2), 50_000)
+                        .unwrap();
                 assert!(v.is_correct(), "failed at ({x1},{x2}): {:?}", v.failure);
                 // The overshoot phenomenon from Section 1.2: the output can
                 // transiently exceed max(x1,x2) (it can reach x1+x2).
@@ -443,9 +430,7 @@ mod tests {
     #[test]
     fn reachable_configurations_of_double() {
         let double = examples::double_crn();
-        let start = double
-            .initial_configuration(&NVec::from(vec![2]))
-            .unwrap();
+        let start = double.initial_configuration(&NVec::from(vec![2])).unwrap();
         let reach = reachable_configurations(double.crn(), &start, 1000).unwrap();
         // {2X}, {1X,2Y}, {0X,4Y}
         assert_eq!(reach.len(), 3);
@@ -457,8 +442,7 @@ mod tests {
         assert!(crn.is_output_oblivious());
         for x in 0..5u64 {
             let expected = x.min(1);
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000)
-                .unwrap();
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000).unwrap();
             assert!(v.is_correct());
         }
     }
@@ -469,8 +453,7 @@ mod tests {
         assert!(!crn.is_output_oblivious());
         for x in 0..5u64 {
             let expected = x.min(1);
-            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000)
-                .unwrap();
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000).unwrap();
             assert!(v.is_correct());
         }
     }

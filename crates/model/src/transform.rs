@@ -343,8 +343,7 @@ mod tests {
         assert!(rewritten.is_output_oblivious());
         // The rewritten CRN still computes f(x) = x.
         for x in 0..4u64 {
-            let v = check_stable_computation(&rewritten, &NVec::from(vec![x]), x, 10_000)
-                .unwrap();
+            let v = check_stable_computation(&rewritten, &NVec::from(vec![x]), x, 10_000).unwrap();
             assert!(v.is_correct());
         }
     }

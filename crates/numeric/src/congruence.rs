@@ -168,7 +168,10 @@ impl CongruenceClass {
         assert!(p > 0, "period must be positive");
         enumerate_tuples(dim, p)
             .into_iter()
-            .map(|residues| CongruenceClass { residues, period: p })
+            .map(|residues| CongruenceClass {
+                residues,
+                period: p,
+            })
             .collect()
     }
 }

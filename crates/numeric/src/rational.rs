@@ -192,7 +192,10 @@ impl Default for Rational {
 
 impl From<i128> for Rational {
     fn from(value: i128) -> Self {
-        Rational { numer: value, denom: 1 }
+        Rational {
+            numer: value,
+            denom: 1,
+        }
     }
 }
 
@@ -221,7 +224,11 @@ impl FromStr for Rational {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseRationalError(s.to_owned());
         match s.split_once('/') {
-            None => s.trim().parse::<i128>().map(Rational::from).map_err(|_| err()),
+            None => s
+                .trim()
+                .parse::<i128>()
+                .map(Rational::from)
+                .map_err(|_| err()),
             Some((n, d)) => {
                 let n = n.trim().parse::<i128>().map_err(|_| err())?;
                 let d = d.trim().parse::<i128>().map_err(|_| err())?;
@@ -277,7 +284,7 @@ impl Mul for Rational {
 impl Div for Rational {
     type Output = Rational;
     fn div(self, rhs: Rational) -> Rational {
-        self * rhs.recip()
+        Rational::new(self.numer * rhs.denom, self.denom * rhs.numer)
     }
 }
 

@@ -99,14 +99,26 @@ impl NVec {
     #[must_use]
     pub fn join(&self, other: &NVec) -> NVec {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        NVec(self.0.iter().zip(&other.0).map(|(a, b)| *a.max(b)).collect())
+        NVec(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+        )
     }
 
     /// Componentwise minimum `x ∧ n`.
     #[must_use]
     pub fn meet(&self, other: &NVec) -> NVec {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        NVec(self.0.iter().zip(&other.0).map(|(a, b)| *a.min(b)).collect())
+        NVec(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
+        )
     }
 
     /// Componentwise truncated subtraction `(self − other)+` (Lemma 6.2).
@@ -665,7 +677,10 @@ mod tests {
 
     #[test]
     fn zvec_conversion() {
-        assert_eq!(ZVec::from(vec![1, 2]).to_nvec(), Some(NVec::from(vec![1, 2])));
+        assert_eq!(
+            ZVec::from(vec![1, 2]).to_nvec(),
+            Some(NVec::from(vec![1, 2]))
+        );
         assert_eq!(ZVec::from(vec![1, -2]).to_nvec(), None);
     }
 
@@ -676,7 +691,10 @@ mod tests {
         let g1 = QVec::from(vec![1, 0]);
         let g2 = QVec::from(vec![0, 1]);
         let avg = QVec::average(&[g1.clone(), g2.clone()]);
-        assert_eq!(avg, QVec::from(vec![Rational::new(1, 2), Rational::new(1, 2)]));
+        assert_eq!(
+            avg,
+            QVec::from(vec![Rational::new(1, 2), Rational::new(1, 2)])
+        );
         let x = NVec::from(vec![3, 4]);
         assert_eq!(avg.dot_n(&x), Rational::new(7, 2));
         assert_eq!(g1.dot_n(&x), Rational::from(3));

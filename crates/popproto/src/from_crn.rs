@@ -75,7 +75,13 @@ pub fn run_pairwise(
             let weights: Vec<u64> = molecules
                 .iter()
                 .enumerate()
-                .map(|(i, &(_, c))| if Some(i) == exclude { c.saturating_sub(1) } else { c })
+                .map(|(i, &(_, c))| {
+                    if Some(i) == exclude {
+                        c.saturating_sub(1)
+                    } else {
+                        c
+                    }
+                })
                 .collect();
             let sum: u64 = weights.iter().sum();
             if sum == 0 {
@@ -185,7 +191,10 @@ mod tests {
         let f = FunctionCrn::with_named_roles(crn, &["X"], "Y", None).unwrap();
         let outcome = run_pairwise(&f, &NVec::from(vec![9]), 1, 10_000).unwrap();
         assert_eq!(outcome.output, 0);
-        assert!(outcome.silent, "order-3 reactions are invisible to the pairwise scheduler");
+        assert!(
+            outcome.silent,
+            "order-3 reactions are invisible to the pairwise scheduler"
+        );
         assert_eq!(outcome.reactions_fired, 0);
         // ...but its bimolecular form computes floor(x/3).
         let converted = bimolecularize(f.crn());

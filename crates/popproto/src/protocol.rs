@@ -90,12 +90,7 @@ impl PopulationProtocol {
     /// uniform random-pair scheduler until no non-null interaction is possible
     /// or `max_interactions` non-null interactions have occurred.
     #[must_use]
-    pub fn run(
-        &self,
-        population: &[usize],
-        seed: u64,
-        max_interactions: u64,
-    ) -> ProtocolOutcome {
+    pub fn run(&self, population: &[usize], seed: u64, max_interactions: u64) -> ProtocolOutcome {
         let mut agents: Vec<usize> = population.to_vec();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut interactions = 0u64;
@@ -112,7 +107,11 @@ impl PopulationProtocol {
             }
             let any_active = (0..self.states).any(|a| {
                 (0..self.states).any(|b| {
-                    let enough = if a == b { counts[a] >= 2 } else { counts[a] >= 1 && counts[b] >= 1 };
+                    let enough = if a == b {
+                        counts[a] >= 2
+                    } else {
+                        counts[a] >= 1 && counts[b] >= 1
+                    };
                     enough && self.is_active(a, b)
                 })
             });
@@ -137,10 +136,7 @@ impl PopulationProtocol {
                 }
             }
         }
-        let output = agents
-            .iter()
-            .filter(|&&s| self.output_states[s])
-            .count() as u64;
+        let output = agents.iter().filter(|&&s| self.output_states[s]).count() as u64;
         ProtocolOutcome {
             output,
             interactions,

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn evaluation() {
         // (3/2) x - 1/2 : the "odd x" piece of floor(3x/2).
-        let piece = AffinePiece::new(
-            QVec::from(vec![Rational::new(3, 2)]),
-            Rational::new(-1, 2),
-        );
+        let piece = AffinePiece::new(QVec::from(vec![Rational::new(3, 2)]), Rational::new(-1, 2));
         assert_eq!(piece.eval(&NVec::from(vec![3])), Rational::from(4));
         assert_eq!(piece.eval_integer(&NVec::from(vec![3])), Some(4));
         // On an even input the value is not an integer: this piece's domain
@@ -134,6 +131,9 @@ mod tests {
         let piece = AffinePiece::integer(vec![2, 5], 1);
         let restricted = piece.substitute(1, 3);
         assert_eq!(restricted.dim(), 1);
-        assert_eq!(restricted.eval_integer(&NVec::from(vec![4])), Some(2 * 4 + 5 * 3 + 1));
+        assert_eq!(
+            restricted.eval_integer(&NVec::from(vec![4])),
+            Some(2 * 4 + 5 * 3 + 1)
+        );
     }
 }

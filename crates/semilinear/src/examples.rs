@@ -1,6 +1,6 @@
 //! The library of semilinear functions used throughout the paper.
 
-use crn_numeric::{Rational, QVec, ZVec};
+use crn_numeric::{QVec, Rational, ZVec};
 
 use crate::affine::AffinePiece;
 use crate::function::SemilinearFunction;
@@ -69,10 +69,7 @@ pub fn floor_three_halves() -> SemilinearFunction {
             ),
             (
                 odd,
-                AffinePiece::new(
-                    QVec::from(vec![Rational::new(3, 2)]),
-                    Rational::new(-1, 2),
-                ),
+                AffinePiece::new(QVec::from(vec![Rational::new(3, 2)]), Rational::new(-1, 2)),
             ),
         ],
     )
@@ -196,10 +193,7 @@ pub fn equation2_counterexample() -> SemilinearFunction {
     SemilinearFunction::new(
         2,
         vec![
-            (
-                eq(2, 0, 1).not(),
-                AffinePiece::integer(vec![1, 1], 1),
-            ),
+            (eq(2, 0, 1).not(), AffinePiece::integer(vec![1, 1], 1)),
             (eq(2, 0, 1), AffinePiece::integer(vec![1, 1], 0)),
         ],
     )
@@ -245,7 +239,11 @@ mod tests {
             ("identity", identity(), 10),
             ("add2", add2(), 6),
             ("truncated_subtraction", truncated_subtraction(3), 10),
-            ("truncated_subtraction_from", truncated_subtraction_from(3), 10),
+            (
+                "truncated_subtraction_from",
+                truncated_subtraction_from(3),
+                10,
+            ),
             ("figure7_example", figure7_example(), 6),
             ("equation2_counterexample", equation2_counterexample(), 6),
             ("staircase_1d", staircase_1d(), 10),
@@ -279,7 +277,10 @@ mod tests {
             }
         }
         for x in 0..10u64 {
-            assert_eq!(floor_three_halves().eval(&NVec::from(vec![x])).unwrap(), 3 * x / 2);
+            assert_eq!(
+                floor_three_halves().eval(&NVec::from(vec![x])).unwrap(),
+                3 * x / 2
+            );
             assert_eq!(min_one().eval(&NVec::from(vec![x])).unwrap(), x.min(1));
             assert_eq!(identity().eval(&NVec::from(vec![x])).unwrap(), x);
             assert_eq!(multiply(4).eval(&NVec::from(vec![x])).unwrap(), 4 * x);
@@ -297,9 +298,13 @@ mod tests {
         assert!(min2().is_nondecreasing_on_box(6).is_none());
         assert!(max2().is_nondecreasing_on_box(6).is_none());
         assert!(figure7_example().is_nondecreasing_on_box(6).is_none());
-        assert!(equation2_counterexample().is_nondecreasing_on_box(6).is_none());
+        assert!(equation2_counterexample()
+            .is_nondecreasing_on_box(6)
+            .is_none());
         assert!(staircase_1d().is_nondecreasing_on_box(10).is_none());
-        assert!(truncated_subtraction_from(3).is_nondecreasing_on_box(6).is_some());
+        assert!(truncated_subtraction_from(3)
+            .is_nondecreasing_on_box(6)
+            .is_some());
     }
 
     #[test]

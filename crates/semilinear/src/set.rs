@@ -83,6 +83,10 @@ impl SemilinearSet {
     }
 
     /// Complement `N^d ∖ self`.
+    ///
+    /// Named to read alongside [`Self::and`]/[`Self::or`]; `std::ops::Not`
+    /// is deliberately not implemented since `!set` reads poorly for sets.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> Self {
         SemilinearSet::Complement(Box::new(self))
@@ -95,8 +99,7 @@ impl SemilinearSet {
             SemilinearSet::All { dim } | SemilinearSet::Empty { dim } => *dim,
             SemilinearSet::Threshold(t) => t.dim(),
             SemilinearSet::Mod(m) => m.dim(),
-            SemilinearSet::Union(a, _)
-            | SemilinearSet::Intersection(a, _) => a.dim(),
+            SemilinearSet::Union(a, _) | SemilinearSet::Intersection(a, _) => a.dim(),
             SemilinearSet::Complement(a) => a.dim(),
         }
     }
@@ -168,17 +171,14 @@ impl SemilinearSet {
             SemilinearSet::Empty { dim } => SemilinearSet::Empty { dim: dim - 1 },
             SemilinearSet::Threshold(t) => SemilinearSet::Threshold(t.substitute(i, j)),
             SemilinearSet::Mod(m) => SemilinearSet::Mod(m.substitute(i, j)),
-            SemilinearSet::Union(a, b) => SemilinearSet::Union(
-                Box::new(a.substitute(i, j)),
-                Box::new(b.substitute(i, j)),
-            ),
+            SemilinearSet::Union(a, b) => {
+                SemilinearSet::Union(Box::new(a.substitute(i, j)), Box::new(b.substitute(i, j)))
+            }
             SemilinearSet::Intersection(a, b) => SemilinearSet::Intersection(
                 Box::new(a.substitute(i, j)),
                 Box::new(b.substitute(i, j)),
             ),
-            SemilinearSet::Complement(a) => {
-                SemilinearSet::Complement(Box::new(a.substitute(i, j)))
-            }
+            SemilinearSet::Complement(a) => SemilinearSet::Complement(Box::new(a.substitute(i, j))),
         }
     }
 
@@ -252,11 +252,9 @@ mod tests {
 
     #[test]
     fn members_in_box_enumerates() {
-        let diag = SemilinearSet::threshold(ThresholdSet::new(ZVec::from(vec![1, -1]), 0))
-            .and(SemilinearSet::threshold(ThresholdSet::new(
-                ZVec::from(vec![-1, 1]),
-                0,
-            )));
+        let diag = SemilinearSet::threshold(ThresholdSet::new(ZVec::from(vec![1, -1]), 0)).and(
+            SemilinearSet::threshold(ThresholdSet::new(ZVec::from(vec![-1, 1]), 0)),
+        );
         let members = diag.members_in_box(3);
         assert_eq!(members.len(), 4); // (0,0) … (3,3)
         assert!(members.iter().all(|x| x[0] == x[1]));

@@ -135,7 +135,10 @@ pub fn spot_check_on_box(
     seed: u64,
 ) -> Result<usize, CrnError> {
     let mut mismatches = 0;
-    for (k, x) in NVec::enumerate_box(crn.dim(), bound).into_iter().enumerate() {
+    for (k, x) in NVec::enumerate_box(crn.dim(), bound)
+        .into_iter()
+        .enumerate()
+    {
         let mut scheduler = UniformScheduler::seeded(seed.wrapping_add(k as u64));
         let report = run_to_silence(crn, &x, &mut scheduler, max_steps)?;
         if !report.silent || report.output != expected(&x) {

@@ -40,7 +40,12 @@ impl UniformScheduler {
 }
 
 impl Scheduler for UniformScheduler {
-    fn select(&mut self, _crn: &Crn, _config: &Configuration, applicable: &[usize]) -> Option<usize> {
+    fn select(
+        &mut self,
+        _crn: &Crn,
+        _config: &Configuration,
+        applicable: &[usize],
+    ) -> Option<usize> {
         if applicable.is_empty() {
             return None;
         }
@@ -140,7 +145,12 @@ impl PriorityScheduler {
 }
 
 impl Scheduler for PriorityScheduler {
-    fn select(&mut self, _crn: &Crn, _config: &Configuration, applicable: &[usize]) -> Option<usize> {
+    fn select(
+        &mut self,
+        _crn: &Crn,
+        _config: &Configuration,
+        applicable: &[usize],
+    ) -> Option<usize> {
         if applicable.is_empty() {
             return None;
         }

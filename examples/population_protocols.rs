@@ -27,12 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut ternary = composable_crn::model::Crn::new();
     ternary.parse_reaction("3X -> Y")?;
     let ternary = FunctionCrn::with_named_roles(ternary, &["X"], "Y", None)?;
-    let converted = FunctionCrn::with_named_roles(
-        bimolecularize(ternary.crn()),
-        &["X"],
-        "Y",
-        None,
-    )?;
+    let converted =
+        FunctionCrn::with_named_roles(bimolecularize(ternary.crn()), &["X"], "Y", None)?;
     let outcome = run_pairwise(&converted, &NVec::from(vec![30]), 5, 10_000_000)?;
     println!(
         "bimolecularized 3X->Y on x=30: output {} (expected 10), {} collisions",

@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eventual.pieces().len()
         );
         for (k, piece) in eventual.pieces().iter().enumerate() {
-            println!("  g{}: gradient {}, period {}", k + 1, piece.gradient(), piece.period());
+            println!(
+                "  g{}: gradient {}, period {}",
+                k + 1,
+                piece.gradient(),
+                piece.period()
+            );
         }
         // The scaling limit (Theorem 8.2): min of the gradients.
         let scaling = InfinityScaling::of(eventual);

@@ -37,3 +37,20 @@ pub use crn_numeric as numeric;
 pub use crn_popproto as popproto;
 pub use crn_semilinear as semilinear;
 pub use crn_sim as sim;
+
+#[cfg(test)]
+mod tests {
+    use crate::model::examples;
+    use crate::numeric::NVec;
+
+    /// Mirrors the crate-level doctest so the front-page example is also
+    /// checked by the ordinary unit-test run.
+    #[test]
+    fn crate_doc_example_computes_min() {
+        let min = examples::min_crn();
+        let verdict =
+            crate::model::check_stable_computation(&min, &NVec::from(vec![2, 5]), 2, 10_000)
+                .unwrap();
+        assert!(verdict.is_correct());
+    }
+}

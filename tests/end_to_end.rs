@@ -23,9 +23,11 @@ fn one_dimensional_pipeline_from_presentation_to_simulation() {
     assert!(crn.is_output_oblivious());
     for x in 0..8u64 {
         let expected = f.eval(&NVec::from(vec![x])).unwrap();
-        assert!(check_stable_computation(&crn, &NVec::from(vec![x]), expected, 200_000)
-            .unwrap()
-            .is_correct());
+        assert!(
+            check_stable_computation(&crn, &NVec::from(vec![x]), expected, 200_000)
+                .unwrap()
+                .is_correct()
+        );
         let mut scheduler = UniformScheduler::seeded(x);
         let report = run_to_silence(&crn, &NVec::from(vec![x]), &mut scheduler, 1_000_000).unwrap();
         assert!(report.silent);
@@ -77,9 +79,13 @@ fn negative_results_are_consistent_across_layers() {
     .unwrap();
     assert!(stripped_peak > 3);
     // The equation (2) counterexample is also rejected.
-    assert!(characterize(&sl::equation2_counterexample(), 8).unwrap().is_impossible());
+    assert!(characterize(&sl::equation2_counterexample(), 8)
+        .unwrap()
+        .is_impossible());
     // A decreasing function is rejected by monotonicity alone.
-    assert!(characterize(&sl::truncated_subtraction_from(2), 6).unwrap().is_impossible());
+    assert!(characterize(&sl::truncated_subtraction_from(2), 6)
+        .unwrap()
+        .is_impossible());
 }
 
 #[test]

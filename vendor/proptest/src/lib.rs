@@ -1,0 +1,297 @@
+//! Offline stub of the `proptest` API surface used by this workspace.
+//!
+//! The container has no registry access, so this crate re-implements the
+//! subset the workspace's property tests rely on: the `proptest!` macro (with
+//! an optional `#![proptest_config(..)]` header), integer-range strategies,
+//! `proptest::collection::vec`, and `prop_assert!`/`prop_assert_eq!`. Cases
+//! are sampled from a splitmix64 stream seeded by the test's name, so every
+//! run explores the same deterministic set of inputs. Unlike the real
+//! proptest there is no shrinking: a failing case re-panics with the case
+//! number and the sampled arguments after the original assertion message.
+//! Swap for the real crate once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    // The span must go through the unsigned counterpart: a
+                    // signed span wider than $t::MAX would sign-extend via
+                    // `as u128` and sample far outside the range.
+                    let span = self.end.wrapping_sub(self.start) as $u as u128;
+                    let offset = (rng.next_u64() as u128 % span) as $u;
+                    self.start.wrapping_add(offset as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64,
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize
+    );
+
+    impl Strategy for Range<i128> {
+        type Value = i128;
+        fn sample(&self, rng: &mut TestRng) -> i128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end - self.start) as u128;
+            self.start + (rng.next_u64() as u128 % span) as i128
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Number of elements a [`vec`] strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self {
+                start: len,
+                end: len + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self {
+                start: range.start,
+                end: range.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy producing vectors of `element`, with a length
+    /// either fixed (`usize`) or drawn from a `Range<usize>`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case generator behind `proptest!`.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// splitmix64 stream seeded from the test name: deterministic per test,
+    /// decorrelated across tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for the named test.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, xored into a fixed golden seed.
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                state: hash ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Checks a boolean property inside `proptest!`, panicking on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Checks an equality property inside `proptest!`, panicking on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }` is
+/// expanded to a `#[test]` that checks the body against `config.cases`
+/// deterministically sampled argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            config = <$crate::test_runner::Config as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                    let sampled = format!(
+                        concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}"),+),
+                        case $(, &$arg)+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if outcome.is_err() {
+                        panic!("property {} failed for {sampled}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -5i64..6, y in 0u64..10) {
+            prop_assert!((-5..6).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn wide_signed_ranges_stay_in_bounds(x in -100i8..100, y in i64::MIN..i64::MAX) {
+            // The spans here exceed the signed type's MAX, which once
+            // sign-extended through `as u128` and sampled out of range.
+            prop_assert!((-100..100).contains(&x));
+            prop_assert!(y < i64::MAX);
+        }
+
+        #[test]
+        fn vecs_have_requested_lengths(
+            fixed in collection::vec(0u64..5, 3),
+            ranged in collection::vec(collection::vec(0i64..3, 2), 1..4),
+        ) {
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!((1..4).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|inner| inner.len() == 2));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        #[should_panic(expected = "failed for case")]
+        fn failing_property_reports_sampled_arguments(x in 0u64..4) {
+            prop_assert!(x > 100, "deliberately impossible");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRng::deterministic("case");
+        let mut b = crate::test_runner::TestRng::deterministic("case");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

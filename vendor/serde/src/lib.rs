@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! Provides just enough surface for `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` to compile in a container with no
+//! registry access. The derives (from the sibling `serde_derive` stub) expand
+//! to nothing, so the traits here are never implemented — which is fine, as
+//! no code in the workspace calls serialization at runtime. Swap this for the
+//! real `serde` once a registry is reachable.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

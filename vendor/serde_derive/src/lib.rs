@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this workspace builds in has no registry access, and nothing
+//! in the workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes only document intent. These derives therefore
+//! accept the same syntax as the real macros (including `#[serde(...)]`
+//! helper attributes such as `#[serde(skip)]`) and expand to nothing. Swap
+//! `vendor/serde*` for the real crates once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Stub of serde's `Serialize` derive: validates nothing, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub of serde's `Deserialize` derive: validates nothing, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
