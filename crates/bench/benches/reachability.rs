@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the reachability engine (experiment E13 of
+//! DESIGN.md): configurations/sec explored and verdicts/sec on the Figure 1
+//! CRNs, SCC condensation engine versus the seed fixpoint oracle.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let rows = crn_bench::e13_engine_throughput(200);
+    eprintln!("\n[E13] reachability engine throughput (SCC engine vs naive fixpoint oracle)");
+    for r in &rows {
+        eprintln!(
+            "  {}: {} configs, {:.0} configs/s, {:.0} verdicts/s vs {:.0} naive, speedup {:.1}x",
+            r.name,
+            r.reachable,
+            r.engine_configs_per_sec,
+            r.engine_verdicts_per_sec,
+            r.naive_verdicts_per_sec,
+            r.speedup
+        );
+    }
+    let (engine_vps, naive_vps, speedup, identical) = crn_bench::e13_box_check(4, 20);
+    eprintln!(
+        "  max box check (bound 4): {engine_vps:.0} verdicts/s vs {naive_vps:.0} naive, \
+         speedup {speedup:.1}x, bit-identical={identical}"
+    );
+
+    let mut group = c.benchmark_group("E13_box_check_max_bound4");
+    group.bench_function("scc_engine", |b| b.iter(|| crn_bench::e13_box_engine(4)));
+    group.bench_function("naive_fixpoint", |b| b.iter(|| crn_bench::e13_box_naive(4)));
+    group.finish();
+}
+
+criterion_group! {
+    name = reachability;
+    config = configured();
+    targets = engine_throughput
+}
+criterion_main!(reachability);

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 use crn_core::characterize::{characterize, Characterization};
 use crn_core::impossibility::find_lemma41_witness;
 use crn_core::one_dim::{analyze_1d, synthesize_1d_leader, synthesize_1d_leaderless};
@@ -289,6 +291,142 @@ pub fn popproto_interactions(sizes: &[u64]) -> Vec<(u64, u64, u64)> {
         .collect()
 }
 
+/// One row of the E13 reachability-engine throughput experiment.
+#[derive(Debug, Clone)]
+pub struct EngineThroughputRow {
+    /// Workload name (CRN and input).
+    pub name: String,
+    /// Distinct configurations explored per verdict.
+    pub reachable: usize,
+    /// Configurations explored per second by the SCC engine (exploration is
+    /// shared by both engines, so this is the raw state-space throughput).
+    pub engine_configs_per_sec: f64,
+    /// Verdicts per second on the SCC engine.
+    pub engine_verdicts_per_sec: f64,
+    /// Verdicts per second on the naive fixpoint oracle (the seed engine).
+    pub naive_verdicts_per_sec: f64,
+    /// `engine_verdicts_per_sec / naive_verdicts_per_sec`.
+    pub speedup: f64,
+}
+
+/// Times `repeats` runs of `work`, returning (seconds, last result).
+fn time_repeats<T>(repeats: u32, mut work: impl FnMut() -> T) -> (f64, T) {
+    assert!(repeats > 0);
+    let start = Instant::now();
+    let mut last = work();
+    for _ in 1..repeats {
+        last = work();
+    }
+    (start.elapsed().as_secs_f64().max(1e-12), last)
+}
+
+/// E13: single-input verdict throughput of the SCC reachability engine versus
+/// the naive fixpoint oracle on the Figure 1 CRNs.
+#[must_use]
+pub fn e13_engine_throughput(repeats: u32) -> Vec<EngineThroughputRow> {
+    let cases: Vec<(String, FunctionCrn, NVec, u64)> = vec![
+        (
+            "double (X -> 2Y), x=48".into(),
+            examples::double_crn(),
+            NVec::from(vec![48]),
+            96,
+        ),
+        (
+            "min (X1+X2 -> Y), x=(14,14)".into(),
+            examples::min_crn(),
+            NVec::from(vec![14, 14]),
+            14,
+        ),
+        (
+            "max (4 reactions), x=(7,7)".into(),
+            examples::max_crn(),
+            NVec::from(vec![7, 7]),
+            7,
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, crn, x, expected)| {
+            let (engine_secs, verdict) = time_repeats(repeats, || {
+                crn_model::check_stable_computation(&crn, &x, expected, 1_000_000).expect("fits")
+            });
+            let (naive_secs, naive_verdict) = time_repeats(repeats, || {
+                crn_model::reachability::oracle::check_stable_computation_naive(
+                    &crn, &x, expected, 1_000_000,
+                )
+                .expect("fits")
+            });
+            assert_eq!(verdict, naive_verdict, "engines disagree on {name}");
+            let reachable = verdict.reachable_configurations;
+            let per_verdict = engine_secs / f64::from(repeats);
+            EngineThroughputRow {
+                name,
+                reachable,
+                engine_configs_per_sec: reachable as f64 / per_verdict,
+                engine_verdicts_per_sec: f64::from(repeats) / engine_secs,
+                naive_verdicts_per_sec: f64::from(repeats) / naive_secs,
+                speedup: naive_secs / engine_secs,
+            }
+        })
+        .collect()
+}
+
+/// The E13 headline workload on the SCC engine: `check_on_box` for the `max`
+/// CRN against `max(x1, x2)` on the box `[0, bound]^2`.  Pinned to a single
+/// worker so the measured speedup over the (sequential) oracle is purely
+/// algorithmic and reproduces on any core count; multi-core sharding adds on
+/// top of it.
+#[must_use]
+pub fn e13_box_engine(bound: u64) -> Option<crn_model::StableComputationVerdict> {
+    crn_model::check_on_box_with_workers(
+        &examples::max_crn(),
+        |x| x[0].max(x[1]),
+        bound,
+        1_000_000,
+        1,
+    )
+    .expect("fits")
+}
+
+/// The E13 headline workload on the naive fixpoint oracle (the seed engine).
+#[must_use]
+pub fn e13_box_naive(bound: u64) -> Option<crn_model::StableComputationVerdict> {
+    crn_model::reachability::oracle::check_on_box_naive(
+        &examples::max_crn(),
+        |x| x[0].max(x[1]),
+        bound,
+        1_000_000,
+    )
+    .expect("fits")
+}
+
+/// E13 headline measurement: verdicts/sec for the `max` CRN box check on both
+/// engines.  Returns `(engine_verdicts_per_sec, naive_verdicts_per_sec,
+/// speedup, results_identical)`.  The verdict count assumes the full
+/// `(bound + 1)^2` box is scanned, which holds because the `max` CRN passes
+/// on every input (enforced below — a failing workload would early-exit and
+/// inflate the rate).
+///
+/// # Panics
+///
+/// Panics if the `max` CRN unexpectedly fails somewhere in the box.
+#[must_use]
+pub fn e13_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
+    let verdicts = f64::from(repeats) * ((bound + 1) * (bound + 1)) as f64;
+    let (engine_secs, engine_result) = time_repeats(repeats, || e13_box_engine(bound));
+    let (naive_secs, naive_result) = time_repeats(repeats, || e13_box_naive(bound));
+    assert!(
+        engine_result.is_none(),
+        "the max CRN must pass the whole box for the verdict count to be exact"
+    );
+    (
+        verdicts / engine_secs,
+        verdicts / naive_secs,
+        naive_secs / engine_secs,
+        engine_result == naive_result,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +508,38 @@ mod tests {
         let rows = popproto_interactions(&[4, 16]);
         assert!(rows[0].1 <= rows[1].1);
         assert!(rows[0].2 <= rows[1].2);
+    }
+
+    #[test]
+    fn e13_rows_agree_and_report_positive_throughput() {
+        let rows = e13_engine_throughput(2);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.reachable > 0, "{}: explored nothing", row.name);
+            assert!(row.engine_configs_per_sec > 0.0);
+            assert!(row.engine_verdicts_per_sec > 0.0);
+            assert!(row.naive_verdicts_per_sec > 0.0);
+            assert!(row.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn e13_box_check_engines_are_bit_identical() {
+        let (engine_vps, naive_vps, speedup, identical) = e13_box_check(2, 1);
+        assert!(identical, "box-check verdicts diverged");
+        assert!(engine_vps > 0.0 && naive_vps > 0.0 && speedup > 0.0);
+        // Both engines also agree on a *failing* box: min does not compute max.
+        let min = examples::min_crn();
+        let fast = crn_model::check_on_box(&min, |x| x[0].max(x[1]), 2, 100_000).unwrap();
+        let slow = crn_model::reachability::oracle::check_on_box_naive(
+            &min,
+            |x| x[0].max(x[1]),
+            2,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(fast, slow);
+        assert!(fast.unwrap().input == crn_numeric::NVec::from(vec![0, 1]));
     }
 
     #[test]

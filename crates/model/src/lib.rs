@@ -56,8 +56,8 @@ pub use crn::Crn;
 pub use error::CrnError;
 pub use function::{FunctionCrn, Roles};
 pub use reachability::{
-    check_stable_computation, max_output_reachable, reachable_configurations, ReachabilityLimits,
-    StableComputationVerdict,
+    check_on_box, check_on_box_with_workers, check_stable_computation, max_output_reachable,
+    reachable_configurations, ReachabilityLimits, StableComputationVerdict,
 };
 pub use reaction::Reaction;
 pub use species::{Species, SpeciesSet};

@@ -1,0 +1,257 @@
+//! The breadth-first exploration core and the reusable verdict engine.
+//!
+//! [`ExploreState`] is the single implementation of bounded BFS over dense
+//! configurations; [`ReachabilityGraph::explore`] runs it once and takes the
+//! arena and CSR structure, while [`VerdictEngine`] keeps the state (plus the
+//! compiled reactions and Tarjan scratch) alive so that checking a whole box
+//! of inputs performs only a handful of allocations per verdict instead of
+//! rebuilding every data structure from scratch.
+//!
+//! [`ReachabilityGraph::explore`]: super::ReachabilityGraph::explore
+
+use crn_numeric::NVec;
+
+use crate::error::CrnError;
+use crate::function::FunctionCrn;
+
+use super::arena::{CompiledReaction, ConfigArena};
+use super::csr::CsrGraph;
+use super::scc::Condensation;
+use super::{ReachabilityLimits, StableComputationVerdict};
+
+/// Reusable storage for one breadth-first exploration: the configuration
+/// arena, the CSR successor structure being built, and the per-node scratch.
+pub(super) struct ExploreState {
+    pub(super) arena: ConfigArena,
+    pub(super) csr: CsrGraph,
+    /// Stamp of the last expanding node that emitted an edge to each id:
+    /// O(1) duplicate-edge suppression with no per-node scans.
+    last_emit: Vec<usize>,
+    cur: Vec<u64>,
+    succ: Vec<u64>,
+}
+
+impl ExploreState {
+    /// Creates empty state; every buffer grows on first use.
+    pub(super) fn new() -> Self {
+        ExploreState {
+            arena: ConfigArena::new(0),
+            csr: CsrGraph::new(),
+            last_emit: Vec::new(),
+            cur: Vec::new(),
+            succ: Vec::new(),
+        }
+    }
+
+    /// Explores everything reachable from `start_dense` (a count vector of
+    /// length `stride`) under `compiled`, breadth-first.  Configuration ids
+    /// are discovery order; id 0 is the start.  Previous contents of the
+    /// state are discarded, allocations are kept.
+    ///
+    /// On success `self.arena` holds the reachable configurations and
+    /// `self.csr` their successor structure.
+    pub(super) fn run(
+        &mut self,
+        compiled: &[CompiledReaction],
+        stride: usize,
+        start_dense: &[u64],
+        limits: ReachabilityLimits,
+    ) -> Result<(), CrnError> {
+        self.arena.reset(stride);
+        self.csr.reset();
+        self.last_emit.clear();
+        self.cur.clear();
+        self.cur.resize(stride, 0);
+        self.succ.clear();
+        self.succ.resize(stride, 0);
+
+        self.arena.insert_new(start_dense);
+        self.last_emit.push(usize::MAX);
+
+        let mut current = 0usize;
+        while current < self.arena.len() {
+            self.cur.copy_from_slice(self.arena.get(current));
+            for reaction in compiled {
+                if !reaction.applicable(&self.cur) {
+                    continue;
+                }
+                reaction.apply_into(&self.cur, &mut self.succ);
+                let id = match self.arena.lookup(&self.succ) {
+                    Some(id) => id,
+                    None => {
+                        if self.arena.len() >= limits.max_configurations {
+                            return Err(CrnError::SearchLimitExceeded {
+                                limit: format!(
+                                    "{} reachable configurations",
+                                    limits.max_configurations
+                                ),
+                            });
+                        }
+                        self.last_emit.push(usize::MAX);
+                        self.arena.insert_new(&self.succ)
+                    }
+                };
+                if self.last_emit[id] != current {
+                    self.last_emit[id] = current;
+                    self.csr.push_edge(id);
+                }
+            }
+            self.csr.seal_node();
+            current += 1;
+        }
+        Ok(())
+    }
+}
+
+/// A reusable stable-computation checker for one CRN: reactions are compiled
+/// once, and the exploration state, condensation scratch and component arrays
+/// are recycled across [`check`](VerdictEngine::check) calls.  The parallel
+/// box driver gives each worker thread one engine.
+pub(super) struct VerdictEngine<'c> {
+    crn: &'c FunctionCrn,
+    compiled: Vec<CompiledReaction>,
+    stride: usize,
+    state: ExploreState,
+    cond: Condensation,
+    start_dense: Vec<u64>,
+    comp_max: Vec<u64>,
+    comp_min: Vec<u64>,
+    comp_recovers: Vec<bool>,
+}
+
+impl<'c> VerdictEngine<'c> {
+    /// Compiles `crn`'s reactions and readies the scratch.
+    pub(super) fn new(crn: &'c FunctionCrn) -> Self {
+        let compiled = crn
+            .crn()
+            .reactions()
+            .iter()
+            .map(CompiledReaction::compile)
+            .collect();
+        // The stride must cover every species the check can touch: the CRN's
+        // own set, any foreign species a reaction sneaks in (`add_reaction`
+        // does not validate membership), and the role species the start
+        // configuration is built from (`FunctionCrn::new` only validates
+        // distinctness, so roles can come from a different interner too).
+        let roles = crn.roles();
+        let role_max = roles
+            .inputs
+            .iter()
+            .chain(Some(&roles.output))
+            .chain(roles.leader.as_ref())
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let stride = super::arena::stride_for_crn(crn.crn(), &crate::config::Configuration::new())
+            .max(role_max);
+        VerdictEngine {
+            crn,
+            compiled,
+            stride,
+            state: ExploreState::new(),
+            cond: Condensation::empty(),
+            start_dense: Vec::new(),
+            comp_max: Vec::new(),
+            comp_min: Vec::new(),
+            comp_recovers: Vec::new(),
+        }
+    }
+
+    /// Checks whether the CRN stably computes `expected_output` on `x`.
+    /// Equivalent to [`super::check_stable_computation`] (which is this, run
+    /// on a fresh engine).
+    pub(super) fn check(
+        &mut self,
+        x: &NVec,
+        expected_output: u64,
+        max_configurations: usize,
+    ) -> Result<StableComputationVerdict, CrnError> {
+        if x.dim() != self.crn.dim() {
+            return Err(CrnError::DimensionMismatch {
+                expected: self.crn.dim(),
+                actual: x.dim(),
+            });
+        }
+        // The initial configuration `I_x`, built densely: input counts plus
+        // one leader.  Roles are validated distinct, so plain stores suffice.
+        self.start_dense.clear();
+        self.start_dense.resize(self.stride, 0);
+        for (i, species) in self.crn.roles().inputs.iter().enumerate() {
+            self.start_dense[species.index()] = x[i];
+        }
+        if let Some(leader) = self.crn.leader() {
+            self.start_dense[leader.index()] += 1;
+        }
+
+        self.state.run(
+            &self.compiled,
+            self.stride,
+            &self.start_dense,
+            ReachabilityLimits { max_configurations },
+        )?;
+        self.cond.rebuild(&self.state.csr);
+
+        let arena = &self.state.arena;
+        let csr = &self.state.csr;
+        let cond = &self.cond;
+        let out_idx = self.crn.output().index();
+        let out_of = |v: usize| arena.get(v)[out_idx];
+
+        // Every configuration of a strongly connected component reaches the
+        // same closure, so all three verdict queries are per-component, each
+        // one reverse-topological fold over the condensation.
+        let k = cond.component_count();
+        cond.fold_into(csr, u64::MIN, out_of, u64::max, &mut self.comp_max);
+        cond.fold_into(csr, u64::MAX, out_of, u64::min, &mut self.comp_min);
+        let comp_max = &self.comp_max;
+        let comp_min = &self.comp_min;
+
+        // A component is *stable* when the output count can never change
+        // again anywhere in its closure; all its configurations then carry
+        // the single output value `comp_max[c]`.  A component *recovers* when
+        // it is itself stable-with-the-expected-output or reaches a component
+        // that recovers.
+        cond.fold_into(
+            csr,
+            false,
+            |v| {
+                let c = cond.component_of(v);
+                comp_max[c] == comp_min[c] && comp_max[c] == expected_output
+            },
+            |a, b| a || b,
+            &mut self.comp_recovers,
+        );
+        let comp_recovers = &self.comp_recovers;
+        let all_recover = comp_recovers.iter().all(|&r| r);
+
+        let mut stable_outputs: Vec<u64> = (0..k)
+            .filter(|&c| comp_max[c] == comp_min[c])
+            .map(|c| comp_max[c])
+            .collect();
+        stable_outputs.sort_unstable();
+        stable_outputs.dedup();
+
+        let failure = if all_recover {
+            None
+        } else {
+            let bad = (0..arena.len())
+                .find(|&v| !comp_recovers[cond.component_of(v)])
+                .expect("some bad index");
+            Some(format!(
+                "configuration {} cannot reach a stable configuration with output {}",
+                arena.sparse(bad).display(self.crn.crn().species()),
+                expected_output
+            ))
+        };
+
+        Ok(StableComputationVerdict {
+            input: x.clone(),
+            expected_output,
+            correct: all_recover,
+            reachable_configurations: arena.len(),
+            max_output_reachable: comp_max[cond.component_of(0)],
+            stable_outputs,
+            failure,
+        })
+    }
+}

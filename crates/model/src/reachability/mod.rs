@@ -1,0 +1,611 @@
+//! Exhaustive bounded reachability and stable-computation checking.
+//!
+//! Stable computation (Section 2.2) is a reachability property: a CRN stably
+//! computes `f` on input `x` if from *every* configuration reachable from the
+//! initial configuration `I_x`, a *stable* configuration with output count
+//! `f(x)` remains reachable.  For the small CRNs used throughout the paper the
+//! reachable configuration space is finite, so the property can be checked
+//! exactly by exhaustive search; this module implements that check plus the
+//! "maximum output ever reachable" query used by the impossibility witnesses
+//! (Lemma 4.1 / Figure 6).
+//!
+//! # Engine architecture
+//!
+//! The checker is organised as a small subsystem:
+//!
+//! * [`arena`](self) (internal) — an interned **configuration arena**: dense
+//!   count vectors in one allocation, with an open-addressing hash index over
+//!   arena ids, so exploration never clones a sparse configuration per edge;
+//! * [`CsrGraph`] — successor storage laid out in **compressed sparse row**
+//!   form directly during the breadth-first exploration;
+//! * [`Condensation`] — **Tarjan SCC condensation**; the three reachability
+//!   queries behind a verdict (max/min reachable output, recoverability)
+//!   each become one linear pass over the components in reverse topological
+//!   order instead of an iterate-until-stable fixpoint;
+//! * [`check_on_box`] — a **parallel driver** sharding the input box across
+//!   scoped threads with a deterministic, lexicographically-first result;
+//! * [`oracle`] — the seed fixpoint engine, kept as the differential-testing
+//!   baseline and the comparison point of the E13 benchmark.
+
+mod arena;
+mod csr;
+mod engine;
+pub mod oracle;
+mod parallel;
+mod scc;
+
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+use crn_numeric::NVec;
+
+use crate::config::Configuration;
+use crate::crn::Crn;
+use crate::error::CrnError;
+use crate::function::FunctionCrn;
+use crate::species::Species;
+
+use arena::ConfigArena;
+use engine::{ExploreState, VerdictEngine};
+
+pub use csr::CsrGraph;
+pub use scc::Condensation;
+
+/// Limits for exhaustive exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReachabilityLimits {
+    /// Maximum number of distinct configurations to explore before giving up.
+    pub max_configurations: usize,
+}
+
+impl Default for ReachabilityLimits {
+    fn default() -> Self {
+        ReachabilityLimits {
+            max_configurations: 200_000,
+        }
+    }
+}
+
+/// The reachability graph over the configurations reachable from a start
+/// configuration.
+///
+/// Configurations live in a dense interned arena; sparse [`Configuration`]
+/// values are materialized lazily, only if [`configurations`] is called.
+///
+/// [`configurations`]: ReachabilityGraph::configurations
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    arena: ConfigArena,
+    csr: CsrGraph,
+    sparse: OnceLock<Vec<Configuration>>,
+}
+
+impl ReachabilityGraph {
+    /// Explores all configurations reachable from `start` in `crn`,
+    /// breadth-first.  Configuration ids are discovery (BFS) order; id 0 is
+    /// `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::SearchLimitExceeded`] if more than
+    /// `limits.max_configurations` distinct configurations are found.
+    pub fn explore(
+        crn: &Crn,
+        start: &Configuration,
+        limits: ReachabilityLimits,
+    ) -> Result<Self, CrnError> {
+        let stride = arena::stride_for_crn(crn, start);
+        let start_dense = arena::to_dense(start, stride).expect("stride covers start");
+        let compiled: Vec<arena::CompiledReaction> = crn
+            .reactions()
+            .iter()
+            .map(arena::CompiledReaction::compile)
+            .collect();
+        let mut state = ExploreState::new();
+        state.run(&compiled, stride, &start_dense, limits)?;
+        Ok(ReachabilityGraph {
+            arena: state.arena,
+            csr: state.csr,
+            sparse: OnceLock::new(),
+        })
+    }
+
+    /// The number of distinct reachable configurations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether the graph is empty (never the case after a successful explore).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arena.len() == 0
+    }
+
+    /// All reachable configurations (index 0 is the start configuration).
+    ///
+    /// Materialized from the arena on first call and cached.
+    #[must_use]
+    pub fn configurations(&self) -> &[Configuration] {
+        self.sparse.get_or_init(|| {
+            (0..self.arena.len())
+                .map(|i| self.arena.sparse(i))
+                .collect()
+        })
+    }
+
+    /// Whether `target` is reachable from the start configuration.
+    ///
+    /// An O(1) expected-time query through the arena's hash index, which stays
+    /// alive after [`explore`](ReachabilityGraph::explore).
+    #[must_use]
+    pub fn contains(&self, target: &Configuration) -> bool {
+        match arena::to_dense(target, self.arena.stride()) {
+            Some(dense) => self.arena.lookup(&dense).is_some(),
+            // A positive count of a species outside the explored stride can
+            // never have been interned.
+            None => false,
+        }
+    }
+
+    /// The successors of configuration `id`, in discovery order.
+    #[must_use]
+    pub fn successors(&self, id: usize) -> &[usize] {
+        self.csr.successors(id)
+    }
+
+    /// The CSR successor structure of the graph.
+    #[must_use]
+    pub fn graph(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The Tarjan condensation of the graph (one linear pass).
+    #[must_use]
+    pub fn condensation(&self) -> Condensation {
+        Condensation::of(&self.csr)
+    }
+
+    /// The count of `species` in every reachable configuration, by id.
+    #[must_use]
+    pub fn species_counts(&self, species: Species) -> Vec<u64> {
+        let idx = species.index();
+        if idx >= self.arena.stride() {
+            return vec![0; self.arena.len()];
+        }
+        (0..self.arena.len())
+            .map(|i| self.arena.get(i)[idx])
+            .collect()
+    }
+}
+
+/// The result of checking whether a CRN stably computes a value on one input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StableComputationVerdict {
+    /// The input that was checked.
+    pub input: NVec,
+    /// The expected output `f(x)`.
+    pub expected_output: u64,
+    /// Whether the CRN stably computes `f(x)` on this input.
+    pub correct: bool,
+    /// The number of distinct reachable configurations explored.
+    pub reachable_configurations: usize,
+    /// The largest output count in any reachable configuration.  A value
+    /// greater than `expected_output` in an output-oblivious CRN is a proof of
+    /// incorrectness (output can never be consumed again).
+    pub max_output_reachable: u64,
+    /// The set of output values of stable reachable configurations.
+    pub stable_outputs: Vec<u64>,
+    /// If incorrect, a human-readable reason.
+    pub failure: Option<String>,
+}
+
+impl StableComputationVerdict {
+    /// Whether the CRN stably computes the expected value on this input.
+    #[must_use]
+    pub fn is_correct(&self) -> bool {
+        self.correct
+    }
+}
+
+/// Checks whether `crn` stably computes `expected_output` on input `x` by
+/// exhaustive bounded reachability.
+///
+/// One BFS exploration plus one Tarjan condensation answer all three
+/// reachability queries (max/min reachable output and recoverability) in time
+/// linear in the explored graph.
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] for an input of the wrong arity and
+/// [`CrnError::SearchLimitExceeded`] if the reachable space exceeds
+/// `max_configurations`.
+pub fn check_stable_computation(
+    crn: &FunctionCrn,
+    x: &NVec,
+    expected_output: u64,
+    max_configurations: usize,
+) -> Result<StableComputationVerdict, CrnError> {
+    VerdictEngine::new(crn).check(x, expected_output, max_configurations)
+}
+
+/// Checks stable computation of `f` on every input in the box `[0, bound]^d`,
+/// sharding the inputs across worker threads (up to one per available core,
+/// with each worker granted enough inputs to amortize its spawn cost).
+///
+/// Returns the first failing verdict in lexicographic input order — the same
+/// verdict a sequential scan would return, regardless of scheduling — or
+/// `Ok(None)` if all inputs pass.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`]; when several inputs
+/// fail or error, the outcome of the lexicographically-first one wins.
+pub fn check_on_box(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    let points = bound
+        .saturating_add(1)
+        .saturating_pow(u32::try_from(crn.dim()).unwrap_or(u32::MAX));
+    let workers = parallel::default_workers()
+        .min(usize::try_from(points / parallel::MIN_POINTS_PER_WORKER).unwrap_or(usize::MAX))
+        .max(1);
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers)
+}
+
+/// [`check_on_box`] with an explicit worker-thread count (mainly for tests
+/// and benchmarks; `workers == 1` runs the plain sequential scan).
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`] exactly as
+/// [`check_on_box`] does.
+pub fn check_on_box_with_workers(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+    workers: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers)
+}
+
+/// The maximum count of the output species over every configuration reachable
+/// from `I_x`.  Used to exhibit overproduction: for an output-oblivious CRN the
+/// output can never shrink, so a reachable output above `f(x)` shows the CRN
+/// does not stably compute `f`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`ReachabilityGraph::explore`].
+pub fn max_output_reachable(
+    crn: &FunctionCrn,
+    x: &NVec,
+    max_configurations: usize,
+) -> Result<u64, CrnError> {
+    let start = crn.initial_configuration(x)?;
+    let graph =
+        ReachabilityGraph::explore(crn.crn(), &start, ReachabilityLimits { max_configurations })?;
+    Ok(graph
+        .species_counts(crn.output())
+        .into_iter()
+        .max()
+        .unwrap_or(0))
+}
+
+/// All configurations reachable from `start` (convenience wrapper).
+///
+/// # Errors
+///
+/// Propagates the errors of [`ReachabilityGraph::explore`].
+pub fn reachable_configurations(
+    crn: &Crn,
+    start: &Configuration,
+    max_configurations: usize,
+) -> Result<Vec<Configuration>, CrnError> {
+    Ok(
+        ReachabilityGraph::explore(crn, start, ReachabilityLimits { max_configurations })?
+            .configurations()
+            .to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::reaction::Reaction;
+    use proptest::prelude::*;
+
+    #[test]
+    fn double_crn_stably_computes_2x() {
+        let double = examples::double_crn();
+        for x in 0..6u64 {
+            let v = check_stable_computation(&double, &NVec::from(vec![x]), 2 * x, 10_000).unwrap();
+            assert!(v.is_correct(), "failed at x={x}: {:?}", v.failure);
+            assert_eq!(v.max_output_reachable, 2 * x);
+            assert_eq!(v.stable_outputs, vec![2 * x]);
+        }
+    }
+
+    #[test]
+    fn min_crn_stably_computes_min() {
+        let min = examples::min_crn();
+        for x1 in 0..5u64 {
+            for x2 in 0..5u64 {
+                let v =
+                    check_stable_computation(&min, &NVec::from(vec![x1, x2]), x1.min(x2), 10_000)
+                        .unwrap();
+                assert!(v.is_correct());
+            }
+        }
+    }
+
+    #[test]
+    fn min_crn_rejects_wrong_value() {
+        let min = examples::min_crn();
+        let v = check_stable_computation(&min, &NVec::from(vec![2, 3]), 3, 10_000).unwrap();
+        assert!(!v.is_correct());
+        assert!(v.failure.is_some());
+    }
+
+    #[test]
+    fn max_crn_stably_computes_max_despite_overshoot() {
+        let max = examples::max_crn();
+        for x1 in 0..4u64 {
+            for x2 in 0..4u64 {
+                let v =
+                    check_stable_computation(&max, &NVec::from(vec![x1, x2]), x1.max(x2), 50_000)
+                        .unwrap();
+                assert!(v.is_correct(), "failed at ({x1},{x2}): {:?}", v.failure);
+                // The overshoot phenomenon from Section 1.2: the output can
+                // transiently exceed max(x1,x2) (it can reach x1+x2).
+                assert_eq!(v.max_output_reachable, x1 + x2);
+            }
+        }
+    }
+
+    #[test]
+    fn check_on_box_passes_for_min() {
+        let min = examples::min_crn();
+        let bad = check_on_box(&min, |x| x[0].min(x[1]), 3, 10_000).unwrap();
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    fn check_on_box_reports_failure() {
+        // X1 + X2 -> Y does NOT compute max; the box check finds the failure.
+        let min = examples::min_crn();
+        let bad = check_on_box(&min, |x| x[0].max(x[1]), 2, 10_000).unwrap();
+        let verdict = bad.expect("must fail somewhere");
+        assert!(!verdict.is_correct());
+    }
+
+    #[test]
+    fn sharded_box_check_is_deterministic_and_matches_sequential() {
+        let min = examples::min_crn();
+        let sequential = check_on_box_with_workers(&min, |x| x[0].max(x[1]), 3, 10_000, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let sharded =
+                check_on_box_with_workers(&min, |x| x[0].max(x[1]), 3, 10_000, workers).unwrap();
+            assert_eq!(sharded, sequential, "workers={workers}");
+        }
+        // The failing input must be the lexicographically first one: (0, 1).
+        assert_eq!(
+            sequential.unwrap().input,
+            NVec::from(vec![0, 1]),
+            "lexicographically-first failure"
+        );
+    }
+
+    #[test]
+    fn sharded_box_check_propagates_the_first_error() {
+        let double = examples::double_crn();
+        // Every input from x=3 up exceeds the tiny limit; the error reported
+        // must be the one at the first such input regardless of sharding.
+        let sequential = check_on_box_with_workers(&double, |x| 2 * x[0], 8, 4, 1).unwrap_err();
+        let sharded = check_on_box_with_workers(&double, |x| 2 * x[0], 8, 4, 4).unwrap_err();
+        assert_eq!(sharded, sequential);
+    }
+
+    #[test]
+    fn max_output_reachable_detects_overshoot() {
+        let max = examples::max_crn();
+        let m = max_output_reachable(&max, &NVec::from(vec![2, 3]), 50_000).unwrap();
+        assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn search_limit_is_enforced() {
+        let double = examples::double_crn();
+        let err = check_stable_computation(&double, &NVec::from(vec![30]), 60, 5).unwrap_err();
+        assert!(matches!(err, CrnError::SearchLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn reachable_configurations_of_double() {
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![2])).unwrap();
+        let reach = reachable_configurations(double.crn(), &start, 1000).unwrap();
+        // {2X}, {1X,2Y}, {0X,4Y}
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn contains_answers_through_the_arena_index() {
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![2])).unwrap();
+        let graph = ReachabilityGraph::explore(double.crn(), &start, ReachabilityLimits::default())
+            .unwrap();
+        assert!(graph.contains(&start));
+        let x = double.roles().inputs[0];
+        let y = double.output();
+        assert!(graph.contains(&Configuration::from_counts(vec![(x, 1), (y, 2)])));
+        assert!(graph.contains(&Configuration::from_counts(vec![(y, 4)])));
+        assert!(!graph.contains(&Configuration::from_counts(vec![(y, 3)])));
+        // A species the exploration never saw cannot be contained.
+        assert!(!graph.contains(&Configuration::from_counts(vec![(Species(99), 1)])));
+    }
+
+    #[test]
+    fn reactions_with_foreign_species_do_not_panic() {
+        // `Crn::add_reaction` does not validate that reaction species belong
+        // to the CRN's interner; the dense stride must still cover them (the
+        // seed's sparse engine accepted such CRNs without crashing).
+        let mut crn = Crn::new();
+        let a = crn.add_species("A");
+        let foreign = Species(5);
+        crn.add_reaction(Reaction::new(vec![(a, 1)], vec![(foreign, 1)]));
+        let start = Configuration::from_counts(vec![(a, 2)]);
+        let reach = reachable_configurations(&crn, &start, 100).unwrap();
+        // {2A}, {1A, 1F}, {2F}
+        assert_eq!(reach.len(), 3);
+        let graph =
+            ReachabilityGraph::explore(&crn, &start, ReachabilityLimits::default()).unwrap();
+        assert!(graph.contains(&Configuration::from_counts(vec![(foreign, 2)])));
+    }
+
+    #[test]
+    fn roles_with_foreign_species_do_not_panic() {
+        // `FunctionCrn::new` validates only role distinctness, so a Species
+        // interned by a *larger* CRN can serve as a role of a smaller one;
+        // the engine's stride must cover it (the seed engine returned a
+        // verdict here rather than crashing).
+        let mut crn = Crn::new();
+        crn.parse_reaction("A -> A").unwrap();
+        let f = FunctionCrn::new(
+            crn,
+            crate::function::Roles {
+                inputs: vec![Species(7)],
+                output: Species(9),
+                leader: None,
+            },
+        )
+        .unwrap();
+        let x = NVec::from(vec![2]);
+        let fast = check_stable_computation(&f, &x, 0, 1_000).unwrap();
+        let slow = oracle::check_stable_computation_naive(&f, &x, 0, 1_000).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn min1x_leader_crn_is_oblivious_and_correct() {
+        let crn = examples::min1_leader_crn();
+        assert!(crn.is_output_oblivious());
+        for x in 0..5u64 {
+            let expected = x.min(1);
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000).unwrap();
+            assert!(v.is_correct());
+        }
+    }
+
+    #[test]
+    fn min1x_leaderless_crn_is_correct_but_not_oblivious() {
+        let crn = examples::min1_leaderless_crn();
+        assert!(!crn.is_output_oblivious());
+        for x in 0..5u64 {
+            let expected = x.min(1);
+            let v = check_stable_computation(&crn, &NVec::from(vec![x]), expected, 10_000).unwrap();
+            assert!(v.is_correct());
+        }
+    }
+
+    #[test]
+    fn scc_engine_matches_oracle_on_figure_examples() {
+        // E2 parity: the SCC engine's verdicts must be bit-identical to the
+        // seed fixpoint engine on the Figure 1/2 examples, passing or failing.
+        let cases: Vec<(FunctionCrn, NVec, u64)> = vec![
+            (examples::double_crn(), NVec::from(vec![4]), 8),
+            (examples::min_crn(), NVec::from(vec![3, 5]), 3),
+            (examples::min_crn(), NVec::from(vec![2, 3]), 3), // failing
+            (examples::max_crn(), NVec::from(vec![2, 3]), 3),
+            (examples::max_crn(), NVec::from(vec![2, 3]), 5), // failing
+            (examples::min1_leader_crn(), NVec::from(vec![4]), 1),
+            (examples::min1_leaderless_crn(), NVec::from(vec![0]), 0),
+        ];
+        for (crn, x, expected) in &cases {
+            let fast = check_stable_computation(crn, x, *expected, 100_000);
+            let slow = oracle::check_stable_computation_naive(crn, x, *expected, 100_000);
+            assert_eq!(fast, slow, "diverged on input {x}");
+        }
+        // Box-level parity, including a failing box.
+        let min = examples::min_crn();
+        assert_eq!(
+            check_on_box(&min, |x| x[0].min(x[1]), 3, 10_000).unwrap(),
+            oracle::check_on_box_naive(&min, |x| x[0].min(x[1]), 3, 10_000).unwrap()
+        );
+        assert_eq!(
+            check_on_box(&min, |x| x[0].max(x[1]), 2, 10_000).unwrap(),
+            oracle::check_on_box_naive(&min, |x| x[0].max(x[1]), 2, 10_000).unwrap()
+        );
+        let max = examples::max_crn();
+        assert_eq!(
+            check_on_box(&max, |x| x[0].max(x[1]), 3, 100_000).unwrap(),
+            oracle::check_on_box_naive(&max, |x| x[0].max(x[1]), 3, 100_000).unwrap()
+        );
+    }
+
+    /// Builds a small arbitrary CRN over species `{X, Y, Z}` from sampled
+    /// stoichiometries: input `X`, output `Y`.
+    fn random_crn(stoich: &[Vec<u64>]) -> FunctionCrn {
+        let mut crn = Crn::new();
+        let x = crn.add_species("X");
+        let y = crn.add_species("Y");
+        let z = crn.add_species("Z");
+        let species = [x, y, z];
+        for row in stoich {
+            let reactants: Vec<(Species, u64)> = species
+                .iter()
+                .zip(&row[0..3])
+                .map(|(&s, &c)| (s, c))
+                .collect();
+            let products: Vec<(Species, u64)> = species
+                .iter()
+                .zip(&row[3..6])
+                .map(|(&s, &c)| (s, c))
+                .collect();
+            crn.add_reaction(Reaction::new(reactants, products));
+        }
+        FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
+    }
+
+    proptest! {
+        /// Additivity of reachability (Section 2.2): if A ->* B then A + C ->* B + C.
+        #[test]
+        fn reachability_is_additive(x in 0u64..5, extra in 0u64..4) {
+            let double = examples::double_crn();
+            let input = NVec::from(vec![x]);
+            let start = double.initial_configuration(&input).unwrap();
+            let reach = reachable_configurations(double.crn(), &start, 10_000).unwrap();
+            // Add `extra` copies of the input species to both sides.
+            let x_species = double.roles().inputs[0];
+            let mut addition = Configuration::new();
+            addition.add(x_species, extra);
+            let start_plus = start.plus(&addition);
+            let reach_plus = reachable_configurations(double.crn(), &start_plus, 10_000).unwrap();
+            for b in &reach {
+                prop_assert!(reach_plus.contains(&b.plus(&addition)));
+            }
+        }
+
+        /// Differential check: on arbitrary small CRNs the SCC engine and the
+        /// naive fixpoint oracle return identical verdicts — or identical
+        /// errors when the reachable space blows past the search limit.
+        #[test]
+        fn scc_engine_agrees_with_fixpoint_oracle(
+            stoich in proptest::collection::vec(proptest::collection::vec(0u64..3, 6), 1..4),
+            x in 0u64..5,
+            expected in 0u64..5,
+        ) {
+            let crn = random_crn(&stoich);
+            let input = NVec::from(vec![x]);
+            let fast = check_stable_computation(&crn, &input, expected, 2_000);
+            let slow = oracle::check_stable_computation_naive(&crn, &input, expected, 2_000);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

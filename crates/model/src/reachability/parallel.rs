@@ -1,0 +1,100 @@
+//! Parallel box checking.
+//!
+//! `check_on_box` enumerates the inputs of `[0, bound]^d` in lexicographic
+//! order and shards them across scoped worker threads (the vendored stubs
+//! have no rayon, so the pool is a plain `std::thread::scope` with an atomic
+//! work-stealing cursor).  The result is deterministic regardless of thread
+//! interleaving: every worker records the index of any failing (or erroring)
+//! input it sees, indices past the best-known failure are skipped, and the
+//! verdict returned is the one at the smallest index — exactly what the
+//! sequential loop would have produced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crn_numeric::NVec;
+
+use crate::error::CrnError;
+use crate::function::FunctionCrn;
+
+use super::engine::VerdictEngine;
+use super::StableComputationVerdict;
+
+/// One input's outcome: the check failed, or the search errored out.
+type BoxOutcome = Result<StableComputationVerdict, CrnError>;
+
+/// The default shard grants each worker at least this many inputs, so a box
+/// never spawns threads whose startup cost dwarfs their microsecond-scale
+/// share of the work.  An explicit worker count via
+/// [`super::check_on_box_with_workers`] overrides this.
+pub(super) const MIN_POINTS_PER_WORKER: u64 = 8;
+
+/// Checks every input of the box on `workers` threads, returning the verdict
+/// (or error) of the lexicographically-first input that does not pass.
+pub(super) fn check_on_box_sharded(
+    crn: &FunctionCrn,
+    f: &(impl Fn(&NVec) -> u64 + Sync),
+    bound: u64,
+    max_configurations: usize,
+    workers: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    let points = NVec::enumerate_box(crn.dim(), bound);
+    let workers = workers.clamp(1, points.len().max(1));
+    if workers == 1 {
+        // Degenerate shard: the plain sequential loop on one reused engine.
+        let mut engine = VerdictEngine::new(crn);
+        for x in &points {
+            let verdict = engine.check(x, f(x), max_configurations)?;
+            if !verdict.is_correct() {
+                return Ok(Some(verdict));
+            }
+        }
+        return Ok(None);
+    }
+
+    let next = AtomicUsize::new(0);
+    let first_bad = AtomicUsize::new(usize::MAX);
+    let found: Mutex<Vec<(usize, BoxOutcome)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut engine = VerdictEngine::new(crn);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    // Inputs beyond the best known failure cannot change the
+                    // answer; the cursor only grows, so this worker is done.
+                    if i >= points.len() || i > first_bad.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let x = &points[i];
+                    let outcome = engine.check(x, f(x), max_configurations);
+                    let passes = matches!(&outcome, Ok(v) if v.is_correct());
+                    if !passes {
+                        first_bad.fetch_min(i, Ordering::AcqRel);
+                        found
+                            .lock()
+                            .expect("no panics hold the lock")
+                            .push((i, outcome));
+                    }
+                }
+            });
+        }
+    });
+
+    let mut found = found.into_inner().expect("no panics hold the lock");
+    found.sort_by_key(|&(i, _)| i);
+    match found.into_iter().next() {
+        None => Ok(None),
+        Some((_, Ok(verdict))) => Ok(Some(verdict)),
+        Some((_, Err(e))) => Err(e),
+    }
+}
+
+/// The default shard width: one worker per available core, capped by the
+/// number of inputs.
+pub(super) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}

@@ -26,6 +26,27 @@ pub struct GillespieOutcome {
     pub silent: bool,
 }
 
+/// Selects the reaction whose propensity interval contains `target`, given a
+/// roulette target drawn uniformly from `[0, total)`.
+///
+/// Floating-point rounding in the cumulative subtraction can exhaust `target`
+/// past every interval; the fallback must then be the **last reaction with
+/// positive propensity** — never a zero-propensity (inapplicable) reaction,
+/// whose firing would panic in `Configuration::apply`.
+fn select_reaction(propensities: &[f64], mut target: f64) -> usize {
+    let mut last_positive = None;
+    for (i, &a) in propensities.iter().enumerate() {
+        if a > 0.0 {
+            if target < a {
+                return i;
+            }
+            last_positive = Some(i);
+        }
+        target -= a;
+    }
+    last_positive.expect("total propensity is positive, so some reaction is applicable")
+}
+
 /// An exact stochastic simulator for a CRN.
 ///
 /// ```
@@ -44,6 +65,8 @@ pub struct GillespieOutcome {
 pub struct Gillespie {
     crn: Crn,
     rng: StdRng,
+    /// Per-step propensity buffer, reused so the hot loop never allocates.
+    propensities: Vec<f64>,
 }
 
 impl Gillespie {
@@ -53,6 +76,7 @@ impl Gillespie {
         Gillespie {
             crn,
             rng: StdRng::seed_from_u64(seed),
+            propensities: Vec::new(),
         }
     }
 
@@ -60,6 +84,30 @@ impl Gillespie {
     #[must_use]
     pub fn crn(&self) -> &Crn {
         &self.crn
+    }
+
+    /// Advances the chain by one reaction firing: draws the exponential
+    /// waiting time, selects a reaction proportionally to its propensity and
+    /// applies it.  Returns `false` (leaving `config` and `time` untouched)
+    /// when the CRN is silent.  Both run modes share this step so the
+    /// selection logic cannot drift between them.
+    fn step(&mut self, config: &mut Configuration, time: &mut f64) -> bool {
+        self.propensities.clear();
+        for i in 0..self.crn.reactions().len() {
+            self.propensities.push(propensity(&self.crn, config, i));
+        }
+        let total: f64 = self.propensities.iter().sum();
+        if total <= 0.0 {
+            return false;
+        }
+        // Exponential waiting time with rate `total`.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+        // Choose the reaction proportionally to its propensity.
+        let target = self.rng.gen::<f64>() * total;
+        let chosen = select_reaction(&self.propensities, target);
+        *config = config.apply(&self.crn.reactions()[chosen]);
+        true
     }
 
     /// Runs from `start` until the CRN is silent or `max_steps` reactions have
@@ -70,11 +118,7 @@ impl Gillespie {
         let mut time = 0.0f64;
         let mut steps = 0u64;
         while steps < max_steps {
-            let propensities: Vec<f64> = (0..self.crn.reactions().len())
-                .map(|i| propensity(&self.crn, &config, i))
-                .collect();
-            let total: f64 = propensities.iter().sum();
-            if total <= 0.0 {
+            if !self.step(&mut config, &mut time) {
                 return GillespieOutcome {
                     final_configuration: config,
                     steps,
@@ -82,20 +126,6 @@ impl Gillespie {
                     silent: true,
                 };
             }
-            // Exponential waiting time with rate `total`.
-            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            time += -u.ln() / total;
-            // Choose the reaction proportionally to its propensity.
-            let mut target = self.rng.gen::<f64>() * total;
-            let mut chosen = propensities.len() - 1;
-            for (i, a) in propensities.iter().enumerate() {
-                if target < *a {
-                    chosen = i;
-                    break;
-                }
-                target -= a;
-            }
-            config = config.apply(&self.crn.reactions()[chosen]);
             steps += 1;
         }
         GillespieOutcome {
@@ -119,23 +149,8 @@ impl Gillespie {
         let mut time = 0.0f64;
         let mut steps = 0u64;
         let mut trajectory = vec![(0.0, config.count(tracked))];
-        loop {
-            if steps >= max_steps {
-                return (
-                    GillespieOutcome {
-                        final_configuration: config,
-                        steps,
-                        time,
-                        silent: false,
-                    },
-                    trajectory,
-                );
-            }
-            let propensities: Vec<f64> = (0..self.crn.reactions().len())
-                .map(|i| propensity(&self.crn, &config, i))
-                .collect();
-            let total: f64 = propensities.iter().sum();
-            if total <= 0.0 {
+        while steps < max_steps {
+            if !self.step(&mut config, &mut time) {
                 return (
                     GillespieOutcome {
                         final_configuration: config,
@@ -146,21 +161,18 @@ impl Gillespie {
                     trajectory,
                 );
             }
-            let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-            time += -u.ln() / total;
-            let mut target = self.rng.gen::<f64>() * total;
-            let mut chosen = propensities.len() - 1;
-            for (i, a) in propensities.iter().enumerate() {
-                if target < *a {
-                    chosen = i;
-                    break;
-                }
-                target -= a;
-            }
-            config = config.apply(&self.crn.reactions()[chosen]);
             steps += 1;
             trajectory.push((time, config.count(tracked)));
         }
+        (
+            GillespieOutcome {
+                final_configuration: config,
+                steps,
+                time,
+                silent: false,
+            },
+            trajectory,
+        )
     }
 }
 
@@ -239,5 +251,75 @@ mod tests {
         let b = run(11);
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.final_configuration, b.final_configuration);
+    }
+
+    /// A CRN whose *final* reaction is inapplicable from the start
+    /// configuration: `X -> Y` can fire, `K + Y -> K` never can (no `K`).
+    fn crn_with_inapplicable_final_reaction() -> Crn {
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("K + Y -> K").unwrap();
+        crn
+    }
+
+    /// Regression test for the roulette-selection fallback.  The seed code
+    /// initialised `chosen = propensities.len() - 1` before the scan, so when
+    /// floating-point rounding exhausts `target` past every entry the
+    /// zero-propensity final reaction was selected and `Configuration::apply`
+    /// panicked.  `select_reaction` must fall back to the last reaction with
+    /// *positive* propensity instead.
+    #[test]
+    fn exhausted_target_falls_back_to_last_applicable_reaction() {
+        let crn = crn_with_inapplicable_final_reaction();
+        let mut config = Configuration::new();
+        config.set(crn.species_named("X").unwrap(), 3);
+        let propensities: Vec<f64> = (0..crn.reactions().len())
+            .map(|i| propensity(&crn, &config, i))
+            .collect();
+        let total: f64 = propensities.iter().sum();
+        assert_eq!(
+            propensities.last().copied(),
+            Some(0.0),
+            "final reaction must be inapplicable"
+        );
+        // Simulate the rounding overshoot: a roulette target at (or past) the
+        // total propensity survives every cumulative subtraction.
+        for target in [total, total * (1.0 + f64::EPSILON)] {
+            let chosen = select_reaction(&propensities, target);
+            assert!(
+                propensities[chosen] > 0.0,
+                "selected inapplicable reaction {chosen} for target {target}"
+            );
+            // Applying the selected reaction must not panic.
+            let _ = config.apply(&crn.reactions()[chosen]);
+        }
+    }
+
+    #[test]
+    fn select_reaction_respects_propensity_intervals() {
+        // Intervals: [0,1) -> 0, [1,3) -> 1, zero-width for 2, [3,4) -> 3.
+        let p = [1.0, 2.0, 0.0, 1.0];
+        assert_eq!(select_reaction(&p, 0.0), 0);
+        assert_eq!(select_reaction(&p, 0.999), 0);
+        assert_eq!(select_reaction(&p, 1.0), 1);
+        assert_eq!(select_reaction(&p, 2.999), 1);
+        assert_eq!(select_reaction(&p, 3.5), 3);
+        // Trailing zero propensity is never selected, even on overshoot.
+        assert_eq!(select_reaction(&[1.0, 0.0], 2.0), 0);
+    }
+
+    #[test]
+    fn runs_with_inapplicable_final_reaction_never_panic() {
+        let crn = crn_with_inapplicable_final_reaction();
+        let x = crn.species_named("X").unwrap();
+        let y = crn.species_named("Y").unwrap();
+        for seed in 0..50 {
+            let mut start = Configuration::new();
+            start.set(x, 20);
+            let mut sim = Gillespie::new(crn.clone(), seed);
+            let out = sim.run(&start, 1_000_000);
+            assert!(out.silent);
+            assert_eq!(out.final_configuration.count(y), 20);
+        }
     }
 }

@@ -68,6 +68,7 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn summary_of_constant_batch() {
@@ -110,5 +111,60 @@ mod tests {
         assert_eq!(percentile(&sorted, 0.5), 50.0);
         assert_eq!(percentile(&sorted, 0.95), 95.0);
         assert_eq!(percentile(&sorted, 1.0), 100.0);
+    }
+
+    /// Sorts an arbitrary integer batch into the form `percentile` expects.
+    fn sorted_batch(raw: &[u64]) -> Vec<f64> {
+        let mut sorted: Vec<f64> = raw.iter().map(|&s| s as f64).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted
+    }
+
+    proptest! {
+        /// Nearest-rank percentile is monotone in `q` on any sorted batch.
+        #[test]
+        fn percentile_monotone_on_arbitrary_batches(
+            raw in proptest::collection::vec(0u64..1_000, 1..32),
+            qa in 0u64..101,
+            qb in 0u64..101,
+        ) {
+            let sorted = sorted_batch(&raw);
+            let (lo, hi) = (qa.min(qb), qa.max(qb));
+            prop_assert!(
+                percentile(&sorted, lo as f64 / 100.0) <= percentile(&sorted, hi as f64 / 100.0)
+            );
+        }
+
+        /// The summary statistics respect the order min ≤ median ≤ p95 ≤ max,
+        /// and the mean lies within the sample range.
+        #[test]
+        fn summary_order_invariants(
+            raw in proptest::collection::vec(0u64..1_000_000, 1..48),
+        ) {
+            let s = Summary::of_counts(&raw);
+            prop_assert!(s.min <= s.median);
+            prop_assert!(s.median <= s.p95);
+            prop_assert!(s.p95 <= s.max);
+            prop_assert!(s.min <= s.mean && s.mean <= s.max);
+            prop_assert_eq!(s.count, raw.len());
+        }
+
+        /// The `q = 0` edge case clamps to the smallest sample, and every
+        /// percentile of a single-sample batch is that sample.
+        #[test]
+        fn percentile_edge_cases(
+            raw in proptest::collection::vec(0u64..1_000, 1..16),
+            x in 0u64..1_000,
+            q in 0u64..101,
+        ) {
+            let sorted = sorted_batch(&raw);
+            prop_assert_eq!(percentile(&sorted, 0.0), sorted[0]);
+            let single = Summary::of(&[x as f64]);
+            prop_assert_eq!(percentile(&[x as f64], q as f64 / 100.0), x as f64);
+            prop_assert_eq!(single.min, x as f64);
+            prop_assert_eq!(single.median, x as f64);
+            prop_assert_eq!(single.p95, x as f64);
+            prop_assert_eq!(single.max, x as f64);
+        }
     }
 }
