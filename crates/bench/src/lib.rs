@@ -427,6 +427,132 @@ pub fn e13_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
     )
 }
 
+/// One row of the E14 dense-kernel throughput experiment.
+#[derive(Debug, Clone)]
+pub struct KernelThroughputRow {
+    /// Workload name (CRN and input).
+    pub name: String,
+    /// Reactions fired per run (identical across engines and repeats — the
+    /// dense kernel replays the sparse oracle seed-for-seed).
+    pub steps: u64,
+    /// Steps per second on the dense incremental-propensity kernel.
+    pub dense_steps_per_sec: f64,
+    /// Steps per second on the sparse seed implementation.
+    pub sparse_steps_per_sec: f64,
+    /// `dense_steps_per_sec / sparse_steps_per_sec`.
+    pub speedup: f64,
+    /// Whether the two engines produced bit-identical outcomes.
+    pub identical: bool,
+}
+
+/// E14 (single-run half): Gillespie steps/sec of the dense compiled kernel
+/// versus the sparse seed implementation on the Figure 1 CRNs at input
+/// size `n`.
+///
+/// Both engines run the same seed, so besides the timing the rows double as
+/// a differential check: `identical` must be true on every row.
+#[must_use]
+pub fn e14_kernel_throughput(n: u64, repeats: u32) -> Vec<KernelThroughputRow> {
+    let cases: Vec<(String, FunctionCrn, NVec)> = vec![
+        (
+            format!("double (X -> 2Y), x={n}"),
+            examples::double_crn(),
+            NVec::from(vec![n]),
+        ),
+        (
+            format!("min (X1+X2 -> Y), x=({n},{n})"),
+            examples::min_crn(),
+            NVec::from(vec![n, n]),
+        ),
+        (
+            format!("max (4 reactions), x=({n},{n})"),
+            examples::max_crn(),
+            NVec::from(vec![n, n]),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, crn, x)| {
+            let start = crn.initial_configuration(&x).expect("arity");
+            // One simulator per engine, reseeded per repeat: what the
+            // ensemble runner does per trial.
+            let mut dense = crn_sim::Gillespie::new(crn.crn().clone(), 0);
+            let (dense_secs, dense_out) = time_repeats(repeats, || {
+                dense.reseed(1);
+                dense.run(&start, 100_000_000)
+            });
+            let mut sparse = crn_sim::SparseGillespie::new(crn.crn().clone(), 0);
+            let (sparse_secs, sparse_out) = time_repeats(repeats, || {
+                sparse.reseed(1);
+                sparse.run(&start, 100_000_000)
+            });
+            let steps = dense_out.steps;
+            let total_steps = steps as f64 * f64::from(repeats);
+            KernelThroughputRow {
+                name,
+                steps,
+                dense_steps_per_sec: total_steps / dense_secs,
+                sparse_steps_per_sec: total_steps / sparse_secs,
+                speedup: sparse_secs / dense_secs,
+                identical: dense_out == sparse_out,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E14 ensemble-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct EnsembleScalingRow {
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Completed trials per second.
+    pub trials_per_sec: f64,
+    /// Throughput relative to one worker.
+    pub speedup_vs_one: f64,
+    /// Whether this worker count reproduced the one-worker summary exactly
+    /// (the ensemble determinism contract).
+    pub identical: bool,
+}
+
+/// E14 (ensemble half): trial throughput of
+/// [`crn_sim::measure_convergence_with_workers`] on the `max` CRN at input
+/// `(n, n)`, for each worker count.
+///
+/// The determinism contract makes every row's `TrialSummary` bit-identical
+/// to the one-worker run; `identical` records that check.  Wall-clock
+/// scaling is bounded by the machine's core count.
+#[must_use]
+pub fn e14_ensemble_scaling(
+    n: u64,
+    trials: u32,
+    worker_counts: &[usize],
+) -> Vec<EnsembleScalingRow> {
+    let max = examples::max_crn();
+    let x = NVec::from(vec![n, n]);
+    // One timed 1-worker pass serves as both the baseline summary (every
+    // other worker count must reproduce it bit-for-bit) and the unit of the
+    // speedup column.
+    let (one_secs, baseline) = time_repeats(1, || {
+        crn_sim::measure_convergence_with_workers(&max, &x, trials, 100_000_000, 5, 1)
+            .expect("arity")
+    });
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let (secs, summary) = time_repeats(1, || {
+                crn_sim::measure_convergence_with_workers(&max, &x, trials, 100_000_000, 5, workers)
+                    .expect("arity")
+            });
+            EnsembleScalingRow {
+                workers,
+                trials_per_sec: f64::from(trials) / secs,
+                speedup_vs_one: one_secs / secs,
+                identical: summary == baseline,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,6 +666,30 @@ mod tests {
         .unwrap();
         assert_eq!(fast, slow);
         assert!(fast.unwrap().input == crn_numeric::NVec::from(vec![0, 1]));
+    }
+
+    #[test]
+    fn e14_kernel_rows_are_identical_and_positive() {
+        let rows = e14_kernel_throughput(64, 2);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.identical, "{}: engines diverged", row.name);
+            assert!(row.steps > 0, "{}: fired nothing", row.name);
+            assert!(row.dense_steps_per_sec > 0.0);
+            assert!(row.sparse_steps_per_sec > 0.0);
+            assert!(row.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn e14_ensemble_scaling_is_deterministic_across_workers() {
+        let rows = e14_ensemble_scaling(32, 8, &[1, 2, 4]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.identical, "workers={}: summary diverged", row.workers);
+            assert!(row.trials_per_sec > 0.0);
+            assert!(row.speedup_vs_one > 0.0);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! A minimal rate-independent continuous CRN executor.
 //!
-//! In the continuous model of [9], species have nonnegative real
+//! In the continuous model of \[9\], species have nonnegative real
 //! concentrations and a reaction may run by any amount permitted by its
 //! reactants.  Rate-independent ("stable") computation quantifies over all
 //! schedules; for the feed-forward, output-oblivious example networks used in

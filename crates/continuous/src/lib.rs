@@ -1,5 +1,5 @@
 //! Rate-independent continuous CRN computation: the real-valued function
-//! class of Chalk, Kornerup, Reeves and Soloveichik (reference [9] of the
+//! class of Chalk, Kornerup, Reeves and Soloveichik (reference \[9\] of the
 //! paper), which Section 8 relates to the discrete class via the ∞-scaling.
 //!
 //! A function `f̂ : R^d_{≥0} → R_{≥0}` is obliviously-computable by a

@@ -48,7 +48,7 @@ impl RationalLinear {
 
 /// A minimum of finitely many rational-linear functions,
 /// `f̂(z) = min_k ∇_k · z`, the canonical representative of the continuous
-/// obliviously-computable class on the positive orthant (Lemma 8 of [9],
+/// obliviously-computable class on the positive orthant (Lemma 8 of \[9\],
 /// quoted in the proof of Theorem 8.2).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MinOfLinear {

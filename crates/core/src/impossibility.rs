@@ -56,7 +56,7 @@ impl Lemma41Witness {
 ///
 /// Returns `None` if no witness exists within the bound (which does **not**
 /// prove oblivious computability — that is what the positive characterization
-/// in [`crate::characterize`] is for).
+/// in [`mod@crate::characterize`] is for).
 #[must_use]
 pub fn find_lemma41_witness(
     f: &dyn Fn(&NVec) -> u64,

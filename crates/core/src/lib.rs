@@ -16,7 +16,7 @@
 //! | Theorem 3.1 and Theorem 9.2 (1-D, with and without leader) | [`one_dim`] |
 //! | Lemma 6.1 and Lemma 6.2 (CRN constructions) | [`synthesis`] |
 //! | Lemma 4.1 / Theorem 5.4 (impossibility witnesses) | [`impossibility`] |
-//! | Section 7 (domain decomposition → characterization) | [`characterize`] |
+//! | Section 7 (domain decomposition → characterization) | [`mod@characterize`] |
 //! | Theorem 8.2 (scaling limit, continuous correspondence) | [`scaling`] |
 //!
 //! ```

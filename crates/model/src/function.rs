@@ -161,6 +161,23 @@ impl FunctionCrn {
         config.count(self.roles.output)
     }
 
+    /// The dense-vector stride needed to address every role species: one past
+    /// the largest input/output/leader index.  Role species can come from a
+    /// different interner than the CRN's (`FunctionCrn::new` only validates
+    /// distinctness), so dense engines must take the max of this and
+    /// [`crate::CompiledCrn::stride`] before building their count vectors.
+    #[must_use]
+    pub fn role_stride(&self) -> usize {
+        self.roles
+            .inputs
+            .iter()
+            .chain(Some(&self.roles.output))
+            .chain(self.roles.leader.as_ref())
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Whether the CRN is *output-oblivious*: the output species is never a
     /// reactant (Section 2.3).
     #[must_use]

@@ -8,6 +8,9 @@
 //! its products.  This crate provides:
 //!
 //! * the core data model ([`Species`], [`Reaction`], [`Configuration`], [`Crn`]),
+//! * the shared compiled-CRN layer ([`CompiledCrn`], [`DenseState`]): dense
+//!   species-indexed reaction tables plus the reaction dependency graph,
+//!   consumed by both the reachability engine and the `crn-sim` simulator,
 //! * *function CRNs* ([`FunctionCrn`]) with designated input species, output
 //!   species and an optional leader, including the stable-computation
 //!   semantics of Section 2.2,
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod compose;
 pub mod config;
 pub mod crn;
@@ -50,6 +54,7 @@ pub mod reaction;
 pub mod species;
 pub mod transform;
 
+pub use compiled::{CompiledCrn, CompiledReaction, DenseState};
 pub use compose::{concatenate, fan_out, parallel_union};
 pub use config::Configuration;
 pub use crn::Crn;

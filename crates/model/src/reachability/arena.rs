@@ -9,7 +9,6 @@
 //! without a second copy of the keys.
 
 use crate::config::Configuration;
-use crate::reaction::Reaction;
 use crate::species::Species;
 
 /// Marker for an empty slot in the open-addressing index.
@@ -157,85 +156,22 @@ pub(crate) fn to_dense(config: &Configuration, stride: usize) -> Option<Vec<u64>
     Some(v)
 }
 
-/// The smallest stride covering both a CRN's species set and a start
-/// configuration (which may, through the public API, mention further species).
-pub(crate) fn stride_for(species_count: usize, start: &Configuration) -> usize {
+/// The smallest stride covering both a base stride (usually
+/// [`crate::compiled::CompiledCrn::stride`], which spans the CRN's species
+/// set and its reactions) and a start configuration (which may, through the
+/// public API, mention further species).
+pub(crate) fn stride_for(base: usize, start: &Configuration) -> usize {
     start
         .iter()
         .map(|(s, _)| s.index() + 1)
         .max()
         .unwrap_or(0)
-        .max(species_count)
-}
-
-/// The smallest stride covering a CRN's species set, its reactions, and a
-/// start configuration.  Reactions normally only mention interned species,
-/// but `Crn::add_reaction` does not validate that, and a foreign species
-/// index past the stride would make dense application write out of bounds.
-pub(crate) fn stride_for_crn(crn: &crate::crn::Crn, start: &Configuration) -> usize {
-    let reaction_max = crn
-        .reactions()
-        .iter()
-        .flat_map(|r| r.reactants().keys().chain(r.products().keys()))
-        .map(|s| s.index() + 1)
-        .max()
-        .unwrap_or(0);
-    stride_for(crn.species().len(), start).max(reaction_max)
-}
-
-/// A reaction lowered onto dense count vectors: the reactant requirements to
-/// test applicability and the net per-species delta to fire it.
-#[derive(Debug, Clone)]
-pub(crate) struct CompiledReaction {
-    reactants: Vec<(usize, u64)>,
-    delta: Vec<(usize, i64)>,
-}
-
-impl CompiledReaction {
-    /// Compiles `reaction` for dense application.
-    pub(crate) fn compile(reaction: &Reaction) -> Self {
-        let reactants: Vec<(usize, u64)> = reaction
-            .reactants()
-            .iter()
-            .map(|(&s, &c)| (s.index(), c))
-            .collect();
-        let mut delta: Vec<(usize, i64)> = Vec::new();
-        for (&s, &c) in reaction.reactants() {
-            delta.push((s.index(), -(c as i64)));
-        }
-        for (&s, &c) in reaction.products() {
-            match delta.iter_mut().find(|(i, _)| *i == s.index()) {
-                Some((_, d)) => *d += c as i64,
-                None => delta.push((s.index(), c as i64)),
-            }
-        }
-        delta.retain(|&(_, d)| d != 0);
-        CompiledReaction { reactants, delta }
-    }
-
-    /// Whether the reaction's reactants are present in `counts`.
-    pub(crate) fn applicable(&self, counts: &[u64]) -> bool {
-        self.reactants.iter().all(|&(i, c)| counts[i] >= c)
-    }
-
-    /// Copies `src` into `dst` and fires the reaction there.  The caller must
-    /// have checked [`CompiledReaction::applicable`].
-    pub(crate) fn apply_into(&self, src: &[u64], dst: &mut [u64]) {
-        dst.copy_from_slice(src);
-        for &(i, d) in &self.delta {
-            if d >= 0 {
-                dst[i] += d as u64;
-            } else {
-                dst[i] -= (-d) as u64;
-            }
-        }
-    }
+        .max(base)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::crn::Crn;
 
     #[test]
     fn intern_lookup_roundtrip() {
@@ -272,22 +208,6 @@ mod tests {
         assert_eq!(sparse.count(Species(1)), 0);
         assert_eq!(sparse.count(Species(2)), 5);
         assert_eq!(sparse.iter().count(), 2);
-    }
-
-    #[test]
-    fn compiled_reaction_matches_sparse_apply() {
-        let mut crn = Crn::new();
-        crn.parse_reaction("2X + Y -> Y + 3Z").unwrap();
-        let compiled = CompiledReaction::compile(&crn.reactions()[0]);
-        // {4 X, 1 Y}:
-        let src = [4u64, 1, 0];
-        assert!(compiled.applicable(&src));
-        let mut dst = [0u64; 3];
-        compiled.apply_into(&src, &mut dst);
-        assert_eq!(dst, [2, 1, 3]);
-        // Y is a catalyst: its delta must have been cancelled out.
-        assert!(!compiled.applicable(&[4, 0, 0]));
-        assert!(!compiled.applicable(&[1, 1, 0]));
     }
 
     #[test]

@@ -11,10 +11,11 @@
 
 use crn_numeric::NVec;
 
+use crate::compiled::CompiledCrn;
 use crate::error::CrnError;
 use crate::function::FunctionCrn;
 
-use super::arena::{CompiledReaction, ConfigArena};
+use super::arena::ConfigArena;
 use super::csr::CsrGraph;
 use super::scc::Condensation;
 use super::{ReachabilityLimits, StableComputationVerdict};
@@ -44,15 +45,16 @@ impl ExploreState {
     }
 
     /// Explores everything reachable from `start_dense` (a count vector of
-    /// length `stride`) under `compiled`, breadth-first.  Configuration ids
-    /// are discovery order; id 0 is the start.  Previous contents of the
-    /// state are discarded, allocations are kept.
+    /// length `stride`, which must be at least `compiled.stride()`) under
+    /// `compiled`, breadth-first.  Configuration ids are discovery order;
+    /// id 0 is the start.  Previous contents of the state are discarded,
+    /// allocations are kept.
     ///
     /// On success `self.arena` holds the reachable configurations and
     /// `self.csr` their successor structure.
     pub(super) fn run(
         &mut self,
-        compiled: &[CompiledReaction],
+        compiled: &CompiledCrn,
         stride: usize,
         start_dense: &[u64],
         limits: ReachabilityLimits,
@@ -71,7 +73,7 @@ impl ExploreState {
         let mut current = 0usize;
         while current < self.arena.len() {
             self.cur.copy_from_slice(self.arena.get(current));
-            for reaction in compiled {
+            for reaction in compiled.reactions() {
                 if !reaction.applicable(&self.cur) {
                     continue;
                 }
@@ -109,7 +111,7 @@ impl ExploreState {
 /// box driver gives each worker thread one engine.
 pub(super) struct VerdictEngine<'c> {
     crn: &'c FunctionCrn,
-    compiled: Vec<CompiledReaction>,
+    compiled: CompiledCrn,
     stride: usize,
     state: ExploreState,
     cond: Condensation,
@@ -122,28 +124,13 @@ pub(super) struct VerdictEngine<'c> {
 impl<'c> VerdictEngine<'c> {
     /// Compiles `crn`'s reactions and readies the scratch.
     pub(super) fn new(crn: &'c FunctionCrn) -> Self {
-        let compiled = crn
-            .crn()
-            .reactions()
-            .iter()
-            .map(CompiledReaction::compile)
-            .collect();
-        // The stride must cover every species the check can touch: the CRN's
-        // own set, any foreign species a reaction sneaks in (`add_reaction`
-        // does not validate membership), and the role species the start
-        // configuration is built from (`FunctionCrn::new` only validates
-        // distinctness, so roles can come from a different interner too).
-        let roles = crn.roles();
-        let role_max = roles
-            .inputs
-            .iter()
-            .chain(Some(&roles.output))
-            .chain(roles.leader.as_ref())
-            .map(|s| s.index() + 1)
-            .max()
-            .unwrap_or(0);
-        let stride = super::arena::stride_for_crn(crn.crn(), &crate::config::Configuration::new())
-            .max(role_max);
+        let compiled = CompiledCrn::compile(crn.crn());
+        // The stride must cover every species the check can touch: the
+        // compiled stride spans the CRN's own set plus any foreign species a
+        // reaction sneaks in (`add_reaction` does not validate membership),
+        // and the role stride covers the species the start configuration is
+        // built from.
+        let stride = compiled.stride().max(crn.role_stride());
         VerdictEngine {
             crn,
             compiled,

@@ -95,13 +95,9 @@ impl ReachabilityGraph {
         start: &Configuration,
         limits: ReachabilityLimits,
     ) -> Result<Self, CrnError> {
-        let stride = arena::stride_for_crn(crn, start);
+        let compiled = crate::compiled::CompiledCrn::compile(crn);
+        let stride = arena::stride_for(compiled.stride(), start);
         let start_dense = arena::to_dense(start, stride).expect("stride covers start");
-        let compiled: Vec<arena::CompiledReaction> = crn
-            .reactions()
-            .iter()
-            .map(arena::CompiledReaction::compile)
-            .collect();
         let mut state = ExploreState::new();
         state.run(&compiled, stride, &start_dense, limits)?;
         Ok(ReachabilityGraph {

@@ -38,4 +38,4 @@ pub use order::{
     dominates, find_dominating_pair, is_increasing, pointwise_le, pointwise_max, pointwise_min,
 };
 pub use rational::{ParseRationalError, Rational};
-pub use vector::{NVec, QVec, ZVec};
+pub use vector::{BoxIter, NVec, QVec, ZVec};

@@ -200,6 +200,9 @@ impl NVec {
 
     /// Enumerates all vectors in the box `[0, bound]^d` (inclusive), in
     /// lexicographic order.
+    ///
+    /// Materializes the whole box; for large boxes prefer the lazy
+    /// [`NVec::box_iter`].
     #[must_use]
     pub fn enumerate_box(dim: usize, bound: u64) -> Vec<NVec> {
         Self::enumerate_box_corners(&NVec::zeros(dim), &NVec::constant(dim, bound))
@@ -208,38 +211,77 @@ impl NVec {
     /// Enumerates all integer vectors `lo ≤ x ≤ hi` (inclusive), in
     /// lexicographic order.
     ///
+    /// Materializes the whole box; for large boxes prefer the lazy
+    /// [`NVec::box_iter_corners`].
+    ///
     /// # Panics
     ///
     /// Panics if dimensions differ or `lo !≤ hi` in some component.
     #[must_use]
     pub fn enumerate_box_corners(lo: &NVec, hi: &NVec) -> Vec<NVec> {
+        Self::box_iter_corners(lo, hi).collect()
+    }
+
+    /// Lazily iterates over the box `[0, bound]^d` (inclusive) in
+    /// lexicographic order, one point at a time — `(bound + 1)^d` points
+    /// without ever materializing them.
+    #[must_use]
+    pub fn box_iter(dim: usize, bound: u64) -> BoxIter {
+        Self::box_iter_corners(&NVec::zeros(dim), &NVec::constant(dim, bound))
+    }
+
+    /// Lazily iterates over all integer vectors `lo ≤ x ≤ hi` (inclusive) in
+    /// lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ or `lo !≤ hi` in some component.
+    #[must_use]
+    pub fn box_iter_corners(lo: &NVec, hi: &NVec) -> BoxIter {
         assert_eq!(lo.dim(), hi.dim(), "dimension mismatch");
         assert!(lo.le(hi), "lower corner must be ≤ upper corner");
-        let dim = lo.dim();
-        if dim == 0 {
-            return vec![NVec(vec![])];
+        BoxIter {
+            current: Some(lo.0.clone()),
+            lo: lo.0.clone(),
+            hi: hi.0.clone(),
         }
-        let mut out = Vec::new();
-        let mut current = lo.0.clone();
+    }
+}
+
+/// Lazy lexicographic box enumeration, returned by [`NVec::box_iter`] and
+/// [`NVec::box_iter_corners`].
+#[derive(Debug, Clone)]
+pub struct BoxIter {
+    /// The next point to yield, or `None` once the odometer has wrapped.
+    current: Option<Vec<u64>>,
+    lo: Vec<u64>,
+    hi: Vec<u64>,
+}
+
+impl Iterator for BoxIter {
+    type Item = NVec;
+
+    fn next(&mut self) -> Option<NVec> {
+        let current = self.current.as_mut()?;
+        let item = NVec(current.clone());
+        // Advance like an odometer; exhaust once every digit is at `hi`.
+        let mut i = self.lo.len();
         loop {
-            out.push(NVec(current.clone()));
-            // Increment like an odometer.
-            let mut i = dim;
-            loop {
-                if i == 0 {
-                    return out;
+            if i == 0 {
+                self.current = None;
+                break;
+            }
+            i -= 1;
+            if current[i] < self.hi[i] {
+                current[i] += 1;
+                // Reset trailing components to their lower bound.
+                for (k, c) in current.iter_mut().enumerate().skip(i + 1) {
+                    *c = self.lo[k];
                 }
-                i -= 1;
-                if current[i] < hi.0[i] {
-                    current[i] += 1;
-                    // Reset trailing components to their lower bound.
-                    for (k, c) in current.iter_mut().enumerate().skip(i + 1) {
-                        *c = lo.0[k];
-                    }
-                    break;
-                }
+                break;
             }
         }
+        Some(item)
     }
 }
 
@@ -665,6 +707,28 @@ mod tests {
     #[test]
     fn enumerate_box_dimension_zero() {
         assert_eq!(NVec::enumerate_box(0, 5).len(), 1);
+        assert_eq!(NVec::box_iter(0, 5).count(), 1);
+    }
+
+    #[test]
+    fn box_iter_matches_materialized_enumeration() {
+        for (dim, bound) in [(1usize, 0u64), (1, 5), (2, 3), (3, 2)] {
+            let lazy: Vec<NVec> = NVec::box_iter(dim, bound).collect();
+            assert_eq!(lazy, NVec::enumerate_box(dim, bound), "({dim},{bound})");
+        }
+        let lo = NVec::from(vec![1, 2]);
+        let hi = NVec::from(vec![2, 4]);
+        let lazy: Vec<NVec> = NVec::box_iter_corners(&lo, &hi).collect();
+        assert_eq!(lazy, NVec::enumerate_box_corners(&lo, &hi));
+    }
+
+    #[test]
+    fn box_iter_is_lazy_and_lexicographic() {
+        // Pulling three points from a box of a billion must be instant.
+        let mut iter = NVec::box_iter(4, 177);
+        assert_eq!(iter.next(), Some(NVec::from(vec![0, 0, 0, 0])));
+        assert_eq!(iter.next(), Some(NVec::from(vec![0, 0, 0, 1])));
+        assert_eq!(iter.next(), Some(NVec::from(vec![0, 0, 0, 2])));
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! Running a function CRN until it converges (is silent) under a scheduler.
+//!
+//! Runs execute on the dense kernel: the CRN is compiled once, the
+//! configuration is fired in place, and the applicable set is maintained
+//! incrementally through the compiled dependency graph instead of rescanned
+//! every step.  [`ConvergenceKernel`] keeps the compiled CRN and the scratch
+//! alive so a batch of inputs (e.g. [`crate::runner::spot_check_on_box`])
+//! compiles once and allocates per run only what the report itself needs.
 
 use serde::{Deserialize, Serialize};
 
-use crn_model::{CrnError, FunctionCrn};
+use crn_model::{CompiledCrn, CrnError, DenseState, FunctionCrn};
 use crn_numeric::NVec;
 
+use crate::kernel::ApplicableSet;
 use crate::scheduler::Scheduler;
 
 /// The result of running a function CRN on one input until silence (or a step
@@ -21,6 +29,121 @@ pub struct ConvergenceReport {
     pub silent: bool,
 }
 
+/// A reusable discrete-scheduler runner for one function CRN: the compiled
+/// tables, dense state and applicable-set scratch persist across runs.
+#[derive(Debug, Clone)]
+pub struct ConvergenceKernel<'a> {
+    crn: &'a FunctionCrn,
+    compiled: CompiledCrn,
+    state: DenseState,
+    applicable: ApplicableSet,
+}
+
+impl<'a> ConvergenceKernel<'a> {
+    /// Compiles `crn` once and readies the scratch.
+    #[must_use]
+    pub fn new(crn: &'a FunctionCrn) -> Self {
+        let compiled = CompiledCrn::compile(crn.crn());
+        // The stride must also cover the role species the start configuration
+        // is built from (they can come from a different interner).
+        let stride = crn.role_stride().max(compiled.stride());
+        ConvergenceKernel {
+            crn,
+            compiled,
+            state: DenseState::zero(stride),
+            applicable: ApplicableSet::new(),
+        }
+    }
+
+    /// The compiled form of the CRN.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledCrn {
+        &self.compiled
+    }
+
+    /// Loads the initial configuration `I_x` and rebuilds the applicable set.
+    fn start(&mut self, x: &NVec) -> Result<(), CrnError> {
+        let start = self.crn.initial_configuration(x)?;
+        self.state.load(&start);
+        self.applicable.rebuild(&self.compiled, self.state.counts());
+        Ok(())
+    }
+
+    /// Fires the scheduler's pick and refreshes the applicable set.  Returns
+    /// `false` when the run stops (silent or scheduler halt).
+    fn fire(&mut self, scheduler: &mut dyn Scheduler) -> bool {
+        if self.applicable.is_empty() {
+            return false;
+        }
+        match scheduler.select(&self.compiled, &self.state, self.applicable.indices()) {
+            None => false,
+            Some(i) => {
+                self.state.apply(&self.compiled.reactions()[i]);
+                self.applicable
+                    .refresh_after(&self.compiled, self.state.counts(), i);
+                true
+            }
+        }
+    }
+
+    /// Runs on input `x` under `scheduler` until no reaction is applicable,
+    /// the scheduler declines to pick one, or `max_steps` is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+    pub fn run_to_silence(
+        &mut self,
+        x: &NVec,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> Result<ConvergenceReport, CrnError> {
+        self.start(x)?;
+        let mut steps = 0u64;
+        let silent = loop {
+            if steps >= max_steps {
+                break false;
+            }
+            // `fire` returns false both when nothing is applicable and when
+            // the scheduler declines; either way the run halts as "silent".
+            if !self.fire(scheduler) {
+                break true;
+            }
+            steps += 1;
+        };
+        Ok(ConvergenceReport {
+            input: x.clone(),
+            output: self.state.count(self.crn.output()),
+            steps,
+            silent,
+        })
+    }
+
+    /// The largest output count observed at any point of a single run
+    /// (transient overshoot detection, used for the composition experiments
+    /// of E10).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+    pub fn peak_output(
+        &mut self,
+        x: &NVec,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+    ) -> Result<u64, CrnError> {
+        self.start(x)?;
+        let output = self.crn.output();
+        let mut peak = self.state.count(output);
+        let mut steps = 0u64;
+        while steps < max_steps && self.fire(scheduler) {
+            peak = peak.max(self.state.count(output));
+            steps += 1;
+        }
+        Ok(peak)
+    }
+}
+
 /// Runs `crn` on input `x` under `scheduler` until no reaction is applicable,
 /// the scheduler declines to pick one, or `max_steps` is reached.
 ///
@@ -28,6 +151,9 @@ pub struct ConvergenceReport {
 /// output equals the stably computed value; for non-oblivious CRNs (or unfair
 /// schedulers) the report may show transient overshoot, which is exactly what
 /// the Section 1.2 experiments demonstrate.
+///
+/// Compiles the CRN per call; batch drivers should hold a
+/// [`ConvergenceKernel`] instead.
 ///
 /// # Errors
 ///
@@ -38,30 +164,7 @@ pub fn run_to_silence(
     scheduler: &mut dyn Scheduler,
     max_steps: u64,
 ) -> Result<ConvergenceReport, CrnError> {
-    let mut config = crn.initial_configuration(x)?;
-    let mut steps = 0u64;
-    let silent = loop {
-        if steps >= max_steps {
-            break false;
-        }
-        let applicable = crn.crn().applicable_reactions(&config);
-        if applicable.is_empty() {
-            break true;
-        }
-        match scheduler.select(crn.crn(), &config, &applicable) {
-            None => break true,
-            Some(i) => {
-                config = config.apply(&crn.crn().reactions()[i]);
-                steps += 1;
-            }
-        }
-    };
-    Ok(ConvergenceReport {
-        input: x.clone(),
-        output: crn.output_count(&config),
-        steps,
-        silent,
-    })
+    ConvergenceKernel::new(crn).run_to_silence(x, scheduler, max_steps)
 }
 
 /// The largest output count observed at any point of a single run (transient
@@ -76,24 +179,7 @@ pub fn peak_output(
     scheduler: &mut dyn Scheduler,
     max_steps: u64,
 ) -> Result<u64, CrnError> {
-    let mut config = crn.initial_configuration(x)?;
-    let mut peak = crn.output_count(&config);
-    let mut steps = 0u64;
-    while steps < max_steps {
-        let applicable = crn.crn().applicable_reactions(&config);
-        if applicable.is_empty() {
-            break;
-        }
-        match scheduler.select(crn.crn(), &config, &applicable) {
-            None => break,
-            Some(i) => {
-                config = config.apply(&crn.crn().reactions()[i]);
-                peak = peak.max(crn.output_count(&config));
-                steps += 1;
-            }
-        }
-    }
-    Ok(peak)
+    ConvergenceKernel::new(crn).peak_output(x, scheduler, max_steps)
 }
 
 #[cfg(test)]
@@ -166,5 +252,20 @@ mod tests {
         let min = examples::min_crn();
         let mut sched = UniformScheduler::seeded(0);
         assert!(run_to_silence(&min, &NVec::from(vec![1]), &mut sched, 10).is_err());
+    }
+
+    #[test]
+    fn reused_kernel_matches_fresh_runs() {
+        let max = examples::max_crn();
+        let mut kernel = ConvergenceKernel::new(&max);
+        for (x1, x2) in [(3u64, 5u64), (5, 3), (0, 0), (7, 1)] {
+            let x = NVec::from(vec![x1, x2]);
+            let reused = kernel
+                .run_to_silence(&x, &mut UniformScheduler::seeded(9), 100_000)
+                .unwrap();
+            let fresh =
+                run_to_silence(&max, &x, &mut UniformScheduler::seeded(9), 100_000).unwrap();
+            assert_eq!(reused, fresh);
+        }
     }
 }

@@ -1,0 +1,345 @@
+//! The parallel ensemble runner: independent Gillespie trials fanned across
+//! scoped worker threads.
+//!
+//! Convergence measurements (E1, E9, E10) are embarrassingly parallel — every
+//! trial is an independent chain — but the seed runner ran them sequentially,
+//! cloned the `Crn` per trial, and seeded trial `t` with `seed + t`, so
+//! adjacent trials started from adjacent RNG states.  This module fixes all
+//! three:
+//!
+//! * [`SeedStream`] derives per-trial seeds through a SplitMix64 step, so
+//!   consecutive trial indices map to statistically independent seeds;
+//! * each worker builds **one** [`Gillespie`] (one CRN compilation) and
+//!   [`reseed`](Gillespie::reseed)s it per trial;
+//! * trials are partitioned into contiguous per-worker ranges, each worker
+//!   fills a mergeable [`TrialAccumulator`], and the driver merges them in
+//!   trial order.
+//!
+//! **Determinism contract:** trial `t`'s outcome depends only on
+//! `(crn, x, max_steps, seed, t)` — never on the worker that ran it — and the
+//! ordered merge reassembles the sequential sample order, so
+//! [`Ensemble::run`] returns **bit-identical** results for every worker
+//! count, including 1.
+
+use std::num::NonZeroUsize;
+
+use crn_model::{CrnError, FunctionCrn};
+use crn_numeric::NVec;
+
+use crate::gillespie::{Gillespie, GillespieOutcome};
+use crate::runner::TrialSummary;
+use crate::stats::SummaryAccumulator;
+
+/// The SplitMix64 output function: one multiply-xorshift avalanche chain.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Weyl-sequence increment of SplitMix64 (the golden-ratio constant).
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A stream of decorrelated seeds derived from one base seed, SplitMix64
+/// style: index `i` maps to the `i`-th output of a SplitMix64 generator
+/// seeded with the base seed.
+///
+/// The seed runner used to hand trial `t` the raw seed `base + t`; with the
+/// stream, adjacent indices differ by a full avalanche pass instead of one
+/// low bit, so per-trial generators (whose own seeding is cheap) do not start
+/// in correlated states.
+///
+/// ```
+/// use crn_sim::ensemble::SeedStream;
+///
+/// let stream = SeedStream::new(42);
+/// assert_eq!(stream.seed(7), SeedStream::new(42).seed(7));
+/// assert_ne!(stream.seed(0), stream.seed(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    base: u64,
+}
+
+impl SeedStream {
+    /// The stream rooted at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        SeedStream { base }
+    }
+
+    /// The seed at `index`: `splitmix64(base + (index + 1) · γ)`.
+    #[must_use]
+    pub fn seed(&self, index: u64) -> u64 {
+        splitmix64(
+            self.base
+                .wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)),
+        )
+    }
+}
+
+/// Mergeable per-worker statistics of a batch of trials: step and time
+/// samples (in trial order), observed outputs, and the silent-trial count.
+#[derive(Debug, Clone, Default)]
+pub struct TrialAccumulator {
+    steps: SummaryAccumulator,
+    times: SummaryAccumulator,
+    outputs: Vec<u64>,
+    silent: u64,
+}
+
+impl TrialAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        TrialAccumulator::default()
+    }
+
+    /// Records one trial's outcome; `output` is the output-species count of
+    /// its final configuration.
+    pub fn record(&mut self, outcome: &GillespieOutcome, output: u64) {
+        self.steps.push(outcome.steps as f64);
+        self.times.push(outcome.time);
+        self.outputs.push(output);
+        if outcome.silent {
+            self.silent += 1;
+        }
+    }
+
+    /// Appends `later`'s trials after this accumulator's own.  The ensemble
+    /// driver merges worker accumulators in trial order, which keeps the
+    /// combined sample sequence identical to a sequential run's.
+    pub fn merge(&mut self, later: TrialAccumulator) {
+        self.steps.merge(later.steps);
+        self.times.merge(later.times);
+        self.outputs.extend(later.outputs);
+        self.silent += later.silent;
+    }
+
+    /// The number of trials recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether no trial has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Finalizes the batch into a [`TrialSummary`] for input `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trial has been recorded.
+    #[must_use]
+    pub fn finish(mut self, x: &NVec) -> TrialSummary {
+        let trials = self.outputs.len();
+        self.outputs.sort_unstable();
+        self.outputs.dedup();
+        TrialSummary {
+            input: x.clone(),
+            steps: self.steps.finish(),
+            time: self.times.finish(),
+            outputs: self.outputs,
+            silent_fraction: self.silent as f64 / trials as f64,
+        }
+    }
+}
+
+/// The number of worker threads the ensemble uses by default: one per
+/// available core.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A configured ensemble of independent Gillespie trials of one function CRN.
+///
+/// ```
+/// use crn_model::examples;
+/// use crn_numeric::NVec;
+/// use crn_sim::ensemble::Ensemble;
+///
+/// let min = examples::min_crn();
+/// let summary = Ensemble::new(&min)
+///     .with_workers(2)
+///     .run(&NVec::from(vec![20, 35]), 10, 7)
+///     .unwrap();
+/// assert_eq!(summary.outputs, vec![20]);
+/// assert_eq!(summary.silent_fraction, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ensemble<'a> {
+    crn: &'a FunctionCrn,
+    max_steps: u64,
+    workers: usize,
+}
+
+impl<'a> Ensemble<'a> {
+    /// An ensemble over `crn` with the default step bound (10⁷) and one
+    /// worker per available core.
+    #[must_use]
+    pub fn new(crn: &'a FunctionCrn) -> Self {
+        Ensemble {
+            crn,
+            max_steps: 10_000_000,
+            workers: default_workers(),
+        }
+    }
+
+    /// Sets the per-trial step bound.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Pins the worker-thread count (clamped to at least 1).  The results are
+    /// identical for every value; only the wall-clock changes.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Runs `trials` independent simulations of the CRN on `x`, seeding trial
+    /// `t` with `SeedStream::new(seed).seed(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` (an empty batch has no statistics) or a worker
+    /// thread panics.
+    pub fn run(&self, x: &NVec, trials: u32, seed: u64) -> Result<TrialSummary, CrnError> {
+        let start = self.crn.initial_configuration(x)?;
+        let trials = u64::from(trials);
+        let stream = SeedStream::new(seed);
+        let output = self.crn.output();
+
+        // One worker per contiguous trial range; each worker reuses a single
+        // simulator (one compile, one allocation set) across its range.
+        let run_range = |lo: u64, hi: u64| -> TrialAccumulator {
+            let mut acc = TrialAccumulator::new();
+            let mut sim = Gillespie::new(self.crn.crn().clone(), 0);
+            for t in lo..hi {
+                sim.reseed(stream.seed(t));
+                let outcome = sim.run(&start, self.max_steps);
+                let out_count = outcome.final_configuration.count(output);
+                acc.record(&outcome, out_count);
+            }
+            acc
+        };
+
+        let workers = self
+            .workers
+            .min(usize::try_from(trials).unwrap_or(usize::MAX));
+        let merged = if workers <= 1 {
+            run_range(0, trials)
+        } else {
+            // Split [0, trials) into `workers` contiguous chunks, the first
+            // `trials % workers` of them one trial longer.
+            let base = trials / workers as u64;
+            let extra = trials % workers as u64;
+            let bounds: Vec<u64> = (0..=workers as u64)
+                .map(|w| w * base + w.min(extra))
+                .collect();
+            let accs: Vec<TrialAccumulator> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bounds
+                    .windows(2)
+                    .map(|range| {
+                        let (lo, hi) = (range[0], range[1]);
+                        scope.spawn(move || run_range(lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ensemble worker panicked"))
+                    .collect()
+            });
+            let mut merged = TrialAccumulator::new();
+            for acc in accs {
+                merged.merge(acc);
+            }
+            merged
+        };
+        Ok(merged.finish(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crn_model::examples;
+
+    #[test]
+    fn seed_stream_is_deterministic_and_spread_out() {
+        let stream = SeedStream::new(123);
+        assert_eq!(stream.seed(5), SeedStream::new(123).seed(5));
+        // Adjacent indices must not give adjacent seeds (the old scheme's
+        // failure mode): require many differing bits, not just the low ones.
+        for t in 0..64u64 {
+            let diff = (stream.seed(t) ^ stream.seed(t + 1)).count_ones();
+            assert!(diff >= 8, "seeds for trials {t} and {} too close", t + 1);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let max = examples::max_crn();
+        let x = NVec::from(vec![9, 7]);
+        let sequential = Ensemble::new(&max).with_workers(1).run(&x, 12, 99).unwrap();
+        for workers in [2usize, 3, 5, 12, 64] {
+            let parallel = Ensemble::new(&max)
+                .with_workers(workers)
+                .run(&x, 12, 99)
+                .unwrap();
+            assert_eq!(parallel, sequential, "workers={workers}");
+        }
+        assert_eq!(sequential.outputs, vec![9]);
+        assert_eq!(sequential.silent_fraction, 1.0);
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let min = examples::min_crn();
+        let x = NVec::from(vec![3, 4]);
+        let summary = Ensemble::new(&min).with_workers(16).run(&x, 2, 1).unwrap();
+        assert_eq!(summary.steps.count, 2);
+        assert_eq!(summary.outputs, vec![3]);
+    }
+
+    #[test]
+    fn wrong_arity_is_an_error() {
+        let min = examples::min_crn();
+        assert!(Ensemble::new(&min).run(&NVec::from(vec![1]), 3, 0).is_err());
+    }
+
+    #[test]
+    fn accumulator_merge_preserves_trial_order() {
+        let outcome = |steps: u64, silent: bool| GillespieOutcome {
+            final_configuration: crn_model::Configuration::new(),
+            steps,
+            time: steps as f64 * 0.5,
+            silent,
+        };
+        let mut a = TrialAccumulator::new();
+        a.record(&outcome(1, true), 4);
+        let mut b = TrialAccumulator::new();
+        b.record(&outcome(3, false), 2);
+        b.record(&outcome(2, true), 4);
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        let summary = a.finish(&NVec::from(vec![0]));
+        assert_eq!(summary.steps.count, 3);
+        assert_eq!(summary.outputs, vec![2, 4]);
+        assert!((summary.silent_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

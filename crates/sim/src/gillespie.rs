@@ -3,14 +3,26 @@
 //! The CRN model is a continuous-time Markov chain: in configuration `C`, each
 //! reaction fires at a rate equal to its mass-action propensity, and the time
 //! to the next firing is exponentially distributed with the total propensity
-//! as its rate (Gillespie 1977, reference [20] of the paper).
+//! as its rate (Gillespie 1977, reference \[20\] of the paper).
+//!
+//! [`Gillespie`] runs on the dense kernel: the CRN is compiled once
+//! ([`CompiledCrn`]), the configuration is a flat count vector fired in
+//! place, and the per-reaction propensity table is refreshed **incrementally**
+//! through the compiled dependency graph — after a firing only the reactions
+//! sharing a species with the fired one are recomputed.  [`SparseGillespie`]
+//! is the seed implementation on sparse `BTreeMap` configurations, kept as
+//! the differential oracle: for the same seed the two produce bit-identical
+//! trajectories (the dense propensities, their summation order and the RNG
+//! draws all match), which the property tests in `tests/dense_kernel.rs`
+//! check seed-for-seed on random CRNs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crn_model::{Configuration, Crn};
+use crn_model::{CompiledCrn, Configuration, Crn, DenseState};
 
+use crate::kernel::PropensityTable;
 use crate::scheduler::propensity;
 
 /// The outcome of one Gillespie run.
@@ -32,7 +44,7 @@ pub struct GillespieOutcome {
 /// Floating-point rounding in the cumulative subtraction can exhaust `target`
 /// past every interval; the fallback must then be the **last reaction with
 /// positive propensity** — never a zero-propensity (inapplicable) reaction,
-/// whose firing would panic in `Configuration::apply`.
+/// whose firing would corrupt the state (or panic, on the sparse oracle).
 fn select_reaction(propensities: &[f64], mut target: f64) -> usize {
     let mut last_positive = None;
     for (i, &a) in propensities.iter().enumerate() {
@@ -47,7 +59,7 @@ fn select_reaction(propensities: &[f64], mut target: f64) -> usize {
     last_positive.expect("total propensity is positive, so some reaction is applicable")
 }
 
-/// An exact stochastic simulator for a CRN.
+/// An exact stochastic simulator for a CRN, on the dense compiled kernel.
 ///
 /// ```
 /// use crn_model::examples;
@@ -64,19 +76,27 @@ fn select_reaction(propensities: &[f64], mut target: f64) -> usize {
 #[derive(Debug, Clone)]
 pub struct Gillespie {
     crn: Crn,
+    compiled: CompiledCrn,
     rng: StdRng,
-    /// Per-step propensity buffer, reused so the hot loop never allocates.
-    propensities: Vec<f64>,
+    /// Incrementally-maintained per-reaction propensities.
+    propensities: PropensityTable,
+    /// Dense configuration scratch, reused across runs.
+    state: DenseState,
 }
 
 impl Gillespie {
-    /// Creates a simulator for `crn` with a deterministic RNG seed.
+    /// Creates a simulator for `crn` with a deterministic RNG seed, compiling
+    /// the CRN once.
     #[must_use]
     pub fn new(crn: Crn, seed: u64) -> Self {
+        let compiled = CompiledCrn::compile(&crn);
+        let state = DenseState::zero(compiled.stride());
         Gillespie {
             crn,
+            compiled,
             rng: StdRng::seed_from_u64(seed),
-            propensities: Vec::new(),
+            propensities: PropensityTable::new(),
+            state,
         }
     }
 
@@ -86,11 +106,155 @@ impl Gillespie {
         &self.crn
     }
 
+    /// The compiled form of the CRN.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledCrn {
+        &self.compiled
+    }
+
+    /// Restarts the RNG stream from `seed`, keeping the compiled CRN and all
+    /// scratch allocations.  The ensemble runner uses this to reuse one
+    /// simulator across a whole batch of trials instead of rebuilding (and
+    /// recompiling) a simulator per trial.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Loads `start` into the dense scratch state, regrowing it if the
+    /// configuration mentions species past the current stride (the public API
+    /// allows start configurations over foreign species; their counts are
+    /// inert but must be carried into the final configuration).
+    fn load_start(&mut self, start: &Configuration) {
+        if start.iter().all(|(s, _)| s.index() < self.state.stride()) {
+            self.state.load(start);
+        } else {
+            self.state = DenseState::from_configuration(start, self.compiled.stride());
+        }
+        self.propensities
+            .rebuild(&self.compiled, self.state.counts());
+    }
+
     /// Advances the chain by one reaction firing: draws the exponential
     /// waiting time, selects a reaction proportionally to its propensity and
-    /// applies it.  Returns `false` (leaving `config` and `time` untouched)
+    /// applies it in place, refreshing only the propensities the firing can
+    /// have changed.  Returns `false` (leaving the state and `time` untouched)
     /// when the CRN is silent.  Both run modes share this step so the
     /// selection logic cannot drift between them.
+    fn step(&mut self, time: &mut f64) -> bool {
+        let total = self.propensities.total();
+        if total <= 0.0 {
+            return false;
+        }
+        // Exponential waiting time with rate `total`.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        *time += -u.ln() / total;
+        // Choose the reaction proportionally to its propensity.
+        let target = self.rng.gen::<f64>() * total;
+        let chosen = select_reaction(self.propensities.values(), target);
+        self.state.apply(&self.compiled.reactions()[chosen]);
+        self.propensities
+            .refresh_after(&self.compiled, self.state.counts(), chosen);
+        true
+    }
+
+    /// Runs from `start` until the CRN is silent or `max_steps` reactions have
+    /// fired.
+    #[must_use]
+    pub fn run(&mut self, start: &Configuration, max_steps: u64) -> GillespieOutcome {
+        self.load_start(start);
+        let mut time = 0.0f64;
+        let mut steps = 0u64;
+        while steps < max_steps {
+            if !self.step(&mut time) {
+                return GillespieOutcome {
+                    final_configuration: self.state.to_configuration(),
+                    steps,
+                    time,
+                    silent: true,
+                };
+            }
+            steps += 1;
+        }
+        GillespieOutcome {
+            final_configuration: self.state.to_configuration(),
+            steps,
+            time,
+            silent: false,
+        }
+    }
+
+    /// Runs from `start`, recording `(time, count-of-species)` after every
+    /// firing — the trajectory data behind the convergence-time figures.
+    #[must_use]
+    pub fn run_recording(
+        &mut self,
+        start: &Configuration,
+        tracked: crn_model::Species,
+        max_steps: u64,
+    ) -> (GillespieOutcome, Vec<(f64, u64)>) {
+        self.load_start(start);
+        let mut time = 0.0f64;
+        let mut steps = 0u64;
+        let mut trajectory = vec![(0.0, self.state.count(tracked))];
+        while steps < max_steps {
+            if !self.step(&mut time) {
+                return (
+                    GillespieOutcome {
+                        final_configuration: self.state.to_configuration(),
+                        steps,
+                        time,
+                        silent: true,
+                    },
+                    trajectory,
+                );
+            }
+            steps += 1;
+            trajectory.push((time, self.state.count(tracked)));
+        }
+        (
+            GillespieOutcome {
+                final_configuration: self.state.to_configuration(),
+                steps,
+                time,
+                silent: false,
+            },
+            trajectory,
+        )
+    }
+}
+
+/// The seed Gillespie implementation on sparse configurations: every step
+/// recomputes all propensities and `Configuration::apply` clones a map.
+///
+/// Retained as the **differential oracle** for the dense kernel — identical
+/// seed must give an identical trajectory — and as the sparse baseline the
+/// E14 benchmark measures the dense speedup against.  Not for hot paths.
+#[derive(Debug, Clone)]
+pub struct SparseGillespie {
+    crn: Crn,
+    rng: StdRng,
+    /// Per-step propensity buffer, reused so the loop never allocates.
+    propensities: Vec<f64>,
+}
+
+impl SparseGillespie {
+    /// Creates a sparse simulator for `crn` with a deterministic RNG seed.
+    #[must_use]
+    pub fn new(crn: Crn, seed: u64) -> Self {
+        SparseGillespie {
+            crn,
+            rng: StdRng::seed_from_u64(seed),
+            propensities: Vec::new(),
+        }
+    }
+
+    /// Restarts the RNG stream from `seed` (mirrors [`Gillespie::reseed`], so
+    /// differential drivers can reuse one simulator of each kind).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// One sparse step: full propensity recompute, clone-on-apply.
     fn step(&mut self, config: &mut Configuration, time: &mut f64) -> bool {
         self.propensities.clear();
         for i in 0..self.crn.reactions().len() {
@@ -100,10 +264,8 @@ impl Gillespie {
         if total <= 0.0 {
             return false;
         }
-        // Exponential waiting time with rate `total`.
         let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
         *time += -u.ln() / total;
-        // Choose the reaction proportionally to its propensity.
         let target = self.rng.gen::<f64>() * total;
         let chosen = select_reaction(&self.propensities, target);
         *config = config.apply(&self.crn.reactions()[chosen]);
@@ -134,45 +296,6 @@ impl Gillespie {
             time,
             silent: false,
         }
-    }
-
-    /// Runs from `start`, recording `(time, count-of-species)` after every
-    /// firing — the trajectory data behind the convergence-time figures.
-    #[must_use]
-    pub fn run_recording(
-        &mut self,
-        start: &Configuration,
-        tracked: crn_model::Species,
-        max_steps: u64,
-    ) -> (GillespieOutcome, Vec<(f64, u64)>) {
-        let mut config = start.clone();
-        let mut time = 0.0f64;
-        let mut steps = 0u64;
-        let mut trajectory = vec![(0.0, config.count(tracked))];
-        while steps < max_steps {
-            if !self.step(&mut config, &mut time) {
-                return (
-                    GillespieOutcome {
-                        final_configuration: config,
-                        steps,
-                        time,
-                        silent: true,
-                    },
-                    trajectory,
-                );
-            }
-            steps += 1;
-            trajectory.push((time, config.count(tracked)));
-        }
-        (
-            GillespieOutcome {
-                final_configuration: config,
-                steps,
-                time,
-                silent: false,
-            },
-            trajectory,
-        )
     }
 }
 
@@ -251,6 +374,53 @@ mod tests {
         let b = run(11);
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.final_configuration, b.final_configuration);
+    }
+
+    #[test]
+    fn reseed_replays_the_same_trajectory_on_one_simulator() {
+        let max = examples::max_crn();
+        let start = max.initial_configuration(&NVec::from(vec![6, 4])).unwrap();
+        let mut sim = Gillespie::new(max.crn().clone(), 0);
+        sim.reseed(11);
+        let a = sim.run(&start, 1_000_000);
+        sim.reseed(11);
+        let b = sim.run(&start, 1_000_000);
+        assert_eq!(a, b);
+        // And a reused simulator matches a fresh one.
+        let fresh = Gillespie::new(max.crn().clone(), 11).run(&start, 1_000_000);
+        assert_eq!(a, fresh);
+    }
+
+    #[test]
+    fn dense_kernel_matches_sparse_oracle_seed_for_seed() {
+        let max = examples::max_crn();
+        let start = max.initial_configuration(&NVec::from(vec![9, 6])).unwrap();
+        for seed in 0..10 {
+            let dense = Gillespie::new(max.crn().clone(), seed).run(&start, 1_000_000);
+            let sparse = SparseGillespie::new(max.crn().clone(), seed).run(&start, 1_000_000);
+            assert_eq!(dense, sparse, "diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn foreign_species_in_start_configuration_are_carried() {
+        // A start configuration can mention species the CRN never interned;
+        // they are inert but must survive into the final configuration.
+        let double = examples::double_crn();
+        // A species interned by a *different* CRN, with an index past every
+        // species the double CRN knows.
+        let mut other = Crn::new();
+        let mut foreign = other.add_species("F0");
+        for i in 1..8 {
+            foreign = other.add_species(&format!("F{i}"));
+        }
+        let mut start = double.initial_configuration(&NVec::from(vec![3])).unwrap();
+        start.set(foreign, 9);
+        let mut sim = Gillespie::new(double.crn().clone(), 5);
+        let out = sim.run(&start, 1_000_000);
+        assert!(out.silent);
+        assert_eq!(out.final_configuration.count(foreign), 9);
+        assert_eq!(out.final_configuration.count(double.output()), 6);
     }
 
     /// A CRN whose *final* reaction is inapplicable from the start

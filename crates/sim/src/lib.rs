@@ -6,13 +6,21 @@
 //! input size (experiment E9), composition overhead (E10), and the behaviour
 //! of the Figure 1 examples (E1).  The crate provides:
 //!
-//! * exact Gillespie stochastic simulation ([`gillespie`]) with mass-action
-//!   propensities,
+//! * exact Gillespie stochastic simulation ([`gillespie`]) on the dense
+//!   compiled kernel, with mass-action propensities maintained
+//!   **incrementally** through the reaction dependency graph of
+//!   [`crn_model::CompiledCrn`] (the sparse seed implementation survives as
+//!   [`SparseGillespie`], the differential oracle),
+//! * the shared dense-kernel pieces ([`kernel`]): the incremental propensity
+//!   table and the incrementally-maintained applicable set,
 //! * discrete schedulers ([`scheduler`]) — uniform, propensity-weighted and
 //!   adversarial priority schedulers — for exploring reachability-style
 //!   executions without a notion of real time,
 //! * convergence runs ([`convergence`]) that execute until the CRN is silent
-//!   or a step bound is hit, and
+//!   or a step bound is hit, with a reusable compiled kernel for batches,
+//! * a parallel ensemble runner ([`ensemble`]) fanning independent trials
+//!   across scoped threads with decorrelated seed streams and worker-count
+//!   independent (bit-identical) results, and
 //! * a batch experiment runner ([`runner`]) with summary statistics.
 //!
 //! ```
@@ -32,13 +40,20 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod ensemble;
 pub mod gillespie;
+pub mod kernel;
 pub mod runner;
 pub mod scheduler;
 pub mod stats;
 
-pub use convergence::{run_to_silence, ConvergenceReport};
-pub use gillespie::{Gillespie, GillespieOutcome};
-pub use runner::{convergence_series, measure_convergence, ConvergencePoint, TrialSummary};
+pub use convergence::{run_to_silence, ConvergenceKernel, ConvergenceReport};
+pub use ensemble::{Ensemble, SeedStream, TrialAccumulator};
+pub use gillespie::{Gillespie, GillespieOutcome, SparseGillespie};
+pub use kernel::{ApplicableSet, PropensityTable};
+pub use runner::{
+    convergence_series, measure_convergence, measure_convergence_with_workers, ConvergencePoint,
+    TrialSummary,
+};
 pub use scheduler::{PriorityScheduler, PropensityScheduler, Scheduler, UniformScheduler};
-pub use stats::Summary;
+pub use stats::{Summary, SummaryAccumulator};

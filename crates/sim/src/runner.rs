@@ -1,13 +1,18 @@
 //! Batch experiment runner: repeated trials and convergence-versus-input-size
 //! series (the data behind experiments E1, E9, E10, E12).
+//!
+//! Repeated trials run on the [`Ensemble`] —
+//! independent simulations fanned across scoped worker threads with
+//! SplitMix64-decorrelated per-trial seeds — whose determinism contract makes
+//! every public result here independent of the worker count.
 
 use serde::{Deserialize, Serialize};
 
 use crn_model::{CrnError, FunctionCrn};
 use crn_numeric::NVec;
 
-use crate::convergence::run_to_silence;
-use crate::gillespie::Gillespie;
+use crate::convergence::ConvergenceKernel;
+use crate::ensemble::{Ensemble, SeedStream};
 use crate::scheduler::UniformScheduler;
 use crate::stats::Summary;
 
@@ -27,7 +32,11 @@ pub struct TrialSummary {
     pub silent_fraction: f64,
 }
 
-/// Runs `trials` independent Gillespie simulations of `crn` on `x`.
+/// Runs `trials` independent Gillespie simulations of `crn` on `x`, fanned
+/// across one worker thread per available core.
+///
+/// Trial `t` is seeded with `SeedStream::new(seed).seed(t)`, so the result is
+/// deterministic in `seed` and identical for every worker count.
 ///
 /// # Errors
 ///
@@ -39,30 +48,29 @@ pub fn measure_convergence(
     max_steps: u64,
     seed: u64,
 ) -> Result<TrialSummary, CrnError> {
-    let start = crn.initial_configuration(x)?;
-    let mut step_samples = Vec::with_capacity(trials as usize);
-    let mut time_samples = Vec::with_capacity(trials as usize);
-    let mut outputs = Vec::new();
-    let mut silent = 0u32;
-    for t in 0..trials {
-        let mut sim = Gillespie::new(crn.crn().clone(), seed.wrapping_add(u64::from(t)));
-        let outcome = sim.run(&start, max_steps);
-        step_samples.push(outcome.steps);
-        time_samples.push(outcome.time);
-        outputs.push(outcome.final_configuration.count(crn.output()));
-        if outcome.silent {
-            silent += 1;
-        }
-    }
-    outputs.sort_unstable();
-    outputs.dedup();
-    Ok(TrialSummary {
-        input: x.clone(),
-        steps: Summary::of_counts(&step_samples),
-        time: Summary::of(&time_samples),
-        outputs,
-        silent_fraction: f64::from(silent) / f64::from(trials),
-    })
+    Ensemble::new(crn)
+        .with_max_steps(max_steps)
+        .run(x, trials, seed)
+}
+
+/// [`measure_convergence`] with an explicit worker-thread count (mainly for
+/// scaling benchmarks; the results are identical for every value).
+///
+/// # Errors
+///
+/// Returns [`CrnError::DimensionMismatch`] if `x` has the wrong arity.
+pub fn measure_convergence_with_workers(
+    crn: &FunctionCrn,
+    x: &NVec,
+    trials: u32,
+    max_steps: u64,
+    seed: u64,
+    workers: usize,
+) -> Result<TrialSummary, CrnError> {
+    Ensemble::new(crn)
+        .with_max_steps(max_steps)
+        .with_workers(workers)
+        .run(x, trials, seed)
 }
 
 /// One point of a convergence-versus-input-size series.
@@ -97,16 +105,11 @@ pub fn convergence_series(
     max_steps: u64,
     seed: u64,
 ) -> Result<Vec<ConvergencePoint>, CrnError> {
+    let stream = SeedStream::new(seed);
     let mut series = Vec::with_capacity(sizes.len());
     for (k, &n) in sizes.iter().enumerate() {
         let input = make_input(n);
-        let summary = measure_convergence(
-            crn,
-            &input,
-            trials,
-            max_steps,
-            seed.wrapping_add(k as u64 * 1000),
-        )?;
+        let summary = measure_convergence(crn, &input, trials, max_steps, stream.seed(k as u64))?;
         let want = expected(&input);
         series.push(ConvergencePoint {
             input_size: input.total(),
@@ -124,9 +127,14 @@ pub fn convergence_series(
 /// smoke test used by examples (the exhaustive checker in `crn-model`
 /// provides the real guarantee).
 ///
+/// The CRN is compiled once (one [`ConvergenceKernel`] reused across every
+/// input) and the box is streamed lazily, so arbitrarily large boxes cost no
+/// up-front materialization.
+///
 /// # Errors
 ///
-/// Propagates errors from [`run_to_silence`].
+/// Propagates errors from
+/// [`run_to_silence`](crate::convergence::run_to_silence).
 pub fn spot_check_on_box(
     crn: &FunctionCrn,
     expected: impl Fn(&NVec) -> u64,
@@ -134,13 +142,12 @@ pub fn spot_check_on_box(
     max_steps: u64,
     seed: u64,
 ) -> Result<usize, CrnError> {
+    let stream = SeedStream::new(seed);
+    let mut kernel = ConvergenceKernel::new(crn);
     let mut mismatches = 0;
-    for (k, x) in NVec::enumerate_box(crn.dim(), bound)
-        .into_iter()
-        .enumerate()
-    {
-        let mut scheduler = UniformScheduler::seeded(seed.wrapping_add(k as u64));
-        let report = run_to_silence(crn, &x, &mut scheduler, max_steps)?;
+    for (k, x) in NVec::box_iter(crn.dim(), bound).enumerate() {
+        let mut scheduler = UniformScheduler::seeded(stream.seed(k as u64));
+        let report = kernel.run_to_silence(&x, &mut scheduler, max_steps)?;
         if !report.silent || report.output != expected(&x) {
             mismatches += 1;
         }
@@ -181,6 +188,19 @@ mod tests {
         assert!(series.iter().all(|p| p.all_correct));
         assert!(series[0].mean_steps < series[2].mean_steps);
         assert!(series[0].input_size < series[2].input_size);
+    }
+
+    #[test]
+    fn measurement_is_independent_of_worker_count() {
+        let max = examples::max_crn();
+        let x = NVec::from(vec![6, 9]);
+        let one = measure_convergence_with_workers(&max, &x, 8, 1_000_000, 3, 1).unwrap();
+        for workers in [2usize, 4, 8] {
+            let many =
+                measure_convergence_with_workers(&max, &x, 8, 1_000_000, 3, workers).unwrap();
+            assert_eq!(many, one, "workers={workers}");
+        }
+        assert_eq!(measure_convergence(&max, &x, 8, 1_000_000, 3).unwrap(), one);
     }
 
     #[test]

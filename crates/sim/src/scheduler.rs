@@ -5,17 +5,30 @@
 //! "natural" stochastic schedulers we provide an adversarial priority
 //! scheduler used in the composition experiments (E10) to starve a downstream
 //! module, mirroring the adversarial executions discussed in Section 1.2.
+//!
+//! Schedulers operate on the dense kernel: they see the [`CompiledCrn`], the
+//! current [`DenseState`] and the incrementally-maintained applicable set
+//! (ascending reaction indices, exactly the order the sparse
+//! `Crn::applicable_reactions` scan used to produce, so seeded runs replay
+//! identically).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crn_model::{Configuration, Crn};
+use crn_model::{CompiledCrn, Configuration, Crn, DenseState};
+
+use crate::kernel::propensity_dense;
 
 /// Chooses which applicable reaction fires next.
 pub trait Scheduler {
-    /// Picks one of `applicable` (indices into `crn.reactions()`), or `None`
-    /// to halt even though reactions remain applicable.
-    fn select(&mut self, crn: &Crn, config: &Configuration, applicable: &[usize]) -> Option<usize>;
+    /// Picks one of `applicable` (ascending indices into `crn.reactions()`),
+    /// or `None` to halt even though reactions remain applicable.
+    fn select(
+        &mut self,
+        crn: &CompiledCrn,
+        state: &DenseState,
+        applicable: &[usize],
+    ) -> Option<usize>;
 }
 
 /// Picks an applicable reaction uniformly at random.
@@ -42,8 +55,8 @@ impl UniformScheduler {
 impl Scheduler for UniformScheduler {
     fn select(
         &mut self,
-        _crn: &Crn,
-        _config: &Configuration,
+        _crn: &CompiledCrn,
+        _state: &DenseState,
         applicable: &[usize],
     ) -> Option<usize> {
         if applicable.is_empty() {
@@ -58,6 +71,8 @@ impl Scheduler for UniformScheduler {
 #[derive(Debug, Clone)]
 pub struct PropensityScheduler {
     rng: StdRng,
+    /// Per-call weight buffer, reused so selection never allocates.
+    weights: Vec<f64>,
 }
 
 impl PropensityScheduler {
@@ -66,13 +81,20 @@ impl PropensityScheduler {
     pub fn seeded(seed: u64) -> Self {
         PropensityScheduler {
             rng: StdRng::seed_from_u64(seed),
+            weights: Vec::new(),
         }
     }
 }
 
-/// The mass-action propensity of reaction `index` in `config`: the number of
-/// distinct ways to choose its reactant multiset, `∏_s C(count_s, r_s)·r_s!`
-/// (i.e. the falling factorial), with unit rate constant.
+/// The mass-action propensity of reaction `index` in a sparse `config`: the
+/// number of distinct ways to choose its reactant multiset,
+/// `∏_s C(count_s, r_s)·r_s!` (i.e. the falling factorial), with unit rate
+/// constant.
+///
+/// This is the sparse reference implementation, retained for the differential
+/// oracle and for tests; the hot path uses
+/// [`propensity_dense`], which agrees with
+/// it bit-for-bit.
 #[must_use]
 pub fn propensity(crn: &Crn, config: &Configuration, index: usize) -> f64 {
     let reaction = &crn.reactions()[index];
@@ -90,20 +112,27 @@ pub fn propensity(crn: &Crn, config: &Configuration, index: usize) -> f64 {
 }
 
 impl Scheduler for PropensityScheduler {
-    fn select(&mut self, crn: &Crn, config: &Configuration, applicable: &[usize]) -> Option<usize> {
+    fn select(
+        &mut self,
+        crn: &CompiledCrn,
+        state: &DenseState,
+        applicable: &[usize],
+    ) -> Option<usize> {
         if applicable.is_empty() {
             return None;
         }
-        let weights: Vec<f64> = applicable
-            .iter()
-            .map(|&i| propensity(crn, config, i))
-            .collect();
-        let total: f64 = weights.iter().sum();
+        self.weights.clear();
+        self.weights.extend(
+            applicable
+                .iter()
+                .map(|&i| propensity_dense(&crn.reactions()[i], state.counts())),
+        );
+        let total: f64 = self.weights.iter().sum();
         if total <= 0.0 {
             return None;
         }
         let mut target = self.rng.gen::<f64>() * total;
-        for (k, w) in weights.iter().enumerate() {
+        for (k, w) in self.weights.iter().enumerate() {
             if target < *w {
                 return Some(applicable[k]);
             }
@@ -121,9 +150,22 @@ impl Scheduler for PropensityScheduler {
 /// of the max CRN before its clean-up reactions run, or starving a downstream
 /// module of the shared species).  It is *not* fair, so it may converge to a
 /// non-stable configuration; experiments use it to demonstrate overshoot.
+///
+/// Selection uses a precomputed rank table (reaction index → position in the
+/// priority list), so each pick is one O(applicable) scan instead of the
+/// O(priority · applicable) `contains` scans of the naive formulation.  The
+/// table covers only indices that actually occur in an applicable set (i.e.
+/// real reaction indices, grown lazily), so priority entries pointing at
+/// nonexistent reactions stay harmless never-matching entries instead of
+/// sizing an allocation.
 #[derive(Debug, Clone)]
 pub struct PriorityScheduler {
+    /// The preference order as given.
     priority: Vec<usize>,
+    /// `rank[r]` is the position of reaction `r` in the priority list (first
+    /// occurrence wins); unlisted reactions rank `usize::MAX`.  Grown on
+    /// demand to cover the applicable indices seen, never past them.
+    rank: Vec<usize>,
 }
 
 impl PriorityScheduler {
@@ -132,14 +174,31 @@ impl PriorityScheduler {
     /// nothing listed is applicable, in which case the lowest index wins).
     #[must_use]
     pub fn new(priority: Vec<usize>) -> Self {
-        PriorityScheduler { priority }
+        PriorityScheduler {
+            priority,
+            rank: Vec::new(),
+        }
     }
 
     /// The scheduler that always fires the lowest-indexed applicable reaction.
     #[must_use]
     pub fn in_order(reaction_count: usize) -> Self {
-        PriorityScheduler {
-            priority: (0..reaction_count).collect(),
+        PriorityScheduler::new((0..reaction_count).collect())
+    }
+
+    /// Grows the rank table to cover indices `< needed` (one pass over the
+    /// priority list per growth, so the total build cost stays O(priority)
+    /// amortized over a run).
+    fn ensure_table(&mut self, needed: usize) {
+        if self.rank.len() >= needed {
+            return;
+        }
+        let old = self.rank.len();
+        self.rank.resize(needed, usize::MAX);
+        for (position, &p) in self.priority.iter().enumerate() {
+            if (old..needed).contains(&p) && self.rank[p] == usize::MAX {
+                self.rank[p] = position;
+            }
         }
     }
 }
@@ -147,19 +206,29 @@ impl PriorityScheduler {
 impl Scheduler for PriorityScheduler {
     fn select(
         &mut self,
-        _crn: &Crn,
-        _config: &Configuration,
+        _crn: &CompiledCrn,
+        _state: &DenseState,
         applicable: &[usize],
     ) -> Option<usize> {
-        if applicable.is_empty() {
-            return None;
+        // `applicable` is ascending, so its last entry bounds the table.
+        if let Some(&max_index) = applicable.last() {
+            self.ensure_table(max_index + 1);
         }
-        for &p in &self.priority {
-            if applicable.contains(&p) {
-                return Some(p);
+        // One pass over the applicable set: the first reaction attaining the
+        // minimal rank wins, so listed reactions beat unlisted ones and
+        // all-unlisted falls back to the lowest applicable index.
+        let mut best: Option<(usize, usize)> = None;
+        for &r in applicable {
+            let rank = self.rank[r];
+            let better = match best {
+                None => true,
+                Some((best_rank, _)) => rank < best_rank,
+            };
+            if better {
+                best = Some((rank, r));
             }
         }
-        applicable.first().copied()
+        best.map(|(_, r)| r)
     }
 }
 
@@ -167,6 +236,25 @@ impl Scheduler for PriorityScheduler {
 mod tests {
     use super::*;
     use crn_model::examples;
+
+    /// Compiles a `FunctionCrn`'s CRN and lowers a configuration, the setup
+    /// every scheduler test needs.
+    fn dense(
+        crn: &Crn,
+        counts: Vec<(crn_model::Species, u64)>,
+    ) -> (CompiledCrn, DenseState, Vec<usize>) {
+        let compiled = CompiledCrn::compile(crn);
+        let config = Configuration::from_counts(counts);
+        let state = DenseState::from_configuration(&config, compiled.stride());
+        let applicable: Vec<usize> = compiled
+            .reactions()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.applicable(state.counts()))
+            .map(|(i, _)| i)
+            .collect();
+        (compiled, state, applicable)
+    }
 
     #[test]
     fn propensity_counts_ordered_tuples() {
@@ -189,6 +277,12 @@ mod tests {
         let config = Configuration::from_counts(vec![(z, 4)]);
         // 4 * 3 = 12 ordered pairs.
         assert_eq!(propensity(&crn, &config, 0), 12.0);
+        let compiled = CompiledCrn::compile(&crn);
+        let state = DenseState::from_configuration(&config, compiled.stride());
+        assert_eq!(
+            propensity_dense(&compiled.reactions()[0], state.counts()),
+            12.0
+        );
     }
 
     #[test]
@@ -197,12 +291,11 @@ mod tests {
         let crn = max.crn();
         let x1 = crn.species_named("X1").unwrap();
         let x2 = crn.species_named("X2").unwrap();
-        let config = Configuration::from_counts(vec![(x1, 2), (x2, 2)]);
-        let applicable = crn.applicable_reactions(&config);
+        let (compiled, state, applicable) = dense(crn, vec![(x1, 2), (x2, 2)]);
         let pick = |seed| {
             let mut s = UniformScheduler::seeded(seed);
             (0..10)
-                .map(|_| s.select(crn, &config, &applicable).unwrap())
+                .map(|_| s.select(&compiled, &state, &applicable).unwrap())
                 .collect::<Vec<_>>()
         };
         assert_eq!(pick(1), pick(1));
@@ -211,17 +304,17 @@ mod tests {
     #[test]
     fn schedulers_return_none_when_nothing_applicable() {
         let min = examples::min_crn();
-        let empty = Configuration::new();
+        let (compiled, state, _) = dense(min.crn(), vec![]);
         assert_eq!(
-            UniformScheduler::seeded(0).select(min.crn(), &empty, &[]),
+            UniformScheduler::seeded(0).select(&compiled, &state, &[]),
             None
         );
         assert_eq!(
-            PropensityScheduler::seeded(0).select(min.crn(), &empty, &[]),
+            PropensityScheduler::seeded(0).select(&compiled, &state, &[]),
             None
         );
         assert_eq!(
-            PriorityScheduler::in_order(1).select(min.crn(), &empty, &[]),
+            PriorityScheduler::in_order(1).select(&compiled, &state, &[]),
             None
         );
     }
@@ -232,10 +325,41 @@ mod tests {
         let crn = max.crn();
         let x1 = crn.species_named("X1").unwrap();
         let x2 = crn.species_named("X2").unwrap();
-        let config = Configuration::from_counts(vec![(x1, 1), (x2, 1)]);
-        let applicable = crn.applicable_reactions(&config);
+        let (compiled, state, applicable) = dense(crn, vec![(x1, 1), (x2, 1)]);
         // Prefer reaction 1 (X2 -> Z2 + Y) over reaction 0.
         let mut sched = PriorityScheduler::new(vec![1, 0]);
-        assert_eq!(sched.select(crn, &config, &applicable), Some(1));
+        assert_eq!(sched.select(&compiled, &state, &applicable), Some(1));
+    }
+
+    #[test]
+    fn priority_scheduler_tolerates_huge_priority_indices() {
+        // The seed scanned the priority list, so entries pointing at
+        // nonexistent reactions were harmless; the rank table must keep that
+        // property instead of sizing an allocation by the largest index.
+        let max = examples::max_crn();
+        let crn = max.crn();
+        let x1 = crn.species_named("X1").unwrap();
+        let x2 = crn.species_named("X2").unwrap();
+        let (compiled, state, applicable) = dense(crn, vec![(x1, 1), (x2, 1)]);
+        let mut sched = PriorityScheduler::new(vec![usize::MAX, 1_000_000_000_000, 1]);
+        assert_eq!(sched.select(&compiled, &state, &applicable), Some(1));
+    }
+
+    #[test]
+    fn priority_scheduler_falls_back_to_lowest_unlisted() {
+        let max = examples::max_crn();
+        let crn = max.crn();
+        let x1 = crn.species_named("X1").unwrap();
+        let x2 = crn.species_named("X2").unwrap();
+        let (compiled, state, applicable) = dense(crn, vec![(x1, 1), (x2, 1)]);
+        assert_eq!(applicable, vec![0, 1]);
+        // Only reaction 3 is listed and it is inapplicable: the rank table
+        // must fall back to the lowest applicable index, like the seed's
+        // `applicable.first()` did.
+        let mut sched = PriorityScheduler::new(vec![3]);
+        assert_eq!(sched.select(&compiled, &state, &applicable), Some(0));
+        // Duplicate priorities keep first-occurrence semantics.
+        let mut sched = PriorityScheduler::new(vec![1, 1, 0]);
+        assert_eq!(sched.select(&compiled, &state, &applicable), Some(1));
     }
 }

@@ -59,6 +59,68 @@ impl Summary {
     }
 }
 
+/// A mergeable, streaming accumulator of samples feeding a [`Summary`].
+///
+/// Ensemble workers each fill one accumulator and the driver merges them in
+/// trial order, so the final [`Summary`] is **bit-identical** to a sequential
+/// run regardless of the worker count.  Samples are retained (the summary's
+/// median and p95 are exact nearest-rank percentiles, which no constant-space
+/// sketch reproduces); pushes and merges are amortized O(1) per sample.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SummaryAccumulator {
+    samples: Vec<f64>,
+}
+
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        SummaryAccumulator::default()
+    }
+
+    /// An empty accumulator with room for `capacity` samples.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SummaryAccumulator {
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    /// Appends `later`'s samples after this accumulator's own.  Merging is
+    /// ordered: the caller merges worker accumulators in trial order so the
+    /// combined sample sequence equals the sequential one.
+    pub fn merge(&mut self, later: SummaryAccumulator) {
+        self.samples.extend(later.samples);
+    }
+
+    /// The number of samples recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarizes the accumulated samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sample has been recorded.
+    #[must_use]
+    pub fn finish(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+}
+
 /// Nearest-rank percentile of an already-sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     let rank = ((sorted.len() as f64) * q).ceil() as usize;
@@ -103,6 +165,30 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_batch_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_sequential_summary() {
+        let samples = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        let mut left = SummaryAccumulator::new();
+        let mut right = SummaryAccumulator::with_capacity(4);
+        for (i, &s) in samples.iter().enumerate() {
+            if i < 3 {
+                left.push(s);
+            } else {
+                right.push(s);
+            }
+        }
+        left.merge(right);
+        assert_eq!(left.len(), samples.len());
+        assert!(!left.is_empty());
+        assert_eq!(left.finish(), Summary::of(&samples));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_accumulator_panics_on_finish() {
+        let _ = SummaryAccumulator::new().finish();
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Number of elements a [`vec`] strategy may produce.
+    /// Number of elements a [`fn@vec`] strategy may produce.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         start: usize,
