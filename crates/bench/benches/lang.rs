@@ -1,0 +1,46 @@
+//! Criterion benchmark for the `crn-lang` front end (experiment E15 of
+//! DESIGN.md): parse and parse+lower throughput on the largest corpus file
+//! and on a large synthesized document.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn lang_throughput(c: &mut Criterion) {
+    let rows = crn_bench::e15_lang_throughput(2_000);
+    eprintln!("\n[E15] crn-lang front-end throughput (parse vs parse+lower)");
+    for r in &rows {
+        eprintln!(
+            "  {}: {} bytes, {} items, parse {:.0}/s ({:.1} MB/s), parse+lower {:.0}/s",
+            r.name,
+            r.bytes,
+            r.items,
+            r.parse_docs_per_sec,
+            r.parse_mb_per_sec,
+            r.compile_docs_per_sec
+        );
+    }
+
+    let documents = crn_bench::e15_documents();
+    let mut group = c.benchmark_group("E15_lang_front_end");
+    for (name, text) in &documents {
+        group.bench_function(format!("parse/{name}"), |b| {
+            b.iter(|| crn_lang::parse(black_box(text)).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = lang;
+    config = configured();
+    targets = lang_throughput
+}
+criterion_main!(lang);

@@ -553,6 +553,97 @@ pub fn e14_ensemble_scaling(
         .collect()
 }
 
+/// One E15 row: `crn-lang` front-end throughput on a document.
+#[derive(Debug, Clone)]
+pub struct LangThroughputRow {
+    /// Which document.
+    pub name: String,
+    /// Document size in bytes.
+    pub bytes: usize,
+    /// Number of top-level items.
+    pub items: usize,
+    /// Documents parsed per second (lex + parse only).
+    pub parse_docs_per_sec: f64,
+    /// Parse throughput in MB/s.
+    pub parse_mb_per_sec: f64,
+    /// Documents parsed *and lowered* to semantic objects per second.
+    pub compile_docs_per_sec: f64,
+}
+
+/// Parses and lowers every item of `source`, returning the item count
+/// (panics on malformed input — E15 documents are known-good).
+fn lang_compile(source: &str) -> usize {
+    let doc = crn_lang::parse(source).expect("E15 document parses");
+    for item in &doc.items {
+        crn_lang::lower_item(item).expect("E15 item lowers");
+    }
+    doc.items.len()
+}
+
+/// The E15 documents: the largest checked-in corpus file, plus a large
+/// synthesized document (the Lemma 6.2 construction for the corpus
+/// `gated_min` spec, printed back to text — ~90 species of dotted composed
+/// names, the densest text the pipeline produces).
+#[must_use]
+pub fn e15_documents() -> Vec<(String, String)> {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let largest = std::fs::read_dir(&corpus)
+        .expect("corpus directory exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.extension()? == "crn").then_some(path)
+        })
+        .max_by_key(|path| std::fs::metadata(path).map(|m| m.len()).unwrap_or(0))
+        .expect("corpus has .crn files");
+    let largest_name = largest.file_name().unwrap().to_string_lossy().into_owned();
+    let largest_text = std::fs::read_to_string(&largest).expect("corpus file reads");
+
+    let spec_source =
+        std::fs::read_to_string(corpus.join("compound_spec.crn")).expect("compound_spec exists");
+    let doc = crn_lang::parse(&spec_source).expect("compound_spec parses");
+    let crn_lang::Item::Spec(spec_item) = &doc.items[0] else {
+        panic!("compound_spec.crn starts with a spec item");
+    };
+    let spec = crn_lang::lower_spec(spec_item).expect("spec lowers");
+    let crn = synthesize(&spec).expect("Lemma 6.2 synthesis succeeds");
+    let synthesized = crn_lang::print(&crn_lang::Document {
+        items: vec![
+            crn_lang::Item::Spec(spec_item.clone()),
+            crn_lang::Item::Crn(crn_lang::crn_to_item(
+                "gated_min_crn",
+                &crn,
+                Some(&spec_item.name),
+                None,
+            )),
+        ],
+    });
+    vec![
+        (largest_name, largest_text),
+        ("synthesized gated_min".to_owned(), synthesized),
+    ]
+}
+
+/// E15: parse and parse+lower throughput of the `crn-lang` front end.
+#[must_use]
+pub fn e15_lang_throughput(repeats: u32) -> Vec<LangThroughputRow> {
+    e15_documents()
+        .into_iter()
+        .map(|(name, text)| {
+            let items = lang_compile(&text);
+            let (parse_secs, _) = time_repeats(repeats, || crn_lang::parse(&text).expect("parses"));
+            let (compile_secs, _) = time_repeats(repeats, || lang_compile(&text));
+            LangThroughputRow {
+                name,
+                bytes: text.len(),
+                items,
+                parse_docs_per_sec: f64::from(repeats) / parse_secs,
+                parse_mb_per_sec: text.len() as f64 * f64::from(repeats) / 1e6 / parse_secs,
+                compile_docs_per_sec: f64::from(repeats) / compile_secs,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +781,23 @@ mod tests {
             assert!(row.trials_per_sec > 0.0);
             assert!(row.speedup_vs_one > 0.0);
         }
+    }
+
+    #[test]
+    fn e15_lang_throughput_measures_both_documents() {
+        let rows = e15_lang_throughput(3);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(
+                row.bytes > 0 && row.items > 0,
+                "{}: empty document",
+                row.name
+            );
+            assert!(row.parse_docs_per_sec > 0.0);
+            assert!(row.compile_docs_per_sec > 0.0);
+        }
+        // The synthesized document dwarfs the corpus files.
+        assert!(rows[1].bytes > rows[0].bytes);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Tiny command-line flag parser.
+//!
+//! Each subcommand declares which flags take a value and which are switches;
+//! everything else is positional.  `--flag value` and `--flag=value` are both
+//! accepted.  Unknown flags are usage errors (exit code 2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed arguments of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order (typically file paths).
+    pub positionals: Vec<String>,
+    values: BTreeMap<String, String>,
+    switches: BTreeSet<String>,
+}
+
+impl Args {
+    /// Parses `raw`, accepting the given value-taking flags and switches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for unknown flags or missing values.
+    pub fn parse(
+        raw: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let token = &raw[i];
+            if let Some(flag) = token.strip_prefix('-').filter(|_| token.len() > 1) {
+                let flag = flag.strip_prefix('-').unwrap_or(flag);
+                let (name, inline) = match flag.split_once('=') {
+                    Some((name, value)) => (name, Some(value.to_owned())),
+                    None => (flag, None),
+                };
+                if value_flags.contains(&name) {
+                    let value = match inline {
+                        Some(value) => value,
+                        None => {
+                            i += 1;
+                            raw.get(i)
+                                .cloned()
+                                .ok_or_else(|| format!("flag `--{name}` needs a value"))?
+                        }
+                    };
+                    args.values.insert(name.to_owned(), value);
+                } else if switch_flags.contains(&name) {
+                    if inline.is_some() {
+                        return Err(format!("flag `--{name}` does not take a value"));
+                    }
+                    args.switches.insert(name.to_owned());
+                } else {
+                    return Err(format!("unknown flag `--{name}`"));
+                }
+            } else {
+                args.positionals.push(token.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// The value of `flag`, if given.
+    #[must_use]
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Whether the switch `flag` was given.
+    #[must_use]
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
+    }
+
+    /// The value of `flag` parsed as `u64`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the value is not a number.
+    pub fn u64_or(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("flag `--{flag}` needs an integer, got `{text}`")),
+        }
+    }
+
+    /// The value of `flag` parsed as `usize`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when the value is not a number.
+    pub fn usize_or(&self, flag: &str, default: usize) -> Result<usize, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("flag `--{flag}` needs an integer, got `{text}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn positionals_values_and_switches() {
+        let args = Args::parse(
+            &strings(&["a.crn", "--bound", "5", "--json", "--seed=9", "b.crn"]),
+            &["bound", "seed"],
+            &["json"],
+        )
+        .unwrap();
+        assert_eq!(args.positionals, vec!["a.crn", "b.crn"]);
+        assert_eq!(args.value("bound"), Some("5"));
+        assert_eq!(args.u64_or("seed", 0).unwrap(), 9);
+        assert_eq!(args.u64_or("bound", 0).unwrap(), 5);
+        assert_eq!(args.u64_or("missing", 7).unwrap(), 7);
+        assert!(args.switch("json"));
+        assert!(!args.switch("spot"));
+    }
+
+    #[test]
+    fn short_flags_are_accepted() {
+        let args = Args::parse(&strings(&["-o", "out.crn"]), &["o"], &[]).unwrap();
+        assert_eq!(args.value("o"), Some("out.crn"));
+    }
+
+    #[test]
+    fn errors_are_usage_messages() {
+        assert!(Args::parse(&strings(&["--nope"]), &[], &[]).is_err());
+        assert!(Args::parse(&strings(&["--bound"]), &["bound"], &[]).is_err());
+        assert!(Args::parse(&strings(&["--json=1"]), &[], &["json"]).is_err());
+        let args = Args::parse(&strings(&["--bound", "x"]), &["bound"], &[]).unwrap();
+        assert!(args.u64_or("bound", 0).is_err());
+    }
+}

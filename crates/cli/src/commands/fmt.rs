@@ -1,0 +1,58 @@
+//! `crn fmt`: canonical formatting (the pretty-printer as a command).
+
+use crate::args::Args;
+use crate::commands::{usage_error, EXIT_OK, EXIT_USAGE, EXIT_VERDICT};
+
+/// Runs `crn fmt <file>... [--write | --check]`.
+///
+/// Without flags the canonical form is printed to stdout.  `--write`
+/// rewrites each file in place; `--check` prints nothing and exits 1 when
+/// any file is not already canonical (this is how the corpus stays in
+/// round-trip form).
+pub fn run(raw: &[String]) -> i32 {
+    let args = match Args::parse(raw, &[], &["write", "check"]) {
+        Ok(args) => args,
+        Err(message) => return usage_error(&message),
+    };
+    if args.positionals.is_empty() {
+        return usage_error("`crn fmt` needs at least one file");
+    }
+    if args.switch("write") && args.switch("check") {
+        return usage_error("`--write` and `--check` are mutually exclusive");
+    }
+    let mut exit = EXIT_OK;
+    for path in &args.positionals {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                return EXIT_USAGE;
+            }
+        };
+        let doc = match crn_lang::parse(&source) {
+            Ok(doc) => doc,
+            Err(d) => {
+                eprint!("{}", d.render(&source, path));
+                return EXIT_USAGE;
+            }
+        };
+        let canonical = crn_lang::print(&doc);
+        if args.switch("check") {
+            if canonical != source {
+                println!("{path}: not canonical (run `crn fmt --write {path}`)");
+                exit = EXIT_VERDICT;
+            }
+        } else if args.switch("write") {
+            if canonical != source {
+                if let Err(e) = std::fs::write(path, &canonical) {
+                    eprintln!("error: cannot write `{path}`: {e}");
+                    return EXIT_USAGE;
+                }
+                println!("{path}: rewritten");
+            }
+        } else {
+            print!("{canonical}");
+        }
+    }
+    exit
+}

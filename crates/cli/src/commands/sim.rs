@@ -1,0 +1,188 @@
+//! `crn sim`: stochastic (Gillespie) ensemble simulation.
+
+use crn_numeric::NVec;
+use crn_sim::Ensemble;
+
+use crate::args::Args;
+use crate::commands::{load_or_usage, parse_input, resolve_link, usage_error};
+use crate::commands::{EXIT_OK, EXIT_VERDICT};
+use crate::json::Json;
+
+/// Runs `crn sim <file> [--item NAME] [--input a,b,…] [--trials N]
+/// [--workers W] [--seed S] [--max-steps N] [--json]`.
+///
+/// Simulates each targeted `crn` item as an [`Ensemble`] of independent
+/// Gillespie trials on its input — `--input` if given, otherwise the item's
+/// `init` declaration.  A run *converges* when every trial reaches silence
+/// with one common output value; when the item has a `computes` link the
+/// output must also equal the linked function's value.  Exit codes: 0 all
+/// converged (and correct), 1 otherwise, 2 usage/parse errors.
+pub fn run(raw: &[String]) -> i32 {
+    let args = match Args::parse(
+        raw,
+        &["item", "input", "trials", "workers", "seed", "max-steps"],
+        &["json"],
+    ) {
+        Ok(args) => args,
+        Err(message) => return usage_error(&message),
+    };
+    let [path] = args.positionals.as_slice() else {
+        return usage_error("`crn sim` needs exactly one file");
+    };
+    let (trials, workers, seed, max_steps) = match (
+        args.u64_or("trials", 16),
+        args.usize_or("workers", 0),
+        args.u64_or("seed", 1),
+        args.u64_or("max-steps", 10_000_000),
+    ) {
+        (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+        (Err(m), ..) | (_, Err(m), ..) | (_, _, Err(m), _) | (_, _, _, Err(m)) => {
+            return usage_error(&m)
+        }
+    };
+    let Ok(trials) = u32::try_from(trials.max(1)) else {
+        return usage_error("`--trials` is too large");
+    };
+    let ws = match load_or_usage(path) {
+        Ok(ws) => ws,
+        Err(code) => return code,
+    };
+    let explicit_input = match args.value("input").map(parse_input).transpose() {
+        Ok(input) => input,
+        Err(message) => return usage_error(&message),
+    };
+    let targets: Vec<&String> = match args.value("item") {
+        Some(name) => match ws.crns.iter().find(|(n, _)| n == name) {
+            Some((n, _)) => vec![n],
+            None => return usage_error(&format!("`{path}` has no crn item named `{name}`")),
+        },
+        None => {
+            let simulable: Vec<&String> = ws
+                .crns
+                .iter()
+                .filter(|(_, lowered)| {
+                    // Zero-input CRNs need no init: their input is ().
+                    explicit_input.is_some() || lowered.init.is_some() || lowered.crn.dim() == 0
+                })
+                .map(|(n, _)| n)
+                .collect();
+            if explicit_input.is_some() && simulable.len() > 1 {
+                return usage_error(
+                    "`--input` with several crn items is ambiguous; pick one with `--item NAME`",
+                );
+            }
+            simulable
+        }
+    };
+    if targets.is_empty() {
+        if explicit_input.is_some() {
+            return usage_error(&format!(
+                "`--input` was given but `{path}` has no crn items to simulate"
+            ));
+        }
+        println!("{path}: no crn items with an `init` declaration; nothing to simulate");
+        return EXIT_OK;
+    }
+    let mut exit = EXIT_OK;
+    let mut reports = Vec::new();
+    for name in targets {
+        let lowered = ws.crn(name).expect("target came from the workspace");
+        let x = match (&explicit_input, &lowered.init) {
+            (Some(input), _) => NVec::from(input.clone()),
+            (None, Some(init)) => init.clone(),
+            (None, None) if lowered.crn.dim() == 0 => NVec::zeros(0),
+            (None, None) => {
+                return usage_error(&format!(
+                    "crn `{name}` has no `init` declaration; give an input with `--input a,b,…`"
+                ))
+            }
+        };
+        if x.dim() != lowered.crn.dim() {
+            return usage_error(&format!(
+                "crn `{name}` takes {} inputs, got {}",
+                lowered.crn.dim(),
+                x.dim()
+            ));
+        }
+        // Resolve the expected output when a computes link exists (a dangling
+        // link is a verdict failure here, consistent with `crn check`).
+        // Only the one input point is evaluated (no box scan — `x` can be
+        // huge), and evaluation failures are surfaced, not coerced to 0.
+        let expected = match &lowered.computes {
+            None => None,
+            Some(computes) => {
+                let value = resolve_link(&ws, name, computes).and_then(|target| {
+                    target
+                        .try_eval(&x)
+                        .map_err(|e| format!("`{computes}` cannot be evaluated at {x}: {e}"))
+                });
+                match value {
+                    Ok(value) => Some(value),
+                    Err(problem) => {
+                        println!("{path}: crn {name}: FAIL\n  {problem}");
+                        exit = EXIT_VERDICT;
+                        continue;
+                    }
+                }
+            }
+        };
+        let mut ensemble = Ensemble::new(&lowered.crn).with_max_steps(max_steps);
+        if workers > 0 {
+            ensemble = ensemble.with_workers(workers);
+        }
+        let summary = match ensemble.run(&x, trials, seed) {
+            Ok(summary) => summary,
+            Err(e) => return usage_error(&format!("simulation of crn `{name}` failed: {e}")),
+        };
+        let converged = summary.silent_fraction == 1.0 && summary.outputs.len() == 1;
+        let correct = match expected {
+            None => converged,
+            Some(value) => converged && summary.outputs == vec![value],
+        };
+        if !correct {
+            exit = EXIT_VERDICT;
+        }
+        if args.switch("json") {
+            reports.push(Json::obj(vec![
+                ("item", Json::str(name.as_str())),
+                ("input", Json::uints(x.iter().copied())),
+                ("trials", Json::UInt(u64::from(trials))),
+                ("seed", Json::UInt(seed)),
+                ("outputs", Json::uints(summary.outputs.iter().copied())),
+                ("expected", expected.map_or(Json::Null, Json::UInt)),
+                ("silent_fraction", Json::Float(summary.silent_fraction)),
+                ("mean_steps", Json::Float(summary.steps.mean)),
+                ("p95_steps", Json::Float(summary.steps.p95)),
+                ("mean_time", Json::Float(summary.time.mean)),
+                ("converged", Json::Bool(converged)),
+                ("correct", Json::Bool(correct)),
+            ]));
+        } else {
+            let outputs: Vec<String> = summary.outputs.iter().map(u64::to_string).collect();
+            println!(
+                "{path}: crn {name} on {x}: outputs {{{}}}, silent {:.0}%, mean steps {:.1}{}",
+                outputs.join(", "),
+                summary.silent_fraction * 100.0,
+                summary.steps.mean,
+                match expected {
+                    None => String::new(),
+                    Some(value) => format!(
+                        ", expected {value}: {}",
+                        if correct { "ok" } else { "MISMATCH" }
+                    ),
+                }
+            );
+        }
+    }
+    if args.switch("json") {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("command", Json::str("sim")),
+                ("file", Json::str(path.as_str())),
+                ("results", Json::Arr(reports)),
+            ])
+        );
+    }
+    exit
+}

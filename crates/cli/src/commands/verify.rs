@@ -1,0 +1,172 @@
+//! `crn verify`: reachability-based verification of `computes` claims.
+
+use crn_model::check_on_box;
+use crn_sim::runner::spot_check_on_box;
+
+use crate::args::Args;
+use crate::commands::{load_or_usage, resolve_target, usage_error, EXIT_OK, EXIT_VERDICT};
+use crate::json::Json;
+
+/// Runs `crn verify <file> [--item NAME] [--bound N] [--max-configs N]
+/// [--spot] [--max-steps N] [--seed S] [--json]`.
+///
+/// For each `crn` item with a `computes` link (or the named one), checks
+/// stable computation of the linked function on every input of
+/// `[0, bound]^d`: exhaustively via the reachability engine by default, or by
+/// seeded stochastic spot checks with `--spot` (for CRNs whose reachable
+/// space outgrows `--max-configs`).  Exit codes: 0 all pass, 1 any failing or
+/// unverifiable input, 2 usage/parse errors.
+pub fn run(raw: &[String]) -> i32 {
+    let args = match Args::parse(
+        raw,
+        &["item", "bound", "max-configs", "max-steps", "seed"],
+        &["spot", "json"],
+    ) {
+        Ok(args) => args,
+        Err(message) => return usage_error(&message),
+    };
+    let [path] = args.positionals.as_slice() else {
+        return usage_error("`crn verify` needs exactly one file");
+    };
+    let (bound, max_configs, max_steps, seed) = match (
+        args.u64_or("bound", 4),
+        args.usize_or("max-configs", 200_000),
+        args.u64_or("max-steps", 1_000_000),
+        args.u64_or("seed", 7),
+    ) {
+        (Ok(a), Ok(b), Ok(c), Ok(d)) => (a, b, c, d),
+        (Err(m), ..) | (_, Err(m), ..) | (_, _, Err(m), _) | (_, _, _, Err(m)) => {
+            return usage_error(&m)
+        }
+    };
+    let ws = match load_or_usage(path) {
+        Ok(ws) => ws,
+        Err(code) => return code,
+    };
+    let targets: Vec<&String> = match args.value("item") {
+        Some(name) => match ws.crns.iter().find(|(n, _)| n == name) {
+            Some((n, lowered)) => {
+                if lowered.computes.is_none() {
+                    return usage_error(&format!(
+                        "crn `{name}` has no `computes` link, so there is nothing to verify against"
+                    ));
+                }
+                vec![n]
+            }
+            None => return usage_error(&format!("`{path}` has no crn item named `{name}`")),
+        },
+        None => ws
+            .crns
+            .iter()
+            .filter(|(_, lowered)| lowered.computes.is_some())
+            .map(|(n, _)| n)
+            .collect(),
+    };
+    if targets.is_empty() {
+        println!("{path}: no crn items with a `computes` link; nothing to verify");
+        return EXIT_OK;
+    }
+    let mut exit = EXIT_OK;
+    let mut reports = Vec::new();
+    for name in targets {
+        let lowered = ws.crn(name).expect("target came from the workspace");
+        let computes = lowered.computes.as_deref().expect("filtered above");
+        let json = args.switch("json");
+        let fail = |message: String, reports: &mut Vec<Json>| {
+            if json {
+                reports.push(Json::obj(vec![
+                    ("item", Json::str(name.as_str())),
+                    ("computes", Json::str(computes)),
+                    ("ok", Json::Bool(false)),
+                    ("reason", Json::str(message.as_str())),
+                ]));
+            } else {
+                println!(
+                    "{path}: crn {name} vs {computes} on [0, {bound}]^{}: FAIL",
+                    lowered.crn.dim()
+                );
+                println!("  {message}");
+            }
+            EXIT_VERDICT
+        };
+        let target = match resolve_target(&ws, name, computes, bound) {
+            Ok(target) => target,
+            Err(problem) => {
+                exit = fail(problem, &mut reports);
+                continue;
+            }
+        };
+        let eval = |x: &crn_numeric::NVec| target.eval(x);
+        if args.switch("spot") {
+            match spot_check_on_box(&lowered.crn, eval, bound, max_steps, seed) {
+                Ok(0) => {}
+                Ok(mismatches) => {
+                    exit = fail(
+                        format!("{mismatches} input(s) missed the expected output within {max_steps} steps"),
+                        &mut reports,
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    exit = fail(format!("simulation failed: {e}"), &mut reports);
+                    continue;
+                }
+            }
+        } else {
+            match check_on_box(&lowered.crn, eval, bound, max_configs) {
+                Ok(None) => {}
+                Ok(Some(verdict)) => {
+                    exit = fail(
+                        format!(
+                            "input {} expects {}: {}",
+                            verdict.input,
+                            verdict.expected_output,
+                            verdict
+                                .failure
+                                .unwrap_or_else(|| "stable computation fails".to_owned())
+                        ),
+                        &mut reports,
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    exit = fail(
+                        format!("exhaustive search gave up: {e}; retry with --spot or a larger --max-configs"),
+                        &mut reports,
+                    );
+                    continue;
+                }
+            }
+        }
+        let method = if args.switch("spot") {
+            "spot"
+        } else {
+            "exhaustive"
+        };
+        if json {
+            reports.push(Json::obj(vec![
+                ("item", Json::str(name.as_str())),
+                ("computes", Json::str(computes)),
+                ("method", Json::str(method)),
+                ("bound", Json::UInt(bound)),
+                ("ok", Json::Bool(true)),
+            ]));
+        } else {
+            println!(
+                "{path}: crn {name} vs {computes} on [0, {bound}]^{}: ok ({method})",
+                lowered.crn.dim()
+            );
+        }
+    }
+    if args.switch("json") {
+        println!(
+            "{}",
+            Json::obj(vec![
+                ("command", Json::str("verify")),
+                ("file", Json::str(path.as_str())),
+                ("results", Json::Arr(reports)),
+            ])
+        );
+    }
+    exit
+}

@@ -1,0 +1,100 @@
+//! `crn-cli`: the `crn` command-line driver.
+//!
+//! The binary turns the workspace into a batch service: `.crn` documents
+//! written in the `crn-lang` text format flow through every layer —
+//! parsing (`crn-lang`), the Section 7 characterization and Lemma 6.1/6.2
+//! synthesis (`crn-core`), exhaustive reachability checking (`crn-model`) and
+//! stochastic ensemble simulation (`crn-sim`) — with no Rust code written by
+//! the user.
+//!
+//! | subcommand | pipeline stage |
+//! |---|---|
+//! | `crn check` | parse + lower + validate |
+//! | `crn characterize` | semilinear `fn` → spec / impossibility witness |
+//! | `crn synthesize` | spec (or `fn`) → output-oblivious CRN, emitted as text |
+//! | `crn verify` | CRN vs `computes` link on a box, exhaustive or spot |
+//! | `crn sim` | Gillespie ensemble with `--trials/--workers/--seed` |
+//! | `crn fmt` | canonical formatting (`--check` gates the corpus in CI) |
+//!
+//! Exit codes are a contract: `0` success, `1` verdict failure, `2`
+//! usage/parse error (see [`commands`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+pub mod commands;
+pub mod json;
+pub mod workspace;
+
+pub use commands::{EXIT_OK, EXIT_USAGE, EXIT_VERDICT};
+
+const USAGE: &str = "\
+crn — characterize, synthesize, verify and simulate CRNs from .crn files
+
+USAGE:
+  crn <command> [arguments]
+
+COMMANDS:
+  check <file>...        parse, lower and validate documents
+                         [--bound N=6] [--json]
+  characterize <file>    run the Section 7 pipeline on fn items
+                         [--item NAME] [--bound N=8] [--json]
+  synthesize <file>      compile a spec (or characterizable fn) to a CRN
+                         [--item NAME] [--bound N=8] [-o OUT]
+  verify <file>          check `computes` links by exhaustive reachability
+                         [--item NAME] [--bound N=4] [--max-configs N=200000]
+                         [--spot] [--max-steps N=1000000] [--seed S=7] [--json]
+  sim <file>             Gillespie ensemble simulation
+                         [--item NAME] [--input a,b,...] [--trials N=16]
+                         [--workers W=auto] [--seed S=1]
+                         [--max-steps N=10000000] [--json]
+  fmt <file>...          canonical formatting [--write | --check]
+  help                   print this message
+
+EXIT CODES:
+  0  success             1  verdict failure        2  usage or parse error
+";
+
+/// Runs the CLI on `args` (without the program name) and returns the process
+/// exit code.
+#[must_use]
+pub fn run(args: &[String]) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return EXIT_USAGE;
+    };
+    match command.as_str() {
+        "check" => commands::check::run(rest),
+        "characterize" => commands::characterize::run(rest),
+        "synthesize" => commands::synthesize::run(rest),
+        "verify" => commands::verify::run(rest),
+        "sim" => commands::sim::run(rest),
+        "fmt" => commands::fmt::run(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            EXIT_OK
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            eprint!("{USAGE}");
+            EXIT_USAGE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_command_and_unknown_command_are_usage_errors() {
+        assert_eq!(run(&[]), EXIT_USAGE);
+        assert_eq!(run(&["frobnicate".to_owned()]), EXIT_USAGE);
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(&["help".to_owned()]), EXIT_OK);
+    }
+}

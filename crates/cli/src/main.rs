@@ -1,0 +1,6 @@
+//! The `crn` binary: a thin wrapper over [`crn_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(crn_cli::run(&args));
+}

@@ -1,0 +1,183 @@
+//! Loading a `.crn` file into lowered semantic objects.
+//!
+//! [`Workspace::load`] reads a file, parses it with `crn-lang` and lowers
+//! every item; any failure is returned as a rendered, span-annotated
+//! diagnostic (the caller maps it to exit code 2).  Commands then pick their
+//! targets out of the workspace by item kind and name.
+
+use crn_core::ObliviousSpec;
+use crn_lang::ast::Document;
+use crn_lang::lower::{lower_item, LoweredCrn, LoweredItem};
+use crn_numeric::NVec;
+use crn_semilinear::SemilinearFunction;
+
+/// A loaded and fully lowered `.crn` file.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The path the file was loaded from (used in diagnostics).
+    pub path: String,
+    /// The parsed document (for canonical re-printing).
+    pub doc: Document,
+    /// Lowered `crn` items, in source order.
+    pub crns: Vec<(String, LoweredCrn)>,
+    /// Lowered `fn` items, in source order.
+    pub fns: Vec<(String, SemilinearFunction)>,
+    /// Lowered `spec` items, in source order.
+    pub specs: Vec<(String, ObliviousSpec)>,
+}
+
+/// A resolvable evaluation target: the meaning of a `fn` or `spec` item.
+#[derive(Debug)]
+pub enum Target<'a> {
+    /// A semilinear function presentation.
+    SemilinearFn(&'a SemilinearFunction),
+    /// An oblivious specification.
+    Spec(&'a ObliviousSpec),
+}
+
+impl Target<'_> {
+    /// The input dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            Target::SemilinearFn(f) => f.dim(),
+            Target::Spec(s) => s.dim(),
+        }
+    }
+
+    /// Evaluates the target at `x` (0 on evaluation failure; callers validate
+    /// the presentation on the box of interest first — see
+    /// [`Target::validate_on_box`]).
+    #[must_use]
+    pub fn eval(&self, x: &NVec) -> u64 {
+        match self {
+            Target::SemilinearFn(f) => f.eval(x).unwrap_or(0),
+            Target::Spec(s) => s.eval(x).unwrap_or(0),
+        }
+    }
+
+    /// Evaluates the target at `x`, surfacing evaluation failures (a partial
+    /// presentation or a spec with negative values) instead of coercing them
+    /// to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the evaluation failure as text.
+    pub fn try_eval(&self, x: &NVec) -> Result<u64, String> {
+        match self {
+            Target::SemilinearFn(f) => f.eval(x).map_err(|e| e.to_string()),
+            Target::Spec(s) => s.eval(x).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// Checks that the target evaluates successfully on every point of
+    /// `[0, bound]^d`, so a later [`Target::eval`] sweep over that box cannot
+    /// silently coerce failures to 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure as text.
+    pub fn validate_on_box(&self, bound: u64) -> Result<(), String> {
+        match self {
+            Target::SemilinearFn(f) => f
+                .validate_on_box(bound)
+                .map_err(|e| format!("not a valid presentation on [0, {bound}]^{}: {e}", f.dim())),
+            Target::Spec(s) => {
+                for x in NVec::box_iter(s.dim(), bound) {
+                    s.eval(&x)
+                        .map_err(|e| format!("cannot be evaluated at {x}: {e}"))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Workspace {
+    /// Loads and lowers `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered diagnostic (IO, parse or lowering failure); the
+    /// caller maps it to exit code 2.
+    pub fn load(path: &str) -> Result<Workspace, String> {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("error: cannot read `{path}`: {e}"))?;
+        Self::from_source(path, &source)
+    }
+
+    /// Parses and lowers in-memory source (the file at `path` for messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered diagnostic on parse or lowering failure.
+    pub fn from_source(path: &str, source: &str) -> Result<Workspace, String> {
+        let doc = crn_lang::parse(source).map_err(|d| d.render(source, path))?;
+        let mut crns = Vec::new();
+        let mut fns = Vec::new();
+        let mut specs = Vec::new();
+        for item in &doc.items {
+            let name = item.name().to_owned();
+            match lower_item(item).map_err(|d| d.render(source, path))? {
+                LoweredItem::Crn(lowered) => crns.push((name, lowered)),
+                LoweredItem::SemilinearFn(lowered) => fns.push((name, lowered)),
+                LoweredItem::Spec(lowered) => specs.push((name, lowered)),
+            }
+        }
+        Ok(Workspace {
+            path: path.to_owned(),
+            doc,
+            crns,
+            fns,
+            specs,
+        })
+    }
+
+    /// Resolves a `fn` or `spec` item by name.
+    #[must_use]
+    pub fn target(&self, name: &str) -> Option<Target<'_>> {
+        if let Some((_, f)) = self.fns.iter().find(|(n, _)| n == name) {
+            return Some(Target::SemilinearFn(f));
+        }
+        self.specs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| Target::Spec(s))
+    }
+
+    /// The `crn` item named `name`.
+    #[must_use]
+    pub fn crn(&self, name: &str) -> Option<&LoweredCrn> {
+        self.crns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_resolves_targets() {
+        let ws = Workspace::from_source(
+            "mem.crn",
+            "fn min2(x1, x2) { case x1 <= x2: x1; otherwise: x2; }\n\
+             crn min {\n  inputs X1 X2;\n  output Y;\n  computes min2;\n  X1 + X2 -> Y;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(ws.crns.len(), 1);
+        assert_eq!(ws.fns.len(), 1);
+        let target = ws.target("min2").unwrap();
+        assert_eq!(target.dim(), 2);
+        assert_eq!(target.eval(&NVec::from(vec![4, 9])), 4);
+        assert!(ws.crn("min").is_some());
+        assert!(ws.crn("nope").is_none());
+        assert!(ws.target("nope").is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_rendered_with_location() {
+        let err = Workspace::from_source("bad.crn", "crn x {").unwrap_err();
+        assert!(err.contains("bad.crn:1:8"), "{err}");
+        assert!(err.starts_with("error:"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Exit-code contract tests: one per class (0 success, 1 verdict failure,
+//! 2 usage/parse error) for each command family, driven through the real
+//! binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_crn(args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_crn"))
+        .args(args)
+        .output()
+        .expect("the crn binary runs");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Writes `content` to a fresh scratch file and returns its path.
+fn scratch(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const VALID_DOC: &str = "\
+fn double2x(x) {
+  case x >= 0: 2 x;
+}
+
+crn double {
+  inputs X;
+  output Y;
+  computes double2x;
+  init X = 5;
+  X -> 2Y;
+}
+";
+
+#[test]
+fn exit_0_success_class() {
+    let path = scratch("ok.crn", VALID_DOC);
+    let path = path.to_str().unwrap();
+    for args in [
+        vec!["check", path],
+        vec!["characterize", path],
+        vec!["verify", path, "--bound", "3"],
+        vec!["sim", path, "--trials", "3"],
+        vec!["fmt", path, "--check"],
+        vec!["help"],
+    ] {
+        let (code, stdout, stderr) = run_crn(&args);
+        assert_eq!(code, 0, "crn {args:?}: expected 0\n{stdout}\n{stderr}");
+    }
+}
+
+#[test]
+fn exit_1_verdict_failure_class() {
+    // The CRN computes 2x but claims 3x: parse and lowering succeed, the
+    // verify verdict does not.
+    let wrong = VALID_DOC.replace("case x >= 0: 2 x;", "case x >= 0: 3 x;");
+    let path = scratch("wrong_claim.crn", &wrong);
+    let path = path.to_str().unwrap();
+    let (code, stdout, _) = run_crn(&["verify", path, "--bound", "3"]);
+    assert_eq!(code, 1, "verify of a false claim must exit 1\n{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    let (code, stdout, _) = run_crn(&["sim", path, "--trials", "3"]);
+    assert_eq!(code, 1, "sim of a false claim must exit 1\n{stdout}");
+    assert!(stdout.contains("MISMATCH"), "{stdout}");
+
+    // A fn whose cases overlap is a check verdict failure (it parses fine).
+    let overlapping = scratch(
+        "overlap.crn",
+        "fn f(x) {\n  case x >= 0: 1;\n  case x >= 1: 2;\n}\n",
+    );
+    let (code, stdout, _) = run_crn(&["check", overlapping.to_str().unwrap()]);
+    assert_eq!(code, 1, "check of an overlapping fn must exit 1\n{stdout}");
+    assert!(stdout.contains("INVALID"), "{stdout}");
+
+    // A spec computes-target that is not N-valued (f(0) = -1) must fail
+    // verify/sim rather than being silently coerced to expected output 0.
+    let bad_spec = scratch(
+        "bad_spec_target.crn",
+        "spec s(x) {\n  min x - 1;\n}\n\ncrn monus {\n  inputs X;\n  output Y;\n  computes s;\n  init X = 0;\n  2X -> X + Y;\n}\n",
+    );
+    let (code, stdout, _) = run_crn(&["verify", bad_spec.to_str().unwrap(), "--bound", "3"]);
+    assert_eq!(
+        code, 1,
+        "verify against an unevaluable spec must exit 1\n{stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    let (code, stdout, _) = run_crn(&["sim", bad_spec.to_str().unwrap(), "--trials", "2"]);
+    assert_eq!(
+        code, 1,
+        "sim against an unevaluable spec must exit 1\n{stdout}"
+    );
+    assert!(stdout.contains("cannot be evaluated"), "{stdout}");
+
+    // A never-silent CRN does not converge.
+    let restless = scratch(
+        "restless.crn",
+        "crn clock {\n  inputs X;\n  output Y;\n  init X = 1;\n  X -> X + Y;\n}\n",
+    );
+    let (code, stdout, _) = run_crn(&[
+        "sim",
+        restless.to_str().unwrap(),
+        "--trials",
+        "2",
+        "--max-steps",
+        "50",
+    ]);
+    assert_eq!(code, 1, "sim of a restless CRN must exit 1\n{stdout}");
+}
+
+#[test]
+fn synthesize_of_a_zero_parameter_spec_re_enters_the_pipeline() {
+    // The constant CRN synthesized from `spec five() { min 5; }` has no
+    // inputs; the emitted `inputs;` declaration must parse, verify and
+    // simulate (a zero-input CRN needs no init: its input is `()`).
+    let src = scratch("five.crn", "spec five() {\n  min 5;\n}\n");
+    let out = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("five_out.crn");
+    let (code, _, stderr) = run_crn(&[
+        "synthesize",
+        src.to_str().unwrap(),
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    for command in ["check", "verify", "sim"] {
+        let (code, stdout, stderr) = run_crn(&[command, out.to_str().unwrap()]);
+        assert_eq!(
+            code, 0,
+            "crn {command} on zero-input doc\n{stdout}\n{stderr}"
+        );
+    }
+    let (_, stdout, _) = run_crn(&["sim", out.to_str().unwrap(), "--json"]);
+    assert!(stdout.contains("\"outputs\":[5]"), "{stdout}");
+}
+
+#[test]
+fn multi_file_check_json_reports_every_file() {
+    let good = scratch("json_good.crn", VALID_DOC);
+    let bad = scratch("json_bad.crn", "crn broken {");
+    let (code, stdout, _) = run_crn(&[
+        "check",
+        good.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, 2, "a parse failure is the worst class\n{stdout}");
+    // Both files appear in the JSON report, the good one with its results.
+    assert!(stdout.contains("json_good.crn"), "{stdout}");
+    assert!(stdout.contains("json_bad.crn"), "{stdout}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+}
+
+#[test]
+fn exit_2_usage_or_parse_error_class() {
+    // No command at all.
+    let (code, _, _) = run_crn(&[]);
+    assert_eq!(code, 2);
+    // Unknown command and unknown flag.
+    let (code, _, _) = run_crn(&["frobnicate"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = run_crn(&["check", "--nope"]);
+    assert_eq!(code, 2);
+    // Missing file.
+    let (code, _, stderr) = run_crn(&["check", "definitely-not-here.crn"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    // Parse error, with a rendered span diagnostic.
+    let bad = scratch("bad.crn", "crn broken {\n  X + Y;\n}\n");
+    let (code, _, stderr) = run_crn(&["check", bad.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("bad.crn:2"), "{stderr}");
+    // Lowering error (init names a non-input species).
+    let bad_init = scratch(
+        "bad_init.crn",
+        "crn c {\n  inputs X;\n  output Y;\n  init Y = 1;\n  X -> Y;\n}\n",
+    );
+    let (code, _, stderr) = run_crn(&["check", bad_init.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("not an input"), "{stderr}");
+    // Wrong arity for --input.
+    let good = scratch("good_arity.crn", VALID_DOC);
+    let (code, _, _) = run_crn(&["sim", good.to_str().unwrap(), "--input", "1,2,3"]);
+    assert_eq!(code, 2);
+}

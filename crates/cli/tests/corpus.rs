@@ -1,0 +1,166 @@
+//! Corpus tests: every `corpus/*.crn` file parses, round-trips through the
+//! canonical pretty-printer, and the CLI's outputs over the corpus match the
+//! checked-in goldens under `corpus/expected/`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root exists")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = repo_root().join("corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("corpus directory exists")
+        .map(|entry| entry.expect("readable corpus entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "crn"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 10,
+        "the corpus must keep at least 10 .crn files, found {}",
+        files.len()
+    );
+    files
+}
+
+/// Runs the `crn` binary from the repo root; returns (exit code, stdout).
+fn run_crn(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_crn"))
+        .args(args)
+        .current_dir(repo_root())
+        .output()
+        .expect("the crn binary runs");
+    (
+        output.status.code().expect("exit code"),
+        String::from_utf8(output.stdout).expect("utf-8 stdout"),
+    )
+}
+
+#[test]
+fn every_corpus_file_round_trips_bit_identically() {
+    for path in corpus_files() {
+        let source = std::fs::read_to_string(&path).expect("corpus file reads");
+        let doc = crn_lang::parse(&source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let once = crn_lang::print(&doc);
+        let reparsed = crn_lang::parse(&once)
+            .unwrap_or_else(|e| panic!("printed {} does not re-parse: {e}", path.display()));
+        assert_eq!(
+            reparsed,
+            doc,
+            "{}: printing changed the AST",
+            path.display()
+        );
+        assert_eq!(
+            crn_lang::print(&reparsed),
+            once,
+            "{}: printing is not a fixed point",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_corpus_file_passes_check() {
+    for path in corpus_files() {
+        let rel = format!("corpus/{}", path.file_name().unwrap().to_str().unwrap());
+        let (code, _) = run_crn(&["check", &rel]);
+        assert_eq!(code, 0, "crn check {rel} failed");
+    }
+}
+
+/// Golden outputs: (corpus stem, subcommand, extra args, expected exit code).
+const GOLDENS: &[(&str, &str, &[&str], i32)] = &[
+    ("figure1_min", "characterize", &[], 0),
+    ("max_impossible", "characterize", &[], 0),
+    ("figure7", "characterize", &[], 0),
+    ("staircase", "characterize", &[], 0),
+    ("mod3", "characterize", &[], 0),
+    ("equation2", "characterize", &[], 0),
+    ("figure1_max", "verify", &[], 0),
+    ("figure1_min", "check", &[], 0),
+    ("figure1_double", "sim", &["--trials", "4"], 0),
+];
+
+#[test]
+fn corpus_golden_outputs_match() {
+    for &(stem, command, extra, expected_code) in GOLDENS {
+        let rel = format!("corpus/{stem}.crn");
+        let mut args = vec![command, rel.as_str()];
+        args.extend_from_slice(extra);
+        let (code, stdout) = run_crn(&args);
+        let golden_path = repo_root().join(format!("corpus/expected/{stem}.{command}.txt"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("golden {} missing: {e}", golden_path.display()));
+        assert_eq!(code, expected_code, "crn {command} {rel}: wrong exit code");
+        assert_eq!(
+            stdout,
+            golden,
+            "crn {command} {rel}: output drifted from {}",
+            golden_path.display()
+        );
+    }
+}
+
+#[test]
+fn characterized_specs_re_enter_the_pipeline() {
+    // The spec a `characterize` run prints is itself a valid document: it
+    // parses, lowers, and evaluates to the same values as the source fn.
+    let (code, stdout) = run_crn(&["characterize", "corpus/staircase.crn", "--json"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"verdict\":\"computable\""), "{stdout}");
+    // Extract the spec text from the JSON by slicing between the markers
+    // (the emitter escapes newlines as \n).
+    let start = stdout.find("\"spec\":\"").expect("spec field") + "\"spec\":\"".len();
+    let end = stdout[start..].find("\"}").expect("spec end") + start;
+    let spec_text = stdout[start..end].replace("\\n", "\n");
+    let doc = crn_lang::parse(&spec_text).expect("emitted spec parses");
+    let crn_lang::ast::Item::Spec(item) = &doc.items[0] else {
+        panic!("expected a spec item");
+    };
+    let spec = crn_lang::lower_spec(item).expect("emitted spec lowers");
+    for x in 0..10u64 {
+        let expected = if x < 3 { 0 } else { 2 * x + x % 2 };
+        assert_eq!(
+            spec.eval(&crn_numeric::NVec::from(vec![x])).unwrap(),
+            expected,
+            "staircase spec wrong at {x}"
+        );
+    }
+}
+
+#[test]
+fn synthesize_verify_sim_pipeline_from_the_cli() {
+    // The acceptance pipeline: `crn synthesize` on a min-style spec emits a
+    // document that `crn verify` confirms exhaustively on a box and
+    // `crn sim` converges on — no Rust code, only CLI invocations.
+    let out = repo_root().join("target/verify-scratch/cli_min_pipeline.crn");
+    std::fs::create_dir_all(out.parent().unwrap()).unwrap();
+    let out_str = out.to_str().unwrap();
+    let (code, _) = run_crn(&["synthesize", "corpus/min_spec.crn", "-o", out_str]);
+    assert_eq!(code, 0, "synthesize failed");
+
+    // The emitted document is canonical: it round-trips bit-identically.
+    let text = std::fs::read_to_string(&out).unwrap();
+    let doc = crn_lang::parse(&text).expect("synthesized document parses");
+    assert_eq!(
+        crn_lang::print(&doc),
+        text,
+        "synthesized output not canonical"
+    );
+
+    let (code, stdout) = run_crn(&["verify", out_str, "--bound", "3"]);
+    assert_eq!(code, 0, "verify failed:\n{stdout}");
+    assert!(stdout.contains("ok (exhaustive)"), "{stdout}");
+
+    let (code, stdout) = run_crn(&["sim", out_str, "--input", "6,9", "--trials", "6", "--json"]);
+    assert_eq!(code, 0, "sim failed:\n{stdout}");
+    assert!(stdout.contains("\"outputs\":[6]"), "{stdout}");
+    assert!(stdout.contains("\"correct\":true"), "{stdout}");
+    assert!(stdout.contains("\"silent_fraction\":1"), "{stdout}");
+}

@@ -1,0 +1,319 @@
+//! The hand-rolled lexer for the `.crn` format.
+//!
+//! Whitespace separates tokens and is otherwise insignificant; `#` starts a
+//! comment running to the end of the line.  Identifiers start with a letter
+//! or `_` and may contain letters, digits, `_` and `.` (composed CRNs use
+//! dotted module prefixes such as `f0.X1`), so keywords are not reserved —
+//! the parser decides from context.
+
+use crate::span::{Diagnostic, Span};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`crn`, `inputs`, `X1`, `f0.W2`, …).
+    Ident(String),
+    /// A nonnegative integer literal.
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("`{name}`"),
+            TokenKind::Int(value) => format!("`{value}`"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eof => "end of file".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token.
+    pub kind: TokenKind,
+    /// Where in the source it sits.
+    pub span: Span,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes `source`, ending with an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on the first unrecognized character or malformed
+/// integer literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let kind = match c {
+            '{' => {
+                i += 1;
+                TokenKind::LBrace
+            }
+            '}' => {
+                i += 1;
+                TokenKind::RBrace
+            }
+            '(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            ')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            ';' => {
+                i += 1;
+                TokenKind::Semi
+            }
+            ':' => {
+                i += 1;
+                TokenKind::Colon
+            }
+            ',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            '+' => {
+                i += 1;
+                TokenKind::Plus
+            }
+            '*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            '/' => {
+                i += 1;
+                TokenKind::Slash
+            }
+            '%' => {
+                i += 1;
+                TokenKind::Percent
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    TokenKind::Arrow
+                } else {
+                    i += 1;
+                    TokenKind::Minus
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::EqEq
+                } else {
+                    i += 1;
+                    TokenKind::Eq
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Le
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    TokenKind::Ge
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: u64 = text.parse().map_err(|_| {
+                    Diagnostic::new(
+                        format!("integer literal `{text}` does not fit in 64 bits"),
+                        Span::new(start, i),
+                    )
+                })?;
+                TokenKind::Int(value)
+            }
+            _ if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                TokenKind::Ident(source[start..i].to_owned())
+            }
+            _ => {
+                return Err(Diagnostic::new(
+                    format!("unrecognized character `{c}`"),
+                    Span::new(start, start + c.len_utf8()),
+                )
+                .with_help("the .crn format uses ASCII identifiers and punctuation"));
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(source.len(), source.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_reaction_punctuation() {
+        assert_eq!(
+            kinds("X1 + 2Y -> 0;"),
+            vec![
+                TokenKind::Ident("X1".into()),
+                TokenKind::Plus,
+                TokenKind::Int(2),
+                TokenKind::Ident("Y".into()),
+                TokenKind::Arrow,
+                TokenKind::Int(0),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >= = == -> -"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::EqEq,
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_dotted_identifiers() {
+        assert_eq!(
+            kinds("f0.X1 # trailing comment -> ignored\nL_0_1"),
+            vec![
+                TokenKind::Ident("f0.X1".into()),
+                TokenKind::Ident("L_0_1".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_ranges() {
+        let tokens = lex("ab  12").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(4, 6));
+        assert_eq!(tokens[2].span, Span::new(6, 6));
+    }
+
+    #[test]
+    fn rejects_unknown_characters_and_huge_integers() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("99999999999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! `crn-lang`: the textual `.crn` language for the `composable-crn`
+//! workspace.
+//!
+//! A `.crn` document holds three kinds of named items:
+//!
+//! * **`crn` items** — raw chemical reaction networks: role declarations
+//!   (`inputs X1 X2; output Y; leader L;`), an optional `computes` link to a
+//!   function item, an optional `init` input encoding, and reactions written
+//!   `a + 2b -> c;`;
+//! * **`fn` items** — semilinear function presentations as guarded affine
+//!   cases (`case x1 <= x2: x1;`), lowered to
+//!   [`crn_semilinear::SemilinearFunction`];
+//! * **`spec` items** — oblivious specifications in the shape of Theorem 5.2
+//!   (`threshold`, eventual `min` pieces, `when` restrictions), lowered to
+//!   [`crn_core::ObliviousSpec`].
+//!
+//! The pipeline is: [`parser::parse`] → [`ast::Document`] →
+//! [`lower`] (to the workspace's semantic types) and [`printer::print`]
+//! (back to canonical text).  Parsing normalizes expressions, so printing is
+//! canonical and idempotent; corpus files are stored in printed form and
+//! round-trip bit-identically.
+//!
+//! ```
+//! use crn_lang::{parse, print};
+//! use crn_lang::ast::Item;
+//! use crn_lang::lower::lower_crn;
+//!
+//! let doc = parse("crn double { inputs X; output Y; X -> 2Y; }").unwrap();
+//! let Item::Crn(item) = &doc.items[0] else { unreachable!() };
+//! let lowered = lower_crn(item).unwrap();
+//! assert!(lowered.crn.is_output_oblivious());
+//! assert_eq!(print(&doc), "crn double {\n  inputs X;\n  output Y;\n  X -> 2Y;\n}\n");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+pub mod span;
+
+pub use ast::{Document, Item};
+pub use lower::{
+    crn_to_item, lower_crn, lower_fn, lower_item, lower_spec, spec_to_item, LoweredCrn, LoweredItem,
+};
+pub use parser::parse;
+pub use printer::print;
+pub use span::{Diagnostic, Span};

@@ -1,0 +1,893 @@
+//! Recursive-descent parser for the `.crn` format.
+//!
+//! The grammar is documented in EBNF in `DESIGN.md` (section "The crn-lang
+//! input language").  Parsing normalizes linear expressions into coefficient
+//! vectors and sorts quilt offset tables, so the AST is canonical: printing
+//! it with [`crate::printer`] and re-parsing yields an equal AST.
+
+use crn_numeric::Rational;
+
+use crate::ast::{
+    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, ReactionAst, Rel,
+    SpecBody, SpecItem, When, WhenBody,
+};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::span::{Diagnostic, Span};
+
+/// Names that cannot be used for parameters or species: each is a keyword in
+/// some position, and reserving them in every expression scope keeps the
+/// grammar LL(1) without a lookahead dance.  Item names are exempt — they
+/// only ever appear right after `crn`/`fn`/`spec`/`computes`, where no
+/// keyword is expected.
+pub const RESERVED: &[&str] = &[
+    "crn",
+    "fn",
+    "spec",
+    "inputs",
+    "output",
+    "leader",
+    "computes",
+    "init",
+    "case",
+    "otherwise",
+    "and",
+    "min",
+    "threshold",
+    "when",
+    "floor",
+    "quilt",
+];
+
+/// Parses a `.crn` document.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] (with a source span) on the first lexical or
+/// syntactic error.
+pub fn parse(source: &str) -> Result<Document, Diagnostic> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.document()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_keyword(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(name) if name == word)
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.at_keyword(word) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<Span, Diagnostic> {
+        if self.at_keyword(word) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.unexpected(&format!("`{word}`")))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Span, Diagnostic> {
+        if &self.peek().kind == kind {
+            Ok(self.bump().span)
+        } else {
+            Err(self.unexpected(&kind.describe()))
+        }
+    }
+
+    fn unexpected(&self, wanted: &str) -> Diagnostic {
+        let token = self.peek();
+        Diagnostic::new(
+            format!("expected {wanted}, found {}", token.kind.describe()),
+            token.span,
+        )
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.bump().span;
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    /// An identifier used as a *declared* name (item, species or parameter):
+    /// reserved words are rejected with a hint.
+    fn declared_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+        let (name, span) = self.ident(what)?;
+        if RESERVED.contains(&name.as_str()) {
+            return Err(Diagnostic::new(
+                format!("`{name}` is a reserved word and cannot name {what}"),
+                span,
+            )
+            .with_help(format!("rename it, e.g. `{name}_`")));
+        }
+        Ok((name, span))
+    }
+
+    fn int(&mut self) -> Result<(u64, Span), Diagnostic> {
+        match self.peek().kind {
+            TokenKind::Int(value) => {
+                let span = self.bump().span;
+                Ok((value, span))
+            }
+            _ => Err(self.unexpected("an integer")),
+        }
+    }
+
+    /// A rational literal `[-] INT [/ INT]`.
+    fn rational(&mut self) -> Result<Rational, Diagnostic> {
+        let negative = matches!(self.peek().kind, TokenKind::Minus) && {
+            self.bump();
+            true
+        };
+        let (numer, span) = self.int()?;
+        let numer = i128::from(numer) * if negative { -1 } else { 1 };
+        if matches!(self.peek().kind, TokenKind::Slash) {
+            self.bump();
+            let (denom, dspan) = self.int()?;
+            if denom == 0 {
+                return Err(Diagnostic::new("denominator cannot be zero", dspan));
+            }
+            Ok(Rational::new(numer, i128::from(denom)))
+        } else {
+            let _ = span;
+            Ok(Rational::from(numer))
+        }
+    }
+
+    fn document(&mut self) -> Result<Document, Diagnostic> {
+        let mut items = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => break,
+                TokenKind::Ident(word) => {
+                    let item = match word.as_str() {
+                        "crn" => Item::Crn(self.crn_item()?),
+                        "fn" => Item::Fn(self.fn_item()?),
+                        "spec" => Item::Spec(self.spec_item()?),
+                        _ => {
+                            return Err(self
+                                .unexpected("`crn`, `fn` or `spec`")
+                                .with_help("every top-level item starts with its kind keyword"))
+                        }
+                    };
+                    // `crn` items and function items (`fn`/`spec`) live in
+                    // separate namespaces: `computes` only ever references the
+                    // latter, so a CRN may share its function's name.
+                    let clashes = items.iter().any(|existing: &Item| {
+                        existing.name() == item.name()
+                            && matches!(existing, Item::Crn(_)) == matches!(item, Item::Crn(_))
+                    });
+                    if clashes {
+                        return Err(Diagnostic::new(
+                            format!("duplicate item name `{}`", item.name()),
+                            item.span(),
+                        )
+                        .with_help("crn names must be unique, and fn/spec names must be unique"));
+                    }
+                    items.push(item);
+                }
+                _ => return Err(self.unexpected("`crn`, `fn` or `spec`")),
+            }
+        }
+        Ok(Document { items })
+    }
+
+    // ----- crn items --------------------------------------------------------
+
+    fn crn_item(&mut self) -> Result<CrnItem, Diagnostic> {
+        let start = self.expect_keyword("crn")?;
+        let (name, _) = self.ident("a name for the CRN")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut inputs: Option<Vec<String>> = None;
+        let mut output: Option<String> = None;
+        let mut leader: Option<String> = None;
+        let mut computes: Option<String> = None;
+        let mut init: Vec<(String, u64)> = Vec::new();
+        let mut reactions: Vec<ReactionAst> = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "inputs" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(inputs.is_some(), "inputs", span)?;
+                        // Zero input species is legal (a constant CRN
+                        // computes f : N^0 → N and ignores no one).
+                        let mut list = Vec::new();
+                        while matches!(self.peek().kind, TokenKind::Ident(_)) {
+                            list.push(self.declared_ident("an input species")?.0);
+                        }
+                        self.expect(&TokenKind::Semi)?;
+                        inputs = Some(list);
+                    }
+                    "output" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(output.is_some(), "output", span)?;
+                        output = Some(self.declared_ident("the output species")?.0);
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "leader" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(leader.is_some(), "leader", span)?;
+                        leader = Some(self.declared_ident("the leader species")?.0);
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "computes" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(computes.is_some(), "computes", span)?;
+                        computes = Some(self.ident("the computed item's name")?.0);
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    "init" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(!init.is_empty(), "init", span)?;
+                        loop {
+                            let (species, _) = self.declared_ident("a species")?;
+                            self.expect(&TokenKind::Eq)?;
+                            let (count, _) = self.int()?;
+                            init.push((species, count));
+                            if !matches!(self.peek().kind, TokenKind::Comma) {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    _ => reactions.push(self.reaction()?),
+                },
+                TokenKind::Int(_) => reactions.push(self.reaction()?),
+                _ => {
+                    return Err(self
+                        .unexpected("a declaration or reaction")
+                        .with_help("crn bodies contain `inputs/output/leader/computes/init` declarations and `a + b -> c;` reactions"))
+                }
+            }
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        let inputs = inputs.ok_or_else(|| {
+            Diagnostic::new(
+                format!("crn `{name}` is missing an `inputs` declaration"),
+                end,
+            )
+            .with_help("declare the ordered input species, e.g. `inputs X1 X2;`")
+        })?;
+        let output = output.ok_or_else(|| {
+            Diagnostic::new(
+                format!("crn `{name}` is missing an `output` declaration"),
+                end,
+            )
+            .with_help("declare the output species, e.g. `output Y;`")
+        })?;
+        Ok(CrnItem {
+            name,
+            inputs,
+            output,
+            leader,
+            computes,
+            init,
+            reactions,
+            span: start.to(end),
+        })
+    }
+
+    fn no_duplicate(&self, seen: bool, what: &str, span: Span) -> Result<(), Diagnostic> {
+        if seen {
+            Err(Diagnostic::new(
+                format!("duplicate `{what}` declaration"),
+                span,
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn reaction(&mut self) -> Result<ReactionAst, Diagnostic> {
+        let reactants = self.reaction_side()?;
+        self.expect(&TokenKind::Arrow)?;
+        let products = self.reaction_side()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(ReactionAst {
+            reactants,
+            products,
+        })
+    }
+
+    fn reaction_side(&mut self) -> Result<Vec<(u64, String)>, Diagnostic> {
+        if matches!(self.peek().kind, TokenKind::Int(0))
+            && !matches!(self.peek2(), TokenKind::Ident(_))
+        {
+            self.bump();
+            return Ok(Vec::new());
+        }
+        let mut terms = Vec::new();
+        loop {
+            let count = if let TokenKind::Int(value) = self.peek().kind {
+                let span = self.bump().span;
+                if value == 0 {
+                    return Err(
+                        Diagnostic::new("stoichiometric coefficient cannot be 0", span)
+                            .with_help("omit the term, or write the empty side as `0`"),
+                    );
+                }
+                value
+            } else {
+                1
+            };
+            let (species, _) = self.declared_ident("a species")?;
+            terms.push((count, species));
+            if !matches!(self.peek().kind, TokenKind::Plus) {
+                break;
+            }
+            self.bump();
+        }
+        Ok(terms)
+    }
+
+    // ----- fn items ---------------------------------------------------------
+
+    fn params(&mut self) -> Result<Vec<String>, Diagnostic> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                let (name, span) = self.declared_ident("a parameter")?;
+                if params.contains(&name) {
+                    return Err(Diagnostic::new(
+                        format!("duplicate parameter `{name}`"),
+                        span,
+                    ));
+                }
+                params.push(name);
+                if !matches!(self.peek().kind, TokenKind::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(params)
+    }
+
+    fn fn_item(&mut self) -> Result<FnItem, Diagnostic> {
+        let start = self.expect_keyword("fn")?;
+        let (name, _) = self.ident("a name for the function")?;
+        let params = self.params()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut cases = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::RBrace) {
+            cases.push(self.fn_case(&params)?);
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        if cases.is_empty() {
+            return Err(
+                Diagnostic::new(format!("fn `{name}` has no cases"), start.to(end))
+                    .with_help("add at least one `case guard: value;` arm"),
+            );
+        }
+        Ok(FnItem {
+            name,
+            params,
+            cases,
+            span: start.to(end),
+        })
+    }
+
+    fn fn_case(&mut self, params: &[String]) -> Result<FnCase, Diagnostic> {
+        let guard = if self.eat_keyword("otherwise") {
+            Guard::Otherwise
+        } else {
+            self.expect_keyword("case")?;
+            let mut atoms = vec![self.guard_atom(params)?];
+            while self.eat_keyword("and") {
+                atoms.push(self.guard_atom(params)?);
+            }
+            Guard::Conj(atoms)
+        };
+        self.expect(&TokenKind::Colon)?;
+        let value = self.expr(params)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(FnCase { guard, value })
+    }
+
+    fn guard_atom(&mut self, params: &[String]) -> Result<GuardAtom, Diagnostic> {
+        let lhs = self.expr(params)?;
+        match self.peek().kind {
+            TokenKind::Percent => {
+                self.bump();
+                let (modulus, span) = self.int()?;
+                if modulus == 0 {
+                    return Err(Diagnostic::new("modulus cannot be zero", span));
+                }
+                self.expect(&TokenKind::EqEq)?;
+                let (residue, rspan) = self.int()?;
+                if residue >= modulus {
+                    // An out-of-range residue would make the case silently
+                    // empty; reject it like an out-of-range quilt offset key.
+                    return Err(Diagnostic::new(
+                        format!("residue {residue} is not below the modulus {modulus}"),
+                        rspan,
+                    )
+                    .with_help(format!("did you mean `== {}`?", residue % modulus)));
+                }
+                Ok(GuardAtom::Mod {
+                    expr: lhs,
+                    modulus,
+                    residue,
+                })
+            }
+            TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge | TokenKind::EqEq => {
+                let rel = match self.bump().kind {
+                    TokenKind::Lt => Rel::Lt,
+                    TokenKind::Le => Rel::Le,
+                    TokenKind::Gt => Rel::Gt,
+                    TokenKind::Ge => Rel::Ge,
+                    TokenKind::EqEq => Rel::Eq,
+                    _ => unreachable!("matched above"),
+                };
+                let rhs = self.expr(params)?;
+                Ok(GuardAtom::Cmp { lhs, rel, rhs })
+            }
+            _ => Err(self
+                .unexpected("a comparison (`<`, `<=`, `>`, `>=`, `==`) or `% m ==`")
+                .with_help("guards are conjunctions of linear comparisons and congruences")),
+        }
+    }
+
+    // ----- expressions ------------------------------------------------------
+
+    /// `expr := ["-"] term (("+" | "-") term)*` where
+    /// `term := rat [["*"] param] | param`.
+    fn expr(&mut self, params: &[String]) -> Result<LinExpr, Diagnostic> {
+        let mut acc = LinExpr::zero(params.len());
+        let mut negate = self.eat_minus();
+        loop {
+            self.expr_term(params, negate, &mut acc)?;
+            match self.peek().kind {
+                TokenKind::Plus => {
+                    self.bump();
+                    negate = false;
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    negate = true;
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn eat_minus(&mut self) -> bool {
+        if matches!(self.peek().kind, TokenKind::Minus) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr_term(
+        &mut self,
+        params: &[String],
+        negate: bool,
+        acc: &mut LinExpr,
+    ) -> Result<(), Diagnostic> {
+        let sign = if negate {
+            Rational::from(-1)
+        } else {
+            Rational::ONE
+        };
+        match self.peek().kind.clone() {
+            TokenKind::Int(_) => {
+                let coef = self.rational()? * sign;
+                // Optional `*` and an optional parameter make `2 x`, `2*x`
+                // and the bare constant `2` all well-formed.  A following
+                // identifier counts as the variable only when it is a
+                // parameter in scope (or was introduced by `*`), so guard
+                // keywords like `and` after a constant are left to the caller.
+                let starred = matches!(self.peek().kind, TokenKind::Star) && {
+                    self.bump();
+                    true
+                };
+                let next_is_param = matches!(&self.peek().kind, TokenKind::Ident(name)
+                    if params.iter().any(|p| p == name));
+                if starred || next_is_param {
+                    let index = self.param_index(params)?;
+                    acc.coeffs[index] += coef;
+                } else {
+                    acc.constant += coef;
+                }
+                Ok(())
+            }
+            TokenKind::Ident(_) => {
+                let index = self.param_index(params)?;
+                acc.coeffs[index] += sign;
+                Ok(())
+            }
+            _ => Err(self.unexpected("a parameter or a number")),
+        }
+    }
+
+    fn param_index(&mut self, params: &[String]) -> Result<usize, Diagnostic> {
+        let (name, span) = self.ident("a parameter")?;
+        params.iter().position(|p| *p == name).ok_or_else(|| {
+            Diagnostic::new(format!("unknown parameter `{name}`"), span).with_help(format!(
+                "parameters in scope: {}",
+                if params.is_empty() {
+                    "(none)".to_owned()
+                } else {
+                    params.join(", ")
+                }
+            ))
+        })
+    }
+
+    // ----- spec items -------------------------------------------------------
+
+    fn spec_item(&mut self) -> Result<SpecItem, Diagnostic> {
+        let start = self.expect_keyword("spec")?;
+        let (name, _) = self.ident("a name for the spec")?;
+        let params = self.params()?;
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.spec_body(&params)?;
+        let end = self.expect(&TokenKind::RBrace)?;
+        Ok(SpecItem {
+            name,
+            params,
+            body,
+            span: start.to(end),
+        })
+    }
+
+    fn spec_body(&mut self, params: &[String]) -> Result<SpecBody, Diagnostic> {
+        let threshold = if self.at_keyword("threshold") {
+            let span = self.bump().span;
+            let mut entries = Vec::new();
+            while matches!(self.peek().kind, TokenKind::Int(_)) {
+                entries.push(self.int()?.0);
+            }
+            self.expect(&TokenKind::Semi)?;
+            if entries.len() != params.len() {
+                return Err(Diagnostic::new(
+                    format!(
+                        "threshold has {} entries but the spec has {} parameters",
+                        entries.len(),
+                        params.len()
+                    ),
+                    span,
+                ));
+            }
+            entries
+        } else {
+            vec![0; params.len()]
+        };
+        self.expect_keyword("min")?;
+        let mut pieces = vec![self.piece(params)?];
+        while matches!(self.peek().kind, TokenKind::Comma) {
+            self.bump();
+            pieces.push(self.piece(params)?);
+        }
+        self.expect(&TokenKind::Semi)?;
+        let mut whens = Vec::new();
+        while self.at_keyword("when") {
+            whens.push(self.when(params, &threshold)?);
+        }
+        Ok(SpecBody {
+            threshold,
+            pieces,
+            whens,
+        })
+    }
+
+    fn piece(&mut self, params: &[String]) -> Result<Piece, Diagnostic> {
+        if self.at_keyword("floor") && matches!(self.peek2(), TokenKind::LParen) {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let expr = self.expr(params)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Piece::Floor(expr));
+        }
+        if self.at_keyword("quilt") && matches!(self.peek2(), TokenKind::LBrace) {
+            return self.quilt(params);
+        }
+        Ok(Piece::Affine(self.expr(params)?))
+    }
+
+    fn quilt(&mut self, params: &[String]) -> Result<Piece, Diagnostic> {
+        self.expect_keyword("quilt")?;
+        self.expect(&TokenKind::LBrace)?;
+        self.expect_keyword("gradient")?;
+        let mut gradient = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::Semi) {
+            gradient.push(self.rational()?);
+        }
+        let gradient_span = self.expect(&TokenKind::Semi)?;
+        if gradient.len() != params.len() {
+            return Err(Diagnostic::new(
+                format!(
+                    "gradient has {} entries but the spec has {} parameters",
+                    gradient.len(),
+                    params.len()
+                ),
+                gradient_span,
+            ));
+        }
+        self.expect_keyword("period")?;
+        let (period, pspan) = self.int()?;
+        if period == 0 {
+            return Err(Diagnostic::new("period must be positive", pspan));
+        }
+        self.expect(&TokenKind::Semi)?;
+        let mut offsets: Vec<(Vec<u64>, Rational)> = Vec::new();
+        while self.at_keyword("offset") {
+            let ospan = self.bump().span;
+            self.expect(&TokenKind::LParen)?;
+            let mut residues = Vec::new();
+            while matches!(self.peek().kind, TokenKind::Int(_)) {
+                residues.push(self.int()?.0);
+            }
+            self.expect(&TokenKind::RParen)?;
+            if residues.len() != params.len() || residues.iter().any(|&r| r >= period) {
+                return Err(Diagnostic::new(
+                    format!(
+                        "offset key must be {} residues, each below the period {period}",
+                        params.len()
+                    ),
+                    ospan,
+                ));
+            }
+            if offsets.iter().any(|(key, _)| *key == residues) {
+                return Err(Diagnostic::new(
+                    format!("duplicate offset for congruence class ({residues:?})"),
+                    ospan,
+                ));
+            }
+            self.expect(&TokenKind::Eq)?;
+            let value = self.rational()?;
+            self.expect(&TokenKind::Semi)?;
+            offsets.push((residues, value));
+        }
+        self.expect(&TokenKind::RBrace)?;
+        // Canonical order: sorted by residue tuple, matching the printer.
+        offsets.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Piece::Quilt {
+            gradient,
+            period,
+            offsets,
+        })
+    }
+
+    fn when(&mut self, params: &[String], threshold: &[u64]) -> Result<When, Diagnostic> {
+        self.expect_keyword("when")?;
+        let (param, span) = {
+            let (name, span) = self.ident("a parameter")?;
+            let index = params.iter().position(|p| *p == name).ok_or_else(|| {
+                Diagnostic::new(format!("unknown parameter `{name}`"), span)
+                    .with_help(format!("parameters in scope: {}", params.join(", ")))
+            })?;
+            (index, span)
+        };
+        self.expect(&TokenKind::Eq)?;
+        let (value, vspan) = self.int()?;
+        if value >= threshold[param] {
+            return Err(Diagnostic::new(
+                format!(
+                    "restriction fixes `{}` to {value}, but the threshold component is {}",
+                    params[param], threshold[param]
+                ),
+                span.to(vspan),
+            )
+            .with_help("only values strictly below the threshold need a restriction"));
+        }
+        self.expect(&TokenKind::Colon)?;
+        let body = if matches!(self.peek().kind, TokenKind::LBrace) {
+            if params.len() == 1 {
+                return Err(Diagnostic::new(
+                    "this restriction has dimension 0; write it as a bare constant".to_owned(),
+                    self.peek().span,
+                )
+                .with_help(format!("e.g. `when {} = {value}: 0;`", params[param])));
+            }
+            self.bump();
+            let remaining = crate::ast::remaining_params(params, param);
+            let body = self.spec_body(&remaining)?;
+            self.expect(&TokenKind::RBrace)?;
+            WhenBody::Block(body)
+        } else {
+            let (constant, cspan) = self.int()?;
+            if params.len() != 1 {
+                return Err(Diagnostic::new(
+                    "a bare constant restriction is only allowed when exactly one parameter remains"
+                        .to_owned(),
+                    cspan,
+                )
+                .with_help("write a nested block `{ min …; }` for higher-dimensional restrictions"));
+            }
+            self.expect(&TokenKind::Semi)?;
+            WhenBody::Constant(constant)
+        };
+        Ok(When { param, value, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_crn_item() {
+        let doc = parse(
+            "crn max {\n  inputs X1 X2;\n  output Y;\n  computes max2;\n  init X1 = 3, X2 = 7;\n  X1 -> Z1 + Y;\n  X2 -> Z2 + Y;\n  Z1 + Z2 -> K;\n  K + Y -> 0;\n}\n",
+        )
+        .unwrap();
+        let Item::Crn(crn) = &doc.items[0] else {
+            panic!("expected a crn item");
+        };
+        assert_eq!(crn.name, "max");
+        assert_eq!(crn.inputs, vec!["X1", "X2"]);
+        assert_eq!(crn.output, "Y");
+        assert_eq!(crn.leader, None);
+        assert_eq!(crn.computes.as_deref(), Some("max2"));
+        assert_eq!(crn.init, vec![("X1".into(), 3), ("X2".into(), 7)]);
+        assert_eq!(crn.reactions.len(), 4);
+        assert!(crn.reactions[3].products.is_empty());
+    }
+
+    #[test]
+    fn parses_fn_with_guards_and_otherwise() {
+        let doc = parse(
+            "fn staircase(x) {\n  case x <= 2: 0;\n  case x >= 3 and x % 2 == 0: 2 x;\n  otherwise: 2 x + 1;\n}\n",
+        )
+        .unwrap();
+        let Item::Fn(f) = &doc.items[0] else {
+            panic!("expected a fn item");
+        };
+        assert_eq!(f.params, vec!["x"]);
+        assert_eq!(f.cases.len(), 3);
+        let Guard::Conj(atoms) = &f.cases[1].guard else {
+            panic!("expected a conjunction");
+        };
+        assert_eq!(atoms.len(), 2);
+        assert!(matches!(f.cases[2].guard, Guard::Otherwise));
+        assert_eq!(f.cases[1].value.coeffs[0], Rational::from(2));
+    }
+
+    #[test]
+    fn parses_spec_with_threshold_pieces_and_whens() {
+        let doc = parse(
+            "spec fancy(x1, x2) {\n  threshold 1 1;\n  min x1 + 1, x2 + 1;\n  when x1 = 0: { min 0; }\n  when x2 = 0: { min 0; }\n}\n",
+        )
+        .unwrap();
+        let Item::Spec(s) = &doc.items[0] else {
+            panic!("expected a spec item");
+        };
+        assert_eq!(s.body.threshold, vec![1, 1]);
+        assert_eq!(s.body.pieces.len(), 2);
+        assert_eq!(s.body.whens.len(), 2);
+        let WhenBody::Block(inner) = &s.body.whens[0].body else {
+            panic!("expected a nested block");
+        };
+        assert_eq!(inner.pieces.len(), 1);
+    }
+
+    #[test]
+    fn expression_normalization_merges_terms() {
+        let a = parse("spec f(x) { min x + x + 1 - 2; }").unwrap();
+        let b = parse("spec f(x) { min 2 x - 1; }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn floor_and_quilt_pieces() {
+        let doc = parse(
+            "spec g(x) {\n  min floor(3/2 x), quilt {\n    gradient 2;\n    period 2;\n    offset (1) = 1;\n    offset (0) = 0;\n  };\n}\n",
+        )
+        .unwrap();
+        let Item::Spec(s) = &doc.items[0] else {
+            panic!("expected a spec item");
+        };
+        assert!(matches!(s.body.pieces[0], Piece::Floor(_)));
+        let Piece::Quilt { offsets, .. } = &s.body.pieces[1] else {
+            panic!("expected a quilt piece");
+        };
+        // Offsets are sorted into canonical order regardless of source order.
+        assert_eq!(offsets[0].0, vec![0]);
+        assert_eq!(offsets[1].0, vec![1]);
+    }
+
+    #[test]
+    fn diagnostics_carry_spans_and_help() {
+        let source = "crn bad {\n  inputs X;\n  output Y;\n  X + Y;\n}\n";
+        let err = parse(source).unwrap_err();
+        assert!(err.message.contains("expected `->`"));
+        let (line, _) = err.line_col(source);
+        assert_eq!(line, 4);
+
+        let err = parse("fn f(x) { case y > 0: 1; }").unwrap_err();
+        assert!(err.message.contains("unknown parameter `y`"));
+        assert!(err.help.unwrap().contains("x"));
+    }
+
+    #[test]
+    fn reserved_words_rejected_for_species_and_params() {
+        // Item names may shadow keywords (`crn min` is natural); species and
+        // parameter names may not.
+        assert!(parse("crn min { inputs X; output Y; X -> Y; }").is_ok());
+        let err = parse("crn c { inputs min; output Y; min -> Y; }").unwrap_err();
+        assert!(err.message.contains("reserved word"));
+        let err = parse("fn f(when) { case when > 0: 1; }").unwrap_err();
+        assert!(err.message.contains("reserved word"));
+    }
+
+    #[test]
+    fn missing_roles_rejected() {
+        let err = parse("crn c { output Y; Y -> Y; }").unwrap_err();
+        assert!(err.message.contains("missing an `inputs`"));
+        let err = parse("crn c { inputs X; X -> X; }").unwrap_err();
+        assert!(err.message.contains("missing an `output`"));
+    }
+
+    #[test]
+    fn zero_input_crns_parse() {
+        // A constant CRN computes f : N^0 → N; `inputs;` declares arity 0.
+        let doc = parse("crn five { inputs; output Y; leader L; L -> 5Y; }").unwrap();
+        let Item::Crn(crn) = &doc.items[0] else {
+            panic!("expected a crn item");
+        };
+        assert!(crn.inputs.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_residue_rejected() {
+        let err = parse("fn f(x) { case x % 2 == 5: 1; otherwise: 0; }").unwrap_err();
+        assert!(
+            err.message.contains("not below the modulus"),
+            "{}",
+            err.message
+        );
+        assert!(err.help.unwrap().contains("== 1"));
+    }
+
+    #[test]
+    fn when_value_must_be_below_threshold() {
+        let err = parse("spec s(x) { threshold 1; min 1; when x = 1: 0; }").unwrap_err();
+        assert!(err.message.contains("threshold component is 1"));
+    }
+
+    #[test]
+    fn duplicate_item_names_rejected() {
+        let err = parse("fn f(x) { case x >= 0: x; }\nfn f(y) { case y >= 0: y; }").unwrap_err();
+        assert!(err.message.contains("duplicate item name"));
+    }
+}

@@ -1,0 +1,325 @@
+//! The canonical pretty-printer.
+//!
+//! [`print`](fn@print) renders a [`Document`] in the canonical `.crn`
+//! layout: two-space
+//! indents, one declaration per line, items separated by a blank line,
+//! expressions written as sums in parameter order.  The output always
+//! re-parses to an equal AST, and printing is idempotent — corpus files are
+//! stored in this form, so `print(parse(file)) == file` byte for byte.
+
+use std::fmt::Write as _;
+
+use crn_numeric::Rational;
+
+use crate::ast::{
+    CrnItem, Document, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, Rel, SpecBody, SpecItem,
+    When, WhenBody,
+};
+
+/// Renders a document in canonical form (ends with a single newline).
+#[must_use]
+pub fn print(document: &Document) -> String {
+    let mut out = String::new();
+    for (i, item) in document.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Crn(item) => print_crn(&mut out, item),
+            Item::Fn(item) => print_fn(&mut out, item),
+            Item::Spec(item) => print_spec(&mut out, item),
+        }
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_crn(out: &mut String, item: &CrnItem) {
+    let _ = writeln!(out, "crn {} {{", item.name);
+    if item.inputs.is_empty() {
+        out.push_str("  inputs;\n");
+    } else {
+        let _ = writeln!(out, "  inputs {};", item.inputs.join(" "));
+    }
+    let _ = writeln!(out, "  output {};", item.output);
+    if let Some(leader) = &item.leader {
+        let _ = writeln!(out, "  leader {leader};");
+    }
+    if let Some(computes) = &item.computes {
+        let _ = writeln!(out, "  computes {computes};");
+    }
+    if !item.init.is_empty() {
+        let entries: Vec<String> = item
+            .init
+            .iter()
+            .map(|(species, count)| format!("{species} = {count}"))
+            .collect();
+        let _ = writeln!(out, "  init {};", entries.join(", "));
+    }
+    for reaction in &item.reactions {
+        let _ = writeln!(
+            out,
+            "  {} -> {};",
+            side_to_string(&reaction.reactants),
+            side_to_string(&reaction.products)
+        );
+    }
+    out.push_str("}\n");
+}
+
+fn side_to_string(side: &[(u64, String)]) -> String {
+    if side.is_empty() {
+        return "0".to_owned();
+    }
+    side.iter()
+        .map(|(count, species)| {
+            if *count == 1 {
+                species.clone()
+            } else {
+                format!("{count}{species}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+/// Renders a normalized linear expression as a sum in parameter order.
+#[must_use]
+pub fn expr_to_string(expr: &LinExpr, params: &[String]) -> String {
+    let mut terms: Vec<(Rational, Option<&str>)> = Vec::new();
+    for (i, &coef) in expr.coeffs.iter().enumerate() {
+        if !coef.is_zero() {
+            terms.push((coef, Some(params[i].as_str())));
+        }
+    }
+    if !expr.constant.is_zero() || terms.is_empty() {
+        terms.push((expr.constant, None));
+    }
+    let mut out = String::new();
+    for (i, (coef, var)) in terms.iter().enumerate() {
+        let magnitude = coef.abs();
+        if i == 0 {
+            if coef.is_negative() {
+                out.push('-');
+            }
+        } else if coef.is_negative() {
+            out.push_str(" - ");
+        } else {
+            out.push_str(" + ");
+        }
+        match var {
+            Some(name) => {
+                if magnitude == Rational::ONE {
+                    out.push_str(name);
+                } else {
+                    let _ = write!(out, "{magnitude} {name}");
+                }
+            }
+            None => {
+                let _ = write!(out, "{magnitude}");
+            }
+        }
+    }
+    out
+}
+
+fn rel_to_str(rel: Rel) -> &'static str {
+    match rel {
+        Rel::Lt => "<",
+        Rel::Le => "<=",
+        Rel::Gt => ">",
+        Rel::Ge => ">=",
+        Rel::Eq => "==",
+    }
+}
+
+fn print_fn(out: &mut String, item: &FnItem) {
+    let _ = writeln!(out, "fn {}({}) {{", item.name, item.params.join(", "));
+    for case in &item.cases {
+        match &case.guard {
+            Guard::Otherwise => {
+                let _ = writeln!(
+                    out,
+                    "  otherwise: {};",
+                    expr_to_string(&case.value, &item.params)
+                );
+            }
+            Guard::Conj(atoms) => {
+                let rendered: Vec<String> = atoms
+                    .iter()
+                    .map(|atom| match atom {
+                        GuardAtom::Cmp { lhs, rel, rhs } => format!(
+                            "{} {} {}",
+                            expr_to_string(lhs, &item.params),
+                            rel_to_str(*rel),
+                            expr_to_string(rhs, &item.params)
+                        ),
+                        GuardAtom::Mod {
+                            expr,
+                            modulus,
+                            residue,
+                        } => format!(
+                            "{} % {modulus} == {residue}",
+                            expr_to_string(expr, &item.params)
+                        ),
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  case {}: {};",
+                    rendered.join(" and "),
+                    expr_to_string(&case.value, &item.params)
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+}
+
+fn print_spec(out: &mut String, item: &SpecItem) {
+    let _ = writeln!(out, "spec {}({}) {{", item.name, item.params.join(", "));
+    print_spec_body(out, &item.body, &item.params, 1);
+    out.push_str("}\n");
+}
+
+fn print_spec_body(out: &mut String, body: &SpecBody, params: &[String], level: usize) {
+    if body.threshold.iter().any(|&n| n != 0) {
+        indent(out, level);
+        let entries: Vec<String> = body.threshold.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "threshold {};", entries.join(" "));
+    }
+    indent(out, level);
+    let pieces: Vec<String> = body
+        .pieces
+        .iter()
+        .map(|piece| piece_to_string(piece, params, level))
+        .collect();
+    let _ = writeln!(out, "min {};", pieces.join(", "));
+    for when in &body.whens {
+        print_when(out, when, params, level);
+    }
+}
+
+fn piece_to_string(piece: &Piece, params: &[String], level: usize) -> String {
+    match piece {
+        Piece::Affine(expr) => expr_to_string(expr, params),
+        Piece::Floor(expr) => format!("floor({})", expr_to_string(expr, params)),
+        Piece::Quilt {
+            gradient,
+            period,
+            offsets,
+        } => {
+            let mut out = String::new();
+            out.push_str("quilt {\n");
+            indent(&mut out, level + 1);
+            let grads: Vec<String> = gradient.iter().map(Rational::to_string).collect();
+            let _ = writeln!(out, "gradient {};", grads.join(" "));
+            indent(&mut out, level + 1);
+            let _ = writeln!(out, "period {period};");
+            for (residues, value) in offsets {
+                indent(&mut out, level + 1);
+                let key: Vec<String> = residues.iter().map(u64::to_string).collect();
+                let _ = writeln!(out, "offset ({}) = {value};", key.join(" "));
+            }
+            indent(&mut out, level);
+            out.push('}');
+            out
+        }
+    }
+}
+
+fn print_when(out: &mut String, when: &When, params: &[String], level: usize) {
+    indent(out, level);
+    match &when.body {
+        WhenBody::Constant(value) => {
+            let _ = writeln!(
+                out,
+                "when {} = {}: {value};",
+                params[when.param], when.value
+            );
+        }
+        WhenBody::Block(body) => {
+            let _ = writeln!(out, "when {} = {}: {{", params[when.param], when.value);
+            let remaining = crate::ast::remaining_params(params, when.param);
+            print_spec_body(out, body, &remaining, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn canonical(source: &str) -> String {
+        print(&parse(source).unwrap())
+    }
+
+    #[test]
+    fn printing_is_idempotent() {
+        let sources = [
+            "crn max{inputs X1 X2;output Y;computes m;init X1=3,X2=7;X1->Z1+Y;X2->Z2+Y;Z1+Z2->K;K+Y->0;}",
+            "fn f(x1,x2){case x1<=x2:x1;otherwise:x2;}",
+            "spec s(x){threshold 2;min floor(3/2 x - 2),quilt{gradient 1;period 2;offset(0)=0;offset(1)=1;};when x=0:0;when x=1:0;}",
+            "spec m(a,b){threshold 1 0;min a+b;when a=0:{min 2 b;}}",
+        ];
+        for source in sources {
+            let once = canonical(source);
+            let twice = canonical(&once);
+            assert_eq!(once, twice, "printing not idempotent for {source}");
+            assert_eq!(
+                parse(source).unwrap(),
+                parse(&once).unwrap(),
+                "printing changed the AST for {source}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_crn_layout() {
+        let text = canonical("crn d { inputs X; output Y; X -> 2Y; }");
+        assert_eq!(text, "crn d {\n  inputs X;\n  output Y;\n  X -> 2Y;\n}\n");
+    }
+
+    #[test]
+    fn expression_rendering() {
+        let doc = parse("fn f(x1, x2) { case x1 >= 0: 3/2 x1 - x2 - 1; otherwise: 0; }").unwrap();
+        let text = print(&doc);
+        assert!(text.contains("case x1 >= 0: 3/2 x1 - x2 - 1;"));
+        assert!(text.contains("otherwise: 0;"));
+    }
+
+    #[test]
+    fn zero_input_crn_layout() {
+        let text = canonical("crn five { inputs; output Y; leader L; L -> 5Y; }");
+        assert_eq!(
+            text,
+            "crn five {\n  inputs;\n  output Y;\n  leader L;\n  L -> 5Y;\n}\n"
+        );
+        assert_eq!(canonical(&text), text);
+    }
+
+    #[test]
+    fn zero_threshold_is_omitted() {
+        let text = canonical("spec s(x1, x2) { threshold 0 0; min x1, x2; }");
+        assert_eq!(text, "spec s(x1, x2) {\n  min x1, x2;\n}\n");
+    }
+
+    #[test]
+    fn quilt_piece_layout() {
+        let text = canonical(
+            "spec s(x) { min quilt { gradient 2; period 2; offset (1) = 1; offset (0) = 0; }; }",
+        );
+        assert_eq!(
+            text,
+            "spec s(x) {\n  min quilt {\n    gradient 2;\n    period 2;\n    offset (0) = 0;\n    offset (1) = 1;\n  };\n}\n"
+        );
+    }
+}

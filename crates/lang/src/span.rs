@@ -1,0 +1,164 @@
+//! Source positions and diagnostics.
+//!
+//! Every token carries a [`Span`] (byte offsets into the source text), and
+//! every parse or lowering failure is reported as a [`Diagnostic`] anchored to
+//! a span.  [`Diagnostic::render`] produces the familiar compiler-style
+//! `file:line:col` report with the offending source line and a caret.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span covering `[start, end)`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A parse or validation error anchored to a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong, phrased as an actionable message.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+    /// An optional hint on how to fix it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no help line.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            message: message.into(),
+            span,
+            help: None,
+        }
+    }
+
+    /// Attaches a `help:` line.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// The 1-based `(line, column)` of the span start in `source`.
+    #[must_use]
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.span.start.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.chars().rev().take_while(|&c| c != '\n').count() + 1;
+        (line, col)
+    }
+
+    /// Renders the diagnostic in compiler style:
+    ///
+    /// ```text
+    /// error: expected `->` in reaction
+    ///   --> corpus/max.crn:5:9
+    ///    |
+    ///  5 | X1 + Y;
+    ///    |        ^
+    ///    = help: write the reaction as `reactants -> products;`
+    /// ```
+    #[must_use]
+    pub fn render(&self, source: &str, filename: &str) -> String {
+        let (line, col) = self.line_col(source);
+        let source_line = source.lines().nth(line - 1).unwrap_or("");
+        let gutter = line.to_string().len();
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str(&format!(
+            "{:gutter$}--> {filename}:{line}:{col}\n",
+            "",
+            gutter = gutter + 1
+        ));
+        out.push_str(&format!("{:gutter$} |\n", "", gutter = gutter));
+        out.push_str(&format!("{line} | {source_line}\n"));
+        let width = {
+            // Caret width: the span's extent on this line, at least 1.
+            let line_start = self.span.start - (col - 1);
+            let span_on_line = self
+                .span
+                .end
+                .min(line_start + source_line.len())
+                .saturating_sub(self.span.start);
+            span_on_line.max(1)
+        };
+        out.push_str(&format!(
+            "{:gutter$} | {:col$}{carets}\n",
+            "",
+            "",
+            gutter = gutter,
+            col = col - 1,
+            carets = "^".repeat(width)
+        ));
+        if let Some(help) = &self.help {
+            out.push_str(&format!("{:gutter$} = help: {help}\n", "", gutter = gutter));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.to(b), Span::new(3, 10));
+        assert_eq!(b.to(a), Span::new(3, 10));
+    }
+
+    #[test]
+    fn line_col_counts_from_one() {
+        let src = "abc\ndef\nghi\n";
+        let d = Diagnostic::new("boom", Span::new(5, 6));
+        assert_eq!(d.line_col(src), (2, 2));
+        let d0 = Diagnostic::new("boom", Span::new(0, 1));
+        assert_eq!(d0.line_col(src), (1, 1));
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "crn max {\n  X1 + Y;\n}\n";
+        let d = Diagnostic::new("expected `->` in reaction", Span::new(18, 19))
+            .with_help("write the reaction as `reactants -> products;`");
+        let rendered = d.render(src, "max.crn");
+        assert!(rendered.contains("error: expected `->` in reaction"));
+        assert!(rendered.contains("--> max.crn:2:9"));
+        assert!(rendered.contains("2 |   X1 + Y;"));
+        assert!(rendered.contains("^"));
+        assert!(rendered.contains("help: write the reaction"));
+    }
+}

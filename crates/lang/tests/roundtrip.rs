@@ -1,0 +1,314 @@
+//! Property test: random printable documents round-trip through
+//! `print` → `parse` with an identical AST, and printing is idempotent.
+//!
+//! The vendored proptest stub drives deterministic cases; each case seeds a
+//! SplitMix64 generator that assembles a random — but grammatically
+//! well-formed — document out of `crn`, `fn` and `spec` items.
+
+use crn_lang::ast::{
+    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, ReactionAst, Rel,
+    SpecBody, SpecItem, When, WhenBody,
+};
+use crn_lang::span::Span;
+use crn_lang::{parse, print};
+use crn_numeric::Rational;
+use proptest::prelude::*;
+
+const SPECIES_POOL: &[&str] = &[
+    "A",
+    "B",
+    "C",
+    "K",
+    "L",
+    "W0",
+    "X1",
+    "X2",
+    "Y",
+    "Z1",
+    "Z2",
+    "f0.X1",
+    "f1.L_0_1",
+    "X_ignored",
+];
+
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    fn rational(&mut self) -> Rational {
+        let numer = self.below(9) as i128 - 4;
+        let denom = self.below(3) as i128 + 1;
+        Rational::new(numer, denom)
+    }
+
+    fn nonneg_rational(&mut self) -> Rational {
+        let numer = self.below(5) as i128;
+        let denom = self.below(3) as i128 + 1;
+        Rational::new(numer, denom)
+    }
+
+    fn distinct_species(&mut self, count: usize) -> Vec<String> {
+        let mut pool: Vec<&str> = SPECIES_POOL.to_vec();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let index = self.below(pool.len() as u64) as usize;
+            out.push(pool.remove(index).to_owned());
+        }
+        out
+    }
+
+    fn expr(&mut self, dim: usize) -> LinExpr {
+        let mut expr = LinExpr::zero(dim);
+        for coef in &mut expr.coeffs {
+            if self.chance(60) {
+                *coef = self.rational();
+            }
+        }
+        if self.chance(70) {
+            expr.constant = self.rational();
+        }
+        expr
+    }
+
+    fn reaction(&mut self, species: &[String]) -> ReactionAst {
+        let side = |gen: &mut Gen| {
+            let terms = gen.below(4);
+            (0..terms)
+                .map(|_| {
+                    let count = gen.below(3) + 1;
+                    let name = species[gen.below(species.len() as u64) as usize].clone();
+                    (count, name)
+                })
+                .collect::<Vec<_>>()
+        };
+        ReactionAst {
+            reactants: side(self),
+            products: side(self),
+        }
+    }
+
+    fn crn_item(&mut self, name: String) -> CrnItem {
+        let n_inputs = self.below(3) as usize + 1;
+        let names = self.distinct_species(n_inputs + 2);
+        let (inputs, rest) = names.split_at(n_inputs);
+        let output = rest[0].clone();
+        let leader = self.chance(40).then(|| rest[1].clone());
+        let computes = self.chance(40).then(|| "linked".to_owned());
+        let init = if self.chance(50) {
+            inputs
+                .iter()
+                .map(|input| (input.clone(), self.below(6)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let all_species: Vec<String> = SPECIES_POOL.iter().map(|&s| s.to_owned()).collect();
+        let reactions = (0..self.below(4) + 1)
+            .map(|_| self.reaction(&all_species))
+            .collect();
+        CrnItem {
+            name,
+            inputs: inputs.to_vec(),
+            output,
+            leader,
+            computes,
+            init,
+            reactions,
+            span: Span::default(),
+        }
+    }
+
+    fn guard_atom(&mut self, dim: usize) -> GuardAtom {
+        if self.chance(30) {
+            let mut expr = LinExpr::zero(dim);
+            for coef in &mut expr.coeffs {
+                if self.chance(60) {
+                    *coef = Rational::from(self.below(5) as i64 - 2);
+                }
+            }
+            let modulus = self.below(4) + 1;
+            GuardAtom::Mod {
+                expr,
+                modulus,
+                residue: self.below(modulus),
+            }
+        } else {
+            let rel = match self.below(5) {
+                0 => Rel::Lt,
+                1 => Rel::Le,
+                2 => Rel::Gt,
+                3 => Rel::Ge,
+                _ => Rel::Eq,
+            };
+            GuardAtom::Cmp {
+                lhs: self.expr(dim),
+                rel,
+                rhs: self.expr(dim),
+            }
+        }
+    }
+
+    fn fn_item(&mut self, name: String) -> FnItem {
+        let dim = self.below(3) as usize + 1;
+        let params: Vec<String> = (1..=dim).map(|i| format!("x{i}")).collect();
+        let n_cases = self.below(3) as usize + 1;
+        let mut cases: Vec<FnCase> = (0..n_cases)
+            .map(|_| {
+                let atoms = (0..self.below(2) + 1)
+                    .map(|_| self.guard_atom(dim))
+                    .collect();
+                FnCase {
+                    guard: Guard::Conj(atoms),
+                    value: self.expr(dim),
+                }
+            })
+            .collect();
+        if self.chance(50) {
+            cases.push(FnCase {
+                guard: Guard::Otherwise,
+                value: self.expr(dim),
+            });
+        }
+        FnItem {
+            name,
+            params,
+            cases,
+            span: Span::default(),
+        }
+    }
+
+    fn piece(&mut self, dim: usize) -> Piece {
+        match self.below(3) {
+            0 => Piece::Affine(self.expr(dim)),
+            1 => Piece::Floor(self.expr(dim)),
+            _ => {
+                let period = self.below(2) + 2;
+                let gradient = (0..dim).map(|_| self.nonneg_rational()).collect();
+                // A random, sorted, duplicate-free subset of the residue keys
+                // (full coverage is a lowering concern, not a syntax one).
+                let mut offsets = Vec::new();
+                let mut key = vec![0u64; dim];
+                loop {
+                    if self.chance(70) {
+                        offsets.push((key.clone(), self.rational()));
+                    }
+                    // Odometer step through [0, period)^dim.
+                    let mut carry = true;
+                    for digit in key.iter_mut().rev() {
+                        if carry {
+                            *digit += 1;
+                            if *digit == period {
+                                *digit = 0;
+                            } else {
+                                carry = false;
+                            }
+                        }
+                    }
+                    if carry {
+                        break;
+                    }
+                }
+                Piece::Quilt {
+                    gradient,
+                    period,
+                    offsets,
+                }
+            }
+        }
+    }
+
+    fn spec_body(&mut self, dim: usize, depth: usize) -> SpecBody {
+        if dim == 0 {
+            return SpecBody {
+                threshold: Vec::new(),
+                pieces: vec![Piece::Affine(LinExpr::constant(
+                    0,
+                    Rational::from(self.below(9) as i64),
+                ))],
+                whens: Vec::new(),
+            };
+        }
+        let threshold: Vec<u64> = (0..dim).map(|_| self.below(3)).collect();
+        let pieces = (0..self.below(2) + 1).map(|_| self.piece(dim)).collect();
+        let mut whens = Vec::new();
+        for (param, &bound) in threshold.iter().enumerate() {
+            for value in 0..bound {
+                if depth > 1 || self.chance(70) {
+                    continue;
+                }
+                let body = if dim == 1 {
+                    WhenBody::Constant(self.below(7))
+                } else {
+                    WhenBody::Block(self.spec_body(dim - 1, depth + 1))
+                };
+                whens.push(When { param, value, body });
+            }
+        }
+        SpecBody {
+            threshold,
+            pieces,
+            whens,
+        }
+    }
+
+    fn spec_item(&mut self, name: String) -> SpecItem {
+        let dim = self.below(4) as usize; // 0 is a valid (constant) spec
+        SpecItem {
+            name,
+            params: (1..=dim).map(|i| format!("x{i}")).collect(),
+            body: self.spec_body(dim, 0),
+            span: Span::default(),
+        }
+    }
+
+    fn document(&mut self) -> Document {
+        let items = (0..self.below(3) + 1)
+            .map(|i| {
+                let name = format!("item{i}");
+                match self.below(3) {
+                    0 => Item::Crn(self.crn_item(name)),
+                    1 => Item::Fn(self.fn_item(name)),
+                    _ => Item::Spec(self.spec_item(name)),
+                }
+            })
+            .collect();
+        Document { items }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_documents_round_trip(seed in 0u64..4096) {
+        let document = Gen::new(seed).document();
+        let text = print(&document);
+        let reparsed = parse(&text).unwrap_or_else(|e| {
+            panic!("printed document failed to parse (seed {seed}): {e}\n{text}")
+        });
+        prop_assert_eq!(&reparsed, &document);
+        prop_assert_eq!(print(&reparsed), text);
+    }
+}

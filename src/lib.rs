@@ -14,7 +14,9 @@
 //!   Lemma 6.1/6.2 synthesis, Lemma 4.1 witnesses, the Theorem 8.2 scaling;
 //! * [`continuous`] — the continuous (rate-independent) CRN function class;
 //! * [`popproto`] — population protocols and pairwise-collision scheduling;
-//! * [`numeric`] — exact rationals and lattice utilities.
+//! * [`numeric`] — exact rationals and lattice utilities;
+//! * [`lang`] — the textual `.crn` language (parser, printer, lowering)
+//!   behind the `crn` CLI (`crates/cli`).
 //!
 //! ```
 //! use composable_crn::model::examples;
@@ -32,6 +34,7 @@
 pub use crn_continuous as continuous;
 pub use crn_core as core;
 pub use crn_geometry as geometry;
+pub use crn_lang as lang;
 pub use crn_model as model;
 pub use crn_numeric as numeric;
 pub use crn_popproto as popproto;
