@@ -1,0 +1,47 @@
+//! Criterion benchmark for the composition engine (experiment E16 of
+//! DESIGN.md): build cost of an n-stage module chain through one
+//! `Pipeline::build` versus folded two-level concatenation.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn composition_scaling(c: &mut Criterion) {
+    let rows = crn_bench::e16_composition_scaling(&[50, 100, 200, 400], 3);
+    eprintln!("\n[E16] composition-engine build cost (n-stage doubling chain)");
+    for r in &rows {
+        eprintln!(
+            "  {} stages: {} species, {} reactions, pipeline {:.2} ms ({:.1} us/stage), \
+             folded concatenate {:.2} ms ({:.1}x)",
+            r.stages,
+            r.species,
+            r.reactions,
+            r.pipeline_secs * 1e3,
+            r.secs_per_stage * 1e6,
+            r.chained_secs * 1e3,
+            r.chained_secs / r.pipeline_secs
+        );
+    }
+
+    let mut group = c.benchmark_group("E16_composition_engine");
+    for stages in [50usize, 200] {
+        group.bench_function(format!("pipeline_build/{stages}"), |b| {
+            b.iter(|| crn_bench::e16_pipeline_chain(black_box(stages)).species_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = composition;
+    config = configured();
+    targets = composition_scaling
+}
+criterion_main!(composition);

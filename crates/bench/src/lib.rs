@@ -571,12 +571,12 @@ pub struct LangThroughputRow {
 }
 
 /// Parses and lowers every item of `source`, returning the item count
-/// (panics on malformed input — E15 documents are known-good).
+/// (panics on malformed input — E15 documents are known-good).  Lowering
+/// goes through `lower_document` so documents with `pipeline` items compose
+/// too.
 fn lang_compile(source: &str) -> usize {
     let doc = crn_lang::parse(source).expect("E15 document parses");
-    for item in &doc.items {
-        crn_lang::lower_item(item).expect("E15 item lowers");
-    }
+    crn_lang::lower_document(&doc).expect("E15 document lowers");
     doc.items.len()
 }
 
@@ -639,6 +639,76 @@ pub fn e15_lang_throughput(repeats: u32) -> Vec<LangThroughputRow> {
                 parse_docs_per_sec: f64::from(repeats) / parse_secs,
                 parse_mb_per_sec: text.len() as f64 * f64::from(repeats) / 1e6 / parse_secs,
                 compile_docs_per_sec: f64::from(repeats) / compile_secs,
+            }
+        })
+        .collect()
+}
+
+/// One E16 row: composition-engine build cost for an n-stage chain.
+#[derive(Debug, Clone)]
+pub struct CompositionScalingRow {
+    /// Number of chained stages.
+    pub stages: usize,
+    /// Species of the composed CRN.
+    pub species: usize,
+    /// Reactions of the composed CRN.
+    pub reactions: usize,
+    /// Seconds for one `Pipeline::build` of the whole chain.
+    pub pipeline_secs: f64,
+    /// Build time per stage (`pipeline_secs / stages`) — flat when the
+    /// engine is linear in the chain length.
+    pub secs_per_stage: f64,
+    /// Seconds for the same chain built by repeated two-level
+    /// `concatenate` calls, which re-import the accumulated CRN at every
+    /// step (quadratic) — the baseline the engine replaces.
+    pub chained_secs: f64,
+}
+
+/// Builds an n-stage doubling chain with the pipeline engine in one pass
+/// (the E16 workload, exposed so the Criterion target can time it directly).
+#[must_use]
+pub fn e16_pipeline_chain(stages: usize) -> crn_model::FunctionCrn {
+    let mut pipeline = crn_model::Pipeline::new(1);
+    let double = examples::double_crn();
+    let mut previous = crn_model::compose::PipeSource::Global(0);
+    for k in 0..stages {
+        let id = pipeline
+            .add_stage(&format!("s{k}"), &double, &[previous])
+            .expect("chain wiring is valid");
+        previous = crn_model::compose::PipeSource::Stage(id);
+    }
+    let crn_model::compose::PipeSource::Stage(last) = previous else {
+        panic!("at least one stage");
+    };
+    pipeline.build(last).expect("chain builds")
+}
+
+/// Builds the same chain by folding `concatenate` (the pre-engine way).
+fn concatenate_chain(stages: usize) -> crn_model::FunctionCrn {
+    let double = examples::double_crn();
+    let mut acc = double.clone();
+    for _ in 1..stages {
+        acc = concatenate(&acc, &double).expect("chain composes");
+    }
+    acc
+}
+
+/// E16: build cost of composing an n-stage module chain, one `Pipeline`
+/// build versus folded two-level concatenation.
+#[must_use]
+pub fn e16_composition_scaling(sizes: &[usize], repeats: u32) -> Vec<CompositionScalingRow> {
+    sizes
+        .iter()
+        .map(|&stages| {
+            let (pipeline_secs, composed) = time_repeats(repeats, || e16_pipeline_chain(stages));
+            let (chained_secs, _) = time_repeats(repeats, || concatenate_chain(stages));
+            CompositionScalingRow {
+                stages,
+                species: composed.species_count(),
+                reactions: composed.reaction_count(),
+                pipeline_secs: pipeline_secs / f64::from(repeats),
+                secs_per_stage: pipeline_secs / f64::from(repeats) / stages as f64,
+                chained_secs: chained_secs / f64::from(repeats),
             }
         })
         .collect()
@@ -798,6 +868,30 @@ mod tests {
         }
         // The synthesized document dwarfs the corpus files.
         assert!(rows[1].bytes > rows[0].bytes);
+    }
+
+    #[test]
+    fn e16_chains_grow_linearly_in_size() {
+        let rows = e16_composition_scaling(&[4, 8], 1);
+        assert_eq!(rows.len(), 2);
+        // Chain structure: one wire per stage, doubling reactions plus no
+        // leader (double_crn is leaderless) — species and reactions scale
+        // with the stage count.
+        assert_eq!(rows[0].species, 1 + 4);
+        assert_eq!(rows[0].reactions, 4);
+        assert_eq!(rows[1].species, 1 + 8);
+        assert_eq!(rows[1].reactions, 8);
+        // Both construction paths agree on the composed function.
+        let via_pipeline = e16_pipeline_chain(3);
+        let via_concat = concatenate_chain(3);
+        for x in 0..3u64 {
+            for crn in [&via_pipeline, &via_concat] {
+                let v =
+                    crn_model::check_stable_computation(crn, &NVec::from(vec![x]), 8 * x, 100_000)
+                        .unwrap();
+                assert!(v.is_correct(), "8x failed at {x}");
+            }
+        }
     }
 
     #[test]

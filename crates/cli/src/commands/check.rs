@@ -90,8 +90,12 @@ pub fn run(raw: &[String]) -> i32 {
                 if ws.doc.items.len() == 1 { "" } else { "s" }
             );
             for (name, lowered) in &ws.crns {
+                let kind = match ws.pipeline(name) {
+                    Some(info) => format!("pipeline {name} ({} stages)", info.stage_count),
+                    None => format!("crn {name}"),
+                };
                 println!(
-                    "  crn {name}: {} species, {} reactions, output-oblivious: {}",
+                    "  {kind}: {} species, {} reactions, output-oblivious: {}",
                     lowered.crn.species_count(),
                     lowered.crn.reaction_count(),
                     lowered.crn.is_output_oblivious()

@@ -13,6 +13,7 @@
 
 pub mod characterize;
 pub mod check;
+pub mod compose;
 pub mod fmt;
 pub mod sim;
 pub mod synthesize;
@@ -52,7 +53,11 @@ pub(crate) fn resolve_link<'a>(
     let target = ws.target(computes).ok_or_else(|| {
         format!("crn `{crn_name}` computes `{computes}`, but no fn or spec item has that name")
     })?;
-    let crn = ws.crn(crn_name).expect("caller resolved the crn");
+    // Do not trust the caller to have resolved the crn: an unresolved name
+    // here is a usage problem to report, not a precondition to panic on.
+    let crn = ws
+        .crn(crn_name)
+        .ok_or_else(|| format!("no crn or pipeline item named `{crn_name}`"))?;
     if crn.crn.dim() != target.dim() {
         return Err(format!(
             "crn `{crn_name}` has {} inputs but `{computes}` has {} parameters",

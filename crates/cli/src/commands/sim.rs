@@ -86,7 +86,11 @@ pub fn run(raw: &[String]) -> i32 {
     let mut exit = EXIT_OK;
     let mut reports = Vec::new();
     for name in targets {
-        let lowered = ws.crn(name).expect("target came from the workspace");
+        // Resolved defensively: an unresolved target is a usage error
+        // (exit 2), never a panic.
+        let Some(lowered) = ws.crn(name) else {
+            return usage_error(&format!("`{path}` has no crn item named `{name}`"));
+        };
         let x = match (&explicit_input, &lowered.init) {
             (Some(input), _) => NVec::from(input.clone()),
             (None, Some(init)) => init.clone(),

@@ -69,8 +69,16 @@ pub fn run(raw: &[String]) -> i32 {
     let mut exit = EXIT_OK;
     let mut reports = Vec::new();
     for name in targets {
-        let lowered = ws.crn(name).expect("target came from the workspace");
-        let computes = lowered.computes.as_deref().expect("filtered above");
+        // Both lookups were established above, but re-resolve defensively:
+        // an inconsistency is a usage error (exit 2), never a panic.
+        let Some(lowered) = ws.crn(name) else {
+            return usage_error(&format!("`{path}` has no crn item named `{name}`"));
+        };
+        let Some(computes) = lowered.computes.as_deref() else {
+            return usage_error(&format!(
+                "crn `{name}` has no `computes` link, so there is nothing to verify against"
+            ));
+        };
         let json = args.switch("json");
         let fail = |message: String, reports: &mut Vec<Json>| {
             if json {

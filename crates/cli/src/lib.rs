@@ -12,6 +12,7 @@
 //! | `crn check` | parse + lower + validate |
 //! | `crn characterize` | semilinear `fn` → spec / impossibility witness |
 //! | `crn synthesize` | spec (or `fn`) → output-oblivious CRN, emitted as text |
+//! | `crn compose` | `pipeline` item → composed CRN via the capture-proof engine |
 //! | `crn verify` | CRN vs `computes` link on a box, exhaustive or spot |
 //! | `crn sim` | Gillespie ensemble with `--trials/--workers/--seed` |
 //! | `crn fmt` | canonical formatting (`--check` gates the corpus in CI) |
@@ -42,6 +43,9 @@ COMMANDS:
                          [--item NAME] [--bound N=8] [--json]
   synthesize <file>      compile a spec (or characterizable fn) to a CRN
                          [--item NAME] [--bound N=8] [-o OUT]
+  compose <file>         materialize a pipeline item into a composed CRN
+                         [--item NAME] [-o OUT] [--json]
+                         [--allow-non-oblivious]
   verify <file>          check `computes` links by exhaustive reachability
                          [--item NAME] [--bound N=4] [--max-configs N=200000]
                          [--spot] [--max-steps N=1000000] [--seed S=7] [--json]
@@ -68,6 +72,7 @@ pub fn run(args: &[String]) -> i32 {
         "check" => commands::check::run(rest),
         "characterize" => commands::characterize::run(rest),
         "synthesize" => commands::synthesize::run(rest),
+        "compose" => commands::compose::run(rest),
         "verify" => commands::verify::run(rest),
         "sim" => commands::sim::run(rest),
         "fmt" => commands::fmt::run(rest),

@@ -3,13 +3,28 @@
 //! [`Workspace::load`] reads a file, parses it with `crn-lang` and lowers
 //! every item; any failure is returned as a rendered, span-annotated
 //! diagnostic (the caller maps it to exit code 2).  Commands then pick their
-//! targets out of the workspace by item kind and name.
+//! targets out of the workspace by item kind and name.  `pipeline` items are
+//! composed during loading and listed in [`Workspace::crns`] alongside the
+//! raw `crn` items (they share one namespace), so `check`, `verify` and
+//! `sim` accept pipeline targets with no extra wiring; their composition
+//! metadata lives in [`Workspace::pipelines`].
 
 use crn_core::ObliviousSpec;
 use crn_lang::ast::Document;
-use crn_lang::lower::{lower_item, LoweredCrn, LoweredItem};
+use crn_lang::lower::{lower_document, LoweredCrn};
 use crn_numeric::NVec;
 use crn_semilinear::SemilinearFunction;
+
+/// Composition metadata of a lowered `pipeline` item (the composed CRN
+/// itself is in [`Workspace::crns`] under the pipeline's name).
+#[derive(Debug)]
+pub struct PipelineInfo {
+    /// Number of composed stages.
+    pub stage_count: usize,
+    /// Stages that feed a downstream module although they are not
+    /// output-oblivious (see `crn compose`'s enforcement).
+    pub non_oblivious_feeders: Vec<String>,
+}
 
 /// A loaded and fully lowered `.crn` file.
 #[derive(Debug)]
@@ -18,12 +33,15 @@ pub struct Workspace {
     pub path: String,
     /// The parsed document (for canonical re-printing).
     pub doc: Document,
-    /// Lowered `crn` items, in source order.
+    /// Lowered `crn` items in source order, followed by the composed
+    /// `pipeline` items in source order.
     pub crns: Vec<(String, LoweredCrn)>,
     /// Lowered `fn` items, in source order.
     pub fns: Vec<(String, SemilinearFunction)>,
     /// Lowered `spec` items, in source order.
     pub specs: Vec<(String, ObliviousSpec)>,
+    /// Composition metadata for each `pipeline` item, in source order.
+    pub pipelines: Vec<(String, PipelineInfo)>,
 }
 
 /// A resolvable evaluation target: the meaning of a `fn` or `spec` item.
@@ -113,23 +131,33 @@ impl Workspace {
     /// Returns a rendered diagnostic on parse or lowering failure.
     pub fn from_source(path: &str, source: &str) -> Result<Workspace, String> {
         let doc = crn_lang::parse(source).map_err(|d| d.render(source, path))?;
-        let mut crns = Vec::new();
-        let mut fns = Vec::new();
-        let mut specs = Vec::new();
-        for item in &doc.items {
-            let name = item.name().to_owned();
-            match lower_item(item).map_err(|d| d.render(source, path))? {
-                LoweredItem::Crn(lowered) => crns.push((name, lowered)),
-                LoweredItem::SemilinearFn(lowered) => fns.push((name, lowered)),
-                LoweredItem::Spec(lowered) => specs.push((name, lowered)),
-            }
+        let lowered = lower_document(&doc).map_err(|d| d.render(source, path))?;
+        let mut crns = lowered.crns;
+        let mut pipelines = Vec::with_capacity(lowered.pipelines.len());
+        for (name, pipeline) in lowered.pipelines {
+            pipelines.push((
+                name.clone(),
+                PipelineInfo {
+                    stage_count: pipeline.stage_count,
+                    non_oblivious_feeders: pipeline.non_oblivious_feeders,
+                },
+            ));
+            crns.push((
+                name,
+                LoweredCrn {
+                    crn: pipeline.crn,
+                    init: None,
+                    computes: pipeline.computes,
+                },
+            ));
         }
         Ok(Workspace {
             path: path.to_owned(),
             doc,
             crns,
-            fns,
-            specs,
+            fns: lowered.fns,
+            specs: lowered.specs,
+            pipelines,
         })
     }
 
@@ -145,10 +173,19 @@ impl Workspace {
             .map(|(_, s)| Target::Spec(s))
     }
 
-    /// The `crn` item named `name`.
+    /// The `crn` or composed `pipeline` item named `name`.
     #[must_use]
     pub fn crn(&self, name: &str) -> Option<&LoweredCrn> {
         self.crns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// The composition metadata of the `pipeline` item named `name`.
+    #[must_use]
+    pub fn pipeline(&self, name: &str) -> Option<&PipelineInfo> {
+        self.pipelines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p)
     }
 }
 
@@ -179,5 +216,36 @@ mod tests {
         let err = Workspace::from_source("bad.crn", "crn x {").unwrap_err();
         assert!(err.contains("bad.crn:1:8"), "{err}");
         assert!(err.starts_with("error:"));
+    }
+
+    #[test]
+    fn pipelines_are_composed_and_targetable_like_crns() {
+        let ws = Workspace::from_source(
+            "mem.crn",
+            "crn min_stage { inputs X1 X2; output Y; X1 + X2 -> Y; }\n\
+             crn double_stage { inputs X; output Y; X -> 2Y; }\n\
+             pipeline two_min { inputs a b; stage m = min_stage(a, b); \
+             stage d = double_stage(m); output d; }\n",
+        )
+        .unwrap();
+        assert_eq!(ws.crns.len(), 3);
+        assert_eq!(ws.pipelines.len(), 1);
+        let info = ws.pipeline("two_min").unwrap();
+        assert_eq!(info.stage_count, 2);
+        assert!(info.non_oblivious_feeders.is_empty());
+        let composed = ws.crn("two_min").unwrap();
+        assert_eq!(composed.crn.dim(), 2);
+        assert!(composed.init.is_none());
+    }
+
+    #[test]
+    fn pipeline_lowering_failures_render_like_parse_errors() {
+        let err = Workspace::from_source(
+            "mem.crn",
+            "pipeline p {\n  inputs a;\n  stage s = nothing(a);\n  output s;\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("mem.crn:3"), "{err}");
+        assert!(err.contains("no crn or pipeline item"), "{err}");
     }
 }

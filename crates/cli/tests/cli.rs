@@ -116,6 +116,104 @@ fn exit_1_verdict_failure_class() {
     assert_eq!(code, 1, "sim of a restless CRN must exit 1\n{stdout}");
 }
 
+const PIPELINE_DOC: &str = "\
+crn min_stage {
+  inputs X1 X2;
+  output Y;
+  X1 + X2 -> Y;
+}
+
+crn max_stage {
+  inputs X1 X2;
+  output Y;
+  X1 -> Z1 + Y;
+  X2 -> Z2 + Y;
+  Z1 + Z2 -> K;
+  K + Y -> 0;
+}
+
+crn dbl {
+  inputs X;
+  output Y;
+  X -> 2Y;
+}
+
+pipeline good {
+  inputs a b;
+  stage m = min_stage(a, b);
+  stage d = dbl(m);
+  output d;
+}
+
+pipeline bad {
+  inputs a b;
+  stage m = max_stage(a, b);
+  stage d = dbl(m);
+  output d;
+}
+";
+
+#[test]
+fn compose_exit_code_classes() {
+    let path = scratch("pipelines.crn", PIPELINE_DOC);
+    let path = path.to_str().unwrap();
+    // 0: a sound pipeline composes; the emitted document is printed.
+    let (code, stdout, stderr) = run_crn(&["compose", path, "--item", "good"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("crn good {"), "{stdout}");
+    // 1: a non-oblivious feeder is refused with a diagnostic...
+    let (code, _, stderr) = run_crn(&["compose", path, "--item", "bad"]);
+    assert_eq!(code, 1, "non-oblivious feeder must exit 1");
+    assert!(stderr.contains("non-output-oblivious"), "{stderr}");
+    assert!(stderr.contains("`m`"), "{stderr}");
+    // ...unless the Section 1.2 escape hatch is taken.
+    let (code, stdout, _) = run_crn(&[
+        "compose",
+        path,
+        "--item",
+        "bad",
+        "--allow-non-oblivious",
+        "--json",
+    ]);
+    assert_eq!(code, 0);
+    assert!(
+        stdout.contains("\"non_oblivious_stages\":[\"m\"]"),
+        "{stdout}"
+    );
+    // 2: usage errors — ambiguous target, unknown item, no pipelines at all.
+    let (code, _, _) = run_crn(&["compose", path]);
+    assert_eq!(code, 2, "two pipelines without --item is ambiguous");
+    let (code, _, _) = run_crn(&["compose", path, "--item", "nope"]);
+    assert_eq!(code, 2);
+    let plain = scratch("no_pipelines.crn", VALID_DOC);
+    let (code, _, _) = run_crn(&["compose", plain.to_str().unwrap()]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn pipeline_targets_flow_through_check_verify_and_sim() {
+    let doc = format!(
+        "fn two_min(x1, x2) {{\n  case x1 <= x2: 2 x1;\n  otherwise: 2 x2;\n}}\n\n\
+         {PIPELINE_DOC}"
+    );
+    let doc = doc.replace(
+        "pipeline good {\n  inputs a b;\n  stage m = min_stage(a, b);\n  stage d = dbl(m);\n  output d;\n}",
+        "pipeline good {\n  inputs a b;\n  stage m = min_stage(a, b);\n  stage d = dbl(m);\n  output d;\n  computes two_min;\n}",
+    );
+    let path = scratch("pipeline_targets.crn", &doc);
+    let path = path.to_str().unwrap();
+    let (code, stdout, _) = run_crn(&["check", path]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("pipeline good (2 stages)"), "{stdout}");
+    let (code, stdout, _) = run_crn(&["verify", path, "--item", "good", "--bound", "3"]);
+    assert_eq!(code, 0, "{stdout}");
+    let (code, stdout, _) = run_crn(&[
+        "sim", path, "--item", "good", "--input", "2,5", "--trials", "3",
+    ]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("expected 4: ok"), "{stdout}");
+}
+
 #[test]
 fn synthesize_of_a_zero_parameter_spec_re_enters_the_pipeline() {
     // The constant CRN synthesized from `spec five() { min 5; }` has no

@@ -85,6 +85,9 @@ const GOLDENS: &[(&str, &str, &[&str], i32)] = &[
     ("figure1_max", "verify", &[], 0),
     ("figure1_min", "check", &[], 0),
     ("figure1_double", "sim", &["--trials", "4"], 0),
+    ("pipeline_two_min", "check", &[], 0),
+    ("pipeline_two_min", "compose", &[], 0),
+    ("pipeline_adversarial", "compose", &[], 0),
 ];
 
 #[test]
@@ -132,6 +135,74 @@ fn characterized_specs_re_enter_the_pipeline() {
             "staircase spec wrong at {x}"
         );
     }
+}
+
+#[test]
+fn synthesize_compose_verify_sim_pipeline_from_the_cli() {
+    // The composition acceptance pipeline, CLI-only: `crn synthesize` emits a
+    // min module (whose composed species are full of dotted names), a
+    // `pipeline` item wires that module into a doubler, `crn compose`
+    // materializes 2·min(x1,x2), and `crn verify`/`crn sim` confirm it.
+    let dir = repo_root().join("target/verify-scratch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let module = dir.join("cli_compose_module.crn");
+    let (code, _) = run_crn(&[
+        "synthesize",
+        "corpus/min_spec.crn",
+        "-o",
+        module.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "synthesize failed");
+
+    let mut pipeline_doc = std::fs::read_to_string(&module).unwrap();
+    pipeline_doc.push_str(
+        "\nfn two_min(x1, x2) {\n  case x1 <= x2: 2 x1;\n  otherwise: 2 x2;\n}\n\n\
+         crn dbl {\n  inputs X;\n  output Y;\n  X -> 2Y;\n}\n\n\
+         pipeline two_min {\n  inputs a b;\n  stage m = min2_crn(a, b);\n  \
+         stage d = dbl(m);\n  output d;\n  computes two_min;\n}\n",
+    );
+    let doc_path = dir.join("cli_compose_pipeline.crn");
+    std::fs::write(&doc_path, pipeline_doc).unwrap();
+
+    let composed = dir.join("cli_compose_out.crn");
+    let (code, _) = run_crn(&[
+        "compose",
+        doc_path.to_str().unwrap(),
+        "-o",
+        composed.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "compose failed");
+
+    // The emitted document is canonical and self-contained.
+    let text = std::fs::read_to_string(&composed).unwrap();
+    let doc = crn_lang::parse(&text).expect("composed document parses");
+    assert_eq!(crn_lang::print(&doc), text, "composed output not canonical");
+
+    let (code, stdout) = run_crn(&["verify", composed.to_str().unwrap(), "--bound", "2"]);
+    assert_eq!(code, 0, "verify failed:\n{stdout}");
+    let (code, stdout) = run_crn(&[
+        "sim",
+        composed.to_str().unwrap(),
+        "--input",
+        "4,7",
+        "--trials",
+        "6",
+        "--json",
+    ]);
+    assert_eq!(code, 0, "sim failed:\n{stdout}");
+    assert!(stdout.contains("\"outputs\":[8]"), "{stdout}");
+    assert!(stdout.contains("\"correct\":true"), "{stdout}");
+}
+
+#[test]
+fn composing_reserved_looking_names_never_panics() {
+    // Acceptance criterion: modules whose species are literally named W0,
+    // Y_out, L or f0.X1 flow from the parser into composition and the CLI
+    // must either succeed (fresh interned wires) or exit 2 — never panic.
+    let (code, stdout) = run_crn(&["compose", "corpus/pipeline_adversarial.crn"]);
+    assert_eq!(code, 0, "adversarial compose must succeed\n{stdout}");
+    let (code, _) = run_crn(&["verify", "corpus/pipeline_adversarial.crn", "--bound", "3"]);
+    assert_eq!(code, 0, "adversarial verify must pass");
 }
 
 #[test]

@@ -35,6 +35,8 @@ pub enum Item {
     Fn(FnItem),
     /// An oblivious specification (`spec name(params) { … }`).
     Spec(SpecItem),
+    /// A composition of `crn`/`pipeline` items (`pipeline name { … }`).
+    Pipeline(PipelineItem),
 }
 
 impl Item {
@@ -45,6 +47,7 @@ impl Item {
             Item::Crn(item) => &item.name,
             Item::Fn(item) => &item.name,
             Item::Spec(item) => &item.name,
+            Item::Pipeline(item) => &item.name,
         }
     }
 
@@ -55,7 +58,16 @@ impl Item {
             Item::Crn(item) => item.span,
             Item::Fn(item) => item.span,
             Item::Spec(item) => item.span,
+            Item::Pipeline(item) => item.span,
         }
+    }
+
+    /// Whether the item denotes a CRN (a `crn` or `pipeline` item).  These
+    /// share one namespace, distinct from the `fn`/`spec` namespace, so a
+    /// pipeline and the function it computes may carry the same name.
+    #[must_use]
+    pub fn is_crn_like(&self) -> bool {
+        matches!(self, Item::Crn(_) | Item::Pipeline(_))
     }
 }
 
@@ -116,6 +128,57 @@ impl PartialEq for CrnItem {
             && self.computes == other.computes
             && self.init == other.init
             && self.reactions == other.reactions
+    }
+}
+
+/// One `stage name = module(arg, …);` declaration of a pipeline.
+///
+/// Equality ignores the [`span`](StageAst::span).
+#[derive(Debug, Clone)]
+pub struct StageAst {
+    /// The stage's name (referenced by later stages and `output`).
+    pub name: String,
+    /// The `crn` or `pipeline` item providing the stage's module.
+    pub module: String,
+    /// The wiring: each argument names a pipeline input or an earlier stage.
+    pub args: Vec<String>,
+    /// The span of the declaration (for wiring diagnostics).
+    pub span: Span,
+}
+
+impl PartialEq for StageAst {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.module == other.module && self.args == other.args
+    }
+}
+
+/// A `pipeline` item: named stages over `crn`/`pipeline` modules wired into a
+/// DAG, composed by the capture-proof engine of `crn_model::compose`.
+///
+/// Equality ignores the [`span`](PipelineItem::span).
+#[derive(Debug, Clone)]
+pub struct PipelineItem {
+    /// The item name (shares the `crn` namespace).
+    pub name: String,
+    /// The ordered global inputs.
+    pub inputs: Vec<String>,
+    /// The stages, in wiring (topological) order.
+    pub stages: Vec<StageAst>,
+    /// The stage whose output is the pipeline's output.
+    pub output: String,
+    /// The name of a `fn` or `spec` item this pipeline claims to compute.
+    pub computes: Option<String>,
+    /// The span of the whole item.
+    pub span: Span,
+}
+
+impl PartialEq for PipelineItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.inputs == other.inputs
+            && self.stages == other.stages
+            && self.output == other.output
+            && self.computes == other.computes
     }
 }
 

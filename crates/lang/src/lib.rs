@@ -12,7 +12,11 @@
 //!   [`crn_semilinear::SemilinearFunction`];
 //! * **`spec` items** — oblivious specifications in the shape of Theorem 5.2
 //!   (`threshold`, eventual `min` pieces, `when` restrictions), lowered to
-//!   [`crn_core::ObliviousSpec`].
+//!   [`crn_core::ObliviousSpec`];
+//! * **`pipeline` items** — DAGs of named stages over `crn`/`pipeline`
+//!   modules (`stage m = min_stage(a, b);`), composed into one
+//!   [`crn_model::FunctionCrn`] by the capture-proof
+//!   `crn_model::compose::Pipeline` engine.
 //!
 //! The pipeline is: [`parser::parse`] → [`ast::Document`] →
 //! [`lower`] (to the workspace's semantic types) and [`printer::print`]
@@ -44,7 +48,8 @@ pub mod span;
 
 pub use ast::{Document, Item};
 pub use lower::{
-    crn_to_item, lower_crn, lower_fn, lower_item, lower_spec, spec_to_item, LoweredCrn, LoweredItem,
+    crn_to_item, lower_crn, lower_document, lower_fn, lower_item, lower_pipeline, lower_spec,
+    spec_to_item, LoweredCrn, LoweredDocument, LoweredItem, LoweredPipeline,
 };
 pub use parser::parse;
 pub use printer::print;

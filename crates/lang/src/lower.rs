@@ -3,7 +3,10 @@
 //!
 //! * [`lower_crn`] / [`crn_to_item`] — `crn` items ↔ [`FunctionCrn`];
 //! * [`lower_fn`] — `fn` items → [`SemilinearFunction`] presentations;
-//! * [`lower_spec`] / [`spec_to_item`] — `spec` items ↔ [`ObliviousSpec`].
+//! * [`lower_spec`] / [`spec_to_item`] — `spec` items ↔ [`ObliviousSpec`];
+//! * [`lower_pipeline`] / [`lower_document`] — `pipeline` items →
+//!   composed [`FunctionCrn`]s through the capture-proof
+//!   [`crn_model::compose::Pipeline`] engine.
 //!
 //! Lowering errors are reported as [`Diagnostic`]s anchored to the item's
 //! span, so the CLI renders them exactly like parse errors.
@@ -12,13 +15,14 @@ use std::collections::BTreeMap;
 
 use crn_core::quilt::QuiltAffine;
 use crn_core::spec::{EventuallyMin, ObliviousSpec};
+use crn_model::compose::{PipeSource, Pipeline, StageId};
 use crn_model::{Crn, FunctionCrn, Reaction};
 use crn_numeric::{lcm_u64, CongruenceClass, NVec, QVec, Rational, ZVec};
 use crn_semilinear::{AffinePiece, ModSet, SemilinearFunction, SemilinearSet, ThresholdSet};
 
 use crate::ast::{
-    CrnItem, FnItem, Guard, GuardAtom, LinExpr, Piece, ReactionAst, Rel, SpecBody, SpecItem, When,
-    WhenBody,
+    CrnItem, Document, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, PipelineItem, ReactionAst,
+    Rel, SpecBody, SpecItem, When, WhenBody,
 };
 use crate::parser::RESERVED;
 use crate::span::{Diagnostic, Span};
@@ -110,19 +114,180 @@ pub enum LoweredItem {
     Spec(ObliviousSpec),
 }
 
-/// Lowers any item by dispatching on its kind — the single place that maps
-/// item kinds to lowering functions (used by the CLI workspace loader and
-/// the E15 bench alike).
+/// Lowers any *self-contained* item by dispatching on its kind — the single
+/// place that maps item kinds to lowering functions.
 ///
 /// # Errors
 ///
-/// Propagates the kind-specific lowering diagnostics.
-pub fn lower_item(item: &crate::ast::Item) -> Result<LoweredItem, Diagnostic> {
+/// Propagates the kind-specific lowering diagnostics.  `pipeline` items are
+/// rejected here because they reference sibling items; lower whole documents
+/// with [`lower_document`], or a single pipeline with [`lower_pipeline`].
+pub fn lower_item(item: &Item) -> Result<LoweredItem, Diagnostic> {
     match item {
-        crate::ast::Item::Crn(item) => lower_crn(item).map(LoweredItem::Crn),
-        crate::ast::Item::Fn(item) => lower_fn(item).map(LoweredItem::SemilinearFn),
-        crate::ast::Item::Spec(item) => lower_spec(item).map(LoweredItem::Spec),
+        Item::Crn(item) => lower_crn(item).map(LoweredItem::Crn),
+        Item::Fn(item) => lower_fn(item).map(LoweredItem::SemilinearFn),
+        Item::Spec(item) => lower_spec(item).map(LoweredItem::Spec),
+        Item::Pipeline(item) => Err(Diagnostic::new(
+            format!(
+                "pipeline `{}` cannot be lowered in isolation (its stages reference other items)",
+                item.name
+            ),
+            item.span,
+        )
+        .with_help("use `lower_document`, or `lower_pipeline` with a module lookup")),
     }
+}
+
+/// A lowered `pipeline` item: the composed CRN plus composition metadata.
+#[derive(Debug, Clone)]
+pub struct LoweredPipeline {
+    /// The composed function CRN (inputs in `inputs` order, fresh species).
+    pub crn: FunctionCrn,
+    /// The name of the `fn`/`spec` item this pipeline claims to compute.
+    pub computes: Option<String>,
+    /// Number of composed stages.
+    pub stage_count: usize,
+    /// Stage names whose output feeds a later stage although their module is
+    /// not output-oblivious — Observation 2.2 does not cover such wirings, so
+    /// callers surface these as diagnostics (the CLI's `compose` refuses them
+    /// without `--allow-non-oblivious`).
+    pub non_oblivious_feeders: Vec<String>,
+}
+
+/// Lowers a `pipeline` item by composing its stages with the capture-proof
+/// [`Pipeline`] engine.  `module` resolves a stage's module name to a
+/// function CRN (typically the document's `crn` items and earlier
+/// pipelines).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] anchored to the offending stage for unresolved
+/// modules, arity mismatches and invalid wiring.
+pub fn lower_pipeline<'a>(
+    item: &PipelineItem,
+    mut module: impl FnMut(&str) -> Option<&'a FunctionCrn>,
+) -> Result<LoweredPipeline, Diagnostic> {
+    let mut pipeline = Pipeline::new(item.inputs.len());
+    let mut stage_ids: Vec<(String, StageId)> = Vec::new();
+    for stage in &item.stages {
+        let Some(m) = module(&stage.module) else {
+            return Err(Diagnostic::new(
+                format!(
+                    "stage `{}` uses `{}`, but no crn or pipeline item of that name is in scope",
+                    stage.name, stage.module
+                ),
+                stage.span,
+            )
+            .with_help("stages reference crn items, or pipeline items declared earlier"));
+        };
+        let mut feeds = Vec::with_capacity(stage.args.len());
+        for arg in &stage.args {
+            let source = item
+                .inputs
+                .iter()
+                .position(|input| input == arg)
+                .map(PipeSource::Global)
+                .or_else(|| {
+                    stage_ids
+                        .iter()
+                        .find(|(name, _)| name == arg)
+                        .map(|&(_, id)| PipeSource::Stage(id))
+                });
+            let Some(source) = source else {
+                return Err(Diagnostic::new(
+                    format!(
+                        "stage `{}` is wired to `{arg}`, which is neither a pipeline input \
+                         nor an earlier stage",
+                        stage.name
+                    ),
+                    stage.span,
+                ));
+            };
+            feeds.push(source);
+        }
+        let id = pipeline
+            .add_stage(&stage.name, m, &feeds)
+            .map_err(|e| Diagnostic::new(format!("stage `{}`: {e}", stage.name), stage.span))?;
+        stage_ids.push((stage.name.clone(), id));
+    }
+    let Some(&(_, output)) = stage_ids.iter().find(|(name, _)| *name == item.output) else {
+        return Err(Diagnostic::new(
+            format!(
+                "pipeline `{}` outputs `{}`, which is not a stage",
+                item.name, item.output
+            ),
+            item.span,
+        ));
+    };
+    let non_oblivious_feeders = pipeline
+        .non_oblivious_feeders()
+        .into_iter()
+        .map(|(_, label)| label)
+        .collect();
+    let crn = pipeline.build(output).map_err(|e| {
+        Diagnostic::new(
+            format!("pipeline `{}` does not compose: {e}", item.name),
+            item.span,
+        )
+    })?;
+    Ok(LoweredPipeline {
+        crn,
+        computes: item.computes.clone(),
+        stage_count: item.stages.len(),
+        non_oblivious_feeders,
+    })
+}
+
+/// A fully lowered document: every item by kind, with pipelines composed
+/// against the document's own `crn` items and earlier pipelines.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredDocument {
+    /// Lowered `crn` items, in source order.
+    pub crns: Vec<(String, LoweredCrn)>,
+    /// Lowered `fn` items, in source order.
+    pub fns: Vec<(String, SemilinearFunction)>,
+    /// Lowered `spec` items, in source order.
+    pub specs: Vec<(String, ObliviousSpec)>,
+    /// Lowered `pipeline` items, in source order.
+    pub pipelines: Vec<(String, LoweredPipeline)>,
+}
+
+/// Lowers a whole document.  Non-pipeline items are lowered first (a
+/// pipeline may reference a `crn` item declared below it); pipelines are
+/// then composed in source order, each seeing every `crn` item plus the
+/// pipelines lowered before it.
+///
+/// # Errors
+///
+/// Propagates the first item's lowering diagnostic.
+pub fn lower_document(doc: &Document) -> Result<LoweredDocument, Diagnostic> {
+    let mut out = LoweredDocument::default();
+    for item in &doc.items {
+        match item {
+            Item::Crn(item) => out.crns.push((item.name.clone(), lower_crn(item)?)),
+            Item::Fn(item) => out.fns.push((item.name.clone(), lower_fn(item)?)),
+            Item::Spec(item) => out.specs.push((item.name.clone(), lower_spec(item)?)),
+            Item::Pipeline(_) => {}
+        }
+    }
+    for item in &doc.items {
+        if let Item::Pipeline(item) = item {
+            let lowered = lower_pipeline(item, |name| {
+                out.crns
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, c)| &c.crn)
+                    .or_else(|| {
+                        out.pipelines
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, p)| &p.crn)
+                    })
+            })?;
+            out.pipelines.push((item.name.clone(), lowered));
+        }
+    }
+    Ok(out)
 }
 
 /// The least common multiple of the denominators of `expr`'s coefficients and
@@ -703,5 +868,115 @@ mod tests {
         assert_eq!(sanitize("a b", &[]), "a_b");
         assert_eq!(sanitize("1X", &[]), "s1X");
         assert_eq!(sanitize("Y", &["Y".into()]), "Y_");
+    }
+
+    const PIPELINE_DOC: &str = "\
+        crn min_stage { inputs X1 X2; output Y; X1 + X2 -> Y; }\n\
+        crn double_stage { inputs X; output Y; X -> 2Y; }\n\
+        pipeline two_min {\n  inputs a b;\n  stage m = min_stage(a, b);\n  \
+        stage d = double_stage(m);\n  output d;\n  computes f;\n}\n";
+
+    #[test]
+    fn lower_document_composes_pipelines() {
+        let doc = parse(PIPELINE_DOC).unwrap();
+        let lowered = lower_document(&doc).unwrap();
+        assert_eq!(lowered.crns.len(), 2);
+        assert_eq!(lowered.pipelines.len(), 1);
+        let (name, pipeline) = &lowered.pipelines[0];
+        assert_eq!(name, "two_min");
+        assert_eq!(pipeline.stage_count, 2);
+        assert_eq!(pipeline.computes.as_deref(), Some("f"));
+        assert!(pipeline.non_oblivious_feeders.is_empty());
+        assert_eq!(pipeline.crn.dim(), 2);
+        assert!(pipeline.crn.is_output_oblivious());
+        // The composed CRN computes 2·min.
+        let v =
+            crn_model::check_stable_computation(&pipeline.crn, &NVec::from(vec![2, 3]), 4, 50_000)
+                .unwrap();
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    fn pipelines_compose_against_earlier_pipelines() {
+        // A second pipeline uses the first as a module: 2·(2·min).
+        let source = format!(
+            "{PIPELINE_DOC}pipeline four_min {{\n  inputs a b;\n  \
+             stage t = two_min(a, b);\n  stage d = double_stage(t);\n  output d;\n}}\n"
+        );
+        let doc = parse(&source).unwrap();
+        let lowered = lower_document(&doc).unwrap();
+        assert_eq!(lowered.pipelines.len(), 2);
+        let four = &lowered.pipelines[1].1;
+        let v = crn_model::check_stable_computation(&four.crn, &NVec::from(vec![2, 3]), 8, 200_000)
+            .unwrap();
+        assert!(v.is_correct());
+    }
+
+    #[test]
+    fn adversarial_species_names_do_not_capture_pipeline_wires() {
+        // Module species literally named W0, L, Y_out and f0.X1 flow through
+        // the parser into composition; the engine's fresh interning must keep
+        // them disjoint from its own wires (the PR's headline bug class).
+        let source = "\
+            crn min_stage { inputs W0 L; output Y_out; W0 + L -> Y_out; }\n\
+            crn double_stage { inputs f0.X1; output f0.Y; f0.X1 -> 2f0.Y; }\n\
+            pipeline two_min {\n  inputs a b;\n  stage m = min_stage(a, b);\n  \
+            stage d = double_stage(m);\n  output d;\n}\n";
+        let doc = parse(source).unwrap();
+        let lowered = lower_document(&doc).unwrap();
+        let pipeline = &lowered.pipelines[0].1;
+        for (x1, x2) in [(0u64, 0u64), (1, 2), (3, 1)] {
+            let v = crn_model::check_stable_computation(
+                &pipeline.crn,
+                &NVec::from(vec![x1, x2]),
+                2 * x1.min(x2),
+                50_000,
+            )
+            .unwrap();
+            assert!(v.is_correct(), "adversarial pipeline failed at ({x1},{x2})");
+        }
+    }
+
+    #[test]
+    fn pipeline_diagnostics_name_the_stage() {
+        let doc = parse("pipeline p { inputs a; stage s = nothing(a); output s; }").unwrap();
+        let err = lower_document(&doc).unwrap_err();
+        assert!(err.message.contains("stage `s`"), "{}", err.message);
+        assert!(err.message.contains("`nothing`"), "{}", err.message);
+
+        // Arity mismatch between the wiring and the module.
+        let doc = parse(
+            "crn id { inputs X; output Y; X -> Y; }\n\
+             pipeline p { inputs a b; stage s = id(a, b); output s; }",
+        )
+        .unwrap();
+        let err = lower_document(&doc).unwrap_err();
+        assert!(err.message.contains("stage `s`"), "{}", err.message);
+        assert!(err.message.contains("1 inputs"), "{}", err.message);
+    }
+
+    #[test]
+    fn non_oblivious_feeders_are_reported_not_rejected() {
+        let doc = parse(
+            "crn max_stage { inputs X1 X2; output Y; X1 -> Z1 + Y; X2 -> Z2 + Y; \
+             Z1 + Z2 -> K; K + Y -> 0; }\n\
+             crn double_stage { inputs X; output Y; X -> 2Y; }\n\
+             pipeline bad { inputs a b; stage m = max_stage(a, b); \
+             stage d = double_stage(m); output d; }",
+        )
+        .unwrap();
+        let lowered = lower_document(&doc).unwrap();
+        assert_eq!(
+            lowered.pipelines[0].1.non_oblivious_feeders,
+            vec!["m".to_owned()]
+        );
+    }
+
+    #[test]
+    fn lower_item_rejects_pipelines_with_guidance() {
+        let doc = parse("pipeline p { inputs a; stage s = m(a); output s; }").unwrap();
+        let err = lower_item(&doc.items[0]).unwrap_err();
+        assert!(err.message.contains("in isolation"), "{}", err.message);
+        assert!(err.help.unwrap().contains("lower_document"));
     }
 }

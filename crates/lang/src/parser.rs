@@ -8,8 +8,8 @@
 use crn_numeric::Rational;
 
 use crate::ast::{
-    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, ReactionAst, Rel,
-    SpecBody, SpecItem, When, WhenBody,
+    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, PipelineItem,
+    ReactionAst, Rel, SpecBody, SpecItem, StageAst, When, WhenBody,
 };
 use crate::lexer::{lex, Token, TokenKind};
 use crate::span::{Diagnostic, Span};
@@ -23,11 +23,13 @@ pub const RESERVED: &[&str] = &[
     "crn",
     "fn",
     "spec",
+    "pipeline",
     "inputs",
     "output",
     "leader",
     "computes",
     "init",
+    "stage",
     "case",
     "otherwise",
     "and",
@@ -175,29 +177,33 @@ impl Parser {
                         "crn" => Item::Crn(self.crn_item()?),
                         "fn" => Item::Fn(self.fn_item()?),
                         "spec" => Item::Spec(self.spec_item()?),
+                        "pipeline" => Item::Pipeline(self.pipeline_item()?),
                         _ => {
                             return Err(self
-                                .unexpected("`crn`, `fn` or `spec`")
+                                .unexpected("`crn`, `fn`, `spec` or `pipeline`")
                                 .with_help("every top-level item starts with its kind keyword"))
                         }
                     };
-                    // `crn` items and function items (`fn`/`spec`) live in
-                    // separate namespaces: `computes` only ever references the
-                    // latter, so a CRN may share its function's name.
+                    // CRN-denoting items (`crn`/`pipeline`) and function items
+                    // (`fn`/`spec`) live in separate namespaces: `computes`
+                    // only ever references the latter, so a CRN may share its
+                    // function's name.
                     let clashes = items.iter().any(|existing: &Item| {
                         existing.name() == item.name()
-                            && matches!(existing, Item::Crn(_)) == matches!(item, Item::Crn(_))
+                            && existing.is_crn_like() == item.is_crn_like()
                     });
                     if clashes {
                         return Err(Diagnostic::new(
                             format!("duplicate item name `{}`", item.name()),
                             item.span(),
                         )
-                        .with_help("crn names must be unique, and fn/spec names must be unique"));
+                        .with_help(
+                            "crn/pipeline names must be unique, and fn/spec names must be unique",
+                        ));
                     }
                     items.push(item);
                 }
-                _ => return Err(self.unexpected("`crn`, `fn` or `spec`")),
+                _ => return Err(self.unexpected("`crn`, `fn`, `spec` or `pipeline`")),
             }
         }
         Ok(Document { items })
@@ -352,6 +358,186 @@ impl Parser {
             self.bump();
         }
         Ok(terms)
+    }
+
+    // ----- pipeline items ---------------------------------------------------
+
+    fn pipeline_item(&mut self) -> Result<PipelineItem, Diagnostic> {
+        let start = self.expect_keyword("pipeline")?;
+        let (name, _) = self.ident("a name for the pipeline")?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut inputs: Option<Vec<String>> = None;
+        let mut stages: Vec<StageAst> = Vec::new();
+        let mut output: Option<(String, Span)> = None;
+        let mut computes: Option<String> = None;
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => break,
+                TokenKind::Ident(word) => match word.as_str() {
+                    "inputs" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(inputs.is_some(), "inputs", span)?;
+                        let mut list = Vec::new();
+                        while matches!(self.peek().kind, TokenKind::Ident(_)) {
+                            let (input, ispan) = self.declared_ident("a pipeline input")?;
+                            if list.contains(&input) {
+                                return Err(Diagnostic::new(
+                                    format!("duplicate pipeline input `{input}`"),
+                                    ispan,
+                                ));
+                            }
+                            list.push(input);
+                        }
+                        self.expect(&TokenKind::Semi)?;
+                        inputs = Some(list);
+                    }
+                    "stage" => {
+                        stages.push(self.stage_decl(inputs.as_deref(), &stages)?);
+                    }
+                    "output" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(output.is_some(), "output", span)?;
+                        let (target, tspan) = self.ident("the output stage")?;
+                        if !stages.iter().any(|s| s.name == target) {
+                            return Err(Diagnostic::new(
+                                format!("`output` names `{target}`, which is not a stage"),
+                                tspan,
+                            )
+                            .with_help("declare the stage first, then `output <stage>;`"));
+                        }
+                        self.expect(&TokenKind::Semi)?;
+                        output = Some((target, tspan));
+                    }
+                    "computes" => {
+                        let span = self.bump().span;
+                        self.no_duplicate(computes.is_some(), "computes", span)?;
+                        computes = Some(self.ident("the computed item's name")?.0);
+                        self.expect(&TokenKind::Semi)?;
+                    }
+                    _ => {
+                        return Err(self
+                            .unexpected("`inputs`, `stage`, `output` or `computes`")
+                            .with_help(
+                                "pipeline bodies contain `inputs`, `stage n = m(a, …);`, \
+                                 `output` and `computes` declarations",
+                            ))
+                    }
+                },
+                _ => return Err(self.unexpected("`inputs`, `stage`, `output` or `computes`")),
+            }
+        }
+        let end = self.expect(&TokenKind::RBrace)?;
+        let inputs = inputs.ok_or_else(|| {
+            Diagnostic::new(
+                format!("pipeline `{name}` is missing an `inputs` declaration"),
+                end,
+            )
+            .with_help("declare the global inputs, e.g. `inputs a b;`")
+        })?;
+        // Stage wiring can only have referenced declared inputs or earlier
+        // stages (checked in stage_decl), but the inputs declaration itself
+        // may come later in the body; re-check now that the scope is final.
+        if let Some(stage) = stages.iter().find(|s| inputs.contains(&s.name)) {
+            return Err(Diagnostic::new(
+                format!(
+                    "stage `{}` shadows a pipeline input of the same name",
+                    stage.name
+                ),
+                stage.span,
+            ));
+        }
+        for (si, stage) in stages.iter().enumerate() {
+            for arg in &stage.args {
+                let is_input = inputs.contains(arg);
+                let is_earlier_stage = stages[..si].iter().any(|s| s.name == *arg);
+                if !is_input && !is_earlier_stage {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "stage `{}` is wired to `{arg}`, which is neither a pipeline \
+                             input nor an earlier stage",
+                            stage.name
+                        ),
+                        stage.span,
+                    ));
+                }
+            }
+        }
+        let (output, _) = output.ok_or_else(|| {
+            Diagnostic::new(
+                format!("pipeline `{name}` is missing an `output` declaration"),
+                end,
+            )
+            .with_help("name the stage whose output is the pipeline's, e.g. `output last;`")
+        })?;
+        Ok(PipelineItem {
+            name,
+            inputs,
+            stages,
+            output,
+            computes,
+            span: start.to(end),
+        })
+    }
+
+    fn stage_decl(
+        &mut self,
+        inputs: Option<&[String]>,
+        earlier: &[StageAst],
+    ) -> Result<StageAst, Diagnostic> {
+        let start = self.expect_keyword("stage")?;
+        let (name, nspan) = self.declared_ident("a stage")?;
+        if earlier.iter().any(|s| s.name == name) {
+            return Err(Diagnostic::new(format!("duplicate stage `{name}`"), nspan));
+        }
+        if inputs.is_some_and(|list| list.contains(&name)) {
+            return Err(Diagnostic::new(
+                format!("stage `{name}` shadows a pipeline input of the same name"),
+                nspan,
+            ));
+        }
+        self.expect(&TokenKind::Eq)?;
+        let (module, _) = self.ident("a crn or pipeline item")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !matches!(self.peek().kind, TokenKind::RParen) {
+            loop {
+                let (arg, aspan) = self.ident("a pipeline input or stage")?;
+                // With the inputs declared up front (the canonical layout) the
+                // wiring is checked here, against earlier stages only — a
+                // stage cannot read itself or a later stage, so the graph is
+                // acyclic by construction.
+                if let Some(list) = inputs {
+                    let known = list.contains(&arg) || earlier.iter().any(|s| s.name == arg);
+                    if !known {
+                        return Err(Diagnostic::new(
+                            format!("`{arg}` is neither a pipeline input nor an earlier stage"),
+                            aspan,
+                        )
+                        .with_help(format!(
+                            "inputs in scope: {}",
+                            if list.is_empty() {
+                                "(none)".to_owned()
+                            } else {
+                                list.join(", ")
+                            }
+                        )));
+                    }
+                }
+                args.push(arg);
+                if !matches!(self.peek().kind, TokenKind::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let end = self.expect(&TokenKind::Semi)?;
+        Ok(StageAst {
+            name,
+            module,
+            args,
+            span: start.to(end),
+        })
     }
 
     // ----- fn items ---------------------------------------------------------
@@ -888,6 +1074,86 @@ mod tests {
     #[test]
     fn duplicate_item_names_rejected() {
         let err = parse("fn f(x) { case x >= 0: x; }\nfn f(y) { case y >= 0: y; }").unwrap_err();
+        assert!(err.message.contains("duplicate item name"));
+    }
+
+    #[test]
+    fn parses_a_pipeline_item() {
+        let doc = parse(
+            "crn min_stage { inputs X1 X2; output Y; X1 + X2 -> Y; }\n\
+             pipeline two_min {\n  inputs a b;\n  stage m = min_stage(a, b);\n  \
+             stage d = doubler(m);\n  output d;\n  computes two_min_fn;\n}\n",
+        )
+        .unwrap();
+        let Item::Pipeline(p) = &doc.items[1] else {
+            panic!("expected a pipeline item");
+        };
+        assert_eq!(p.name, "two_min");
+        assert_eq!(p.inputs, vec!["a", "b"]);
+        assert_eq!(p.stages.len(), 2);
+        assert_eq!(p.stages[0].module, "min_stage");
+        assert_eq!(p.stages[0].args, vec!["a", "b"]);
+        assert_eq!(p.stages[1].args, vec!["m"]);
+        assert_eq!(p.output, "d");
+        assert_eq!(p.computes.as_deref(), Some("two_min_fn"));
+    }
+
+    #[test]
+    fn pipeline_wiring_is_validated_with_spans() {
+        // Unknown wiring source.
+        let err = parse("pipeline p { inputs a; stage s = m(b); output s; }").unwrap_err();
+        assert!(
+            err.message.contains("neither a pipeline input"),
+            "{}",
+            err.message
+        );
+        // A stage cannot read itself or a later stage (no cycles).
+        let err = parse("pipeline p { inputs a; stage s = m(s); output s; }").unwrap_err();
+        assert!(err.message.contains("neither a pipeline input"));
+        // Output must name a stage.
+        let err = parse("pipeline p { inputs a; stage s = m(a); output t; }").unwrap_err();
+        assert!(err.message.contains("not a stage"));
+        // Duplicate stage names and input shadowing are rejected.
+        let err = parse("pipeline p { inputs a; stage s = m(a); stage s = m(a); output s; }")
+            .unwrap_err();
+        assert!(err.message.contains("duplicate stage"));
+        let err = parse("pipeline p { inputs a; stage a = m(a); output a; }").unwrap_err();
+        assert!(err.message.contains("shadows a pipeline input"));
+        // Missing declarations.
+        let err = parse("pipeline p { stage s = m(); output s; }").unwrap_err();
+        assert!(err.message.contains("missing an `inputs`"));
+        let err = parse("pipeline p { inputs a; stage s = m(a); }").unwrap_err();
+        assert!(err.message.contains("missing an `output`"));
+    }
+
+    #[test]
+    fn pipeline_wiring_is_rechecked_when_inputs_come_last() {
+        // Declarations may come in any order; the wiring check still runs
+        // against the final input list.
+        let doc = parse("pipeline p { stage s = m(a); output s; inputs a; }").unwrap();
+        let Item::Pipeline(p) = &doc.items[0] else {
+            panic!("expected a pipeline item");
+        };
+        assert_eq!(p.inputs, vec!["a"]);
+        let err = parse("pipeline p { stage s = m(b); output s; inputs a; }").unwrap_err();
+        assert!(err.message.contains("neither a pipeline input"));
+        let err = parse("pipeline p { stage a = m(); output a; inputs a; }").unwrap_err();
+        assert!(err.message.contains("shadows a pipeline input"));
+    }
+
+    #[test]
+    fn pipeline_shares_the_crn_namespace() {
+        // A pipeline may share its fn's name, but not another crn's.
+        assert!(parse(
+            "fn f(x) { case x >= 0: x; }\n\
+             pipeline f { inputs a; stage s = m(a); output s; computes f; }"
+        )
+        .is_ok());
+        let err = parse(
+            "crn c { inputs X; output Y; X -> Y; }\n\
+             pipeline c { inputs a; stage s = c(a); output s; }",
+        )
+        .unwrap_err();
         assert!(err.message.contains("duplicate item name"));
     }
 }

@@ -12,8 +12,8 @@ use std::fmt::Write as _;
 use crn_numeric::Rational;
 
 use crate::ast::{
-    CrnItem, Document, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, Rel, SpecBody, SpecItem,
-    When, WhenBody,
+    CrnItem, Document, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, PipelineItem, Rel, SpecBody,
+    SpecItem, When, WhenBody,
 };
 
 /// Renders a document in canonical form (ends with a single newline).
@@ -28,6 +28,7 @@ pub fn print(document: &Document) -> String {
             Item::Crn(item) => print_crn(&mut out, item),
             Item::Fn(item) => print_fn(&mut out, item),
             Item::Spec(item) => print_spec(&mut out, item),
+            Item::Pipeline(item) => print_pipeline(&mut out, item),
         }
     }
     out
@@ -68,6 +69,29 @@ fn print_crn(out: &mut String, item: &CrnItem) {
             side_to_string(&reaction.reactants),
             side_to_string(&reaction.products)
         );
+    }
+    out.push_str("}\n");
+}
+
+fn print_pipeline(out: &mut String, item: &PipelineItem) {
+    let _ = writeln!(out, "pipeline {} {{", item.name);
+    if item.inputs.is_empty() {
+        out.push_str("  inputs;\n");
+    } else {
+        let _ = writeln!(out, "  inputs {};", item.inputs.join(" "));
+    }
+    for stage in &item.stages {
+        let _ = writeln!(
+            out,
+            "  stage {} = {}({});",
+            stage.name,
+            stage.module,
+            stage.args.join(", ")
+        );
+    }
+    let _ = writeln!(out, "  output {};", item.output);
+    if let Some(computes) = &item.computes {
+        let _ = writeln!(out, "  computes {computes};");
     }
     out.push_str("}\n");
 }
@@ -310,6 +334,19 @@ mod tests {
     fn zero_threshold_is_omitted() {
         let text = canonical("spec s(x1, x2) { threshold 0 0; min x1, x2; }");
         assert_eq!(text, "spec s(x1, x2) {\n  min x1, x2;\n}\n");
+    }
+
+    #[test]
+    fn pipeline_layout_and_idempotence() {
+        let text = canonical(
+            "pipeline two_min{inputs a b;stage m=min_stage(a,b);stage d=doubler(m);output d;computes f;}",
+        );
+        assert_eq!(
+            text,
+            "pipeline two_min {\n  inputs a b;\n  stage m = min_stage(a, b);\n  \
+             stage d = doubler(m);\n  output d;\n  computes f;\n}\n"
+        );
+        assert_eq!(canonical(&text), text);
     }
 
     #[test]

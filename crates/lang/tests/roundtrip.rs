@@ -3,11 +3,11 @@
 //!
 //! The vendored proptest stub drives deterministic cases; each case seeds a
 //! SplitMix64 generator that assembles a random — but grammatically
-//! well-formed — document out of `crn`, `fn` and `spec` items.
+//! well-formed — document out of `crn`, `fn`, `spec` and `pipeline` items.
 
 use crn_lang::ast::{
-    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, ReactionAst, Rel,
-    SpecBody, SpecItem, When, WhenBody,
+    CrnItem, Document, FnCase, FnItem, Guard, GuardAtom, Item, LinExpr, Piece, PipelineItem,
+    ReactionAst, Rel, SpecBody, SpecItem, StageAst, When, WhenBody,
 };
 use crn_lang::span::Span;
 use crn_lang::{parse, print};
@@ -285,13 +285,53 @@ impl Gen {
         }
     }
 
+    fn pipeline_item(&mut self, name: String) -> PipelineItem {
+        let n_inputs = self.below(3) as usize;
+        let inputs: Vec<String> = (0..n_inputs).map(|i| format!("in{i}")).collect();
+        let n_stages = self.below(3) as usize + 1;
+        let mut stages: Vec<StageAst> = Vec::with_capacity(n_stages);
+        for s in 0..n_stages {
+            // Wire each stage to a random mix of inputs and earlier stages.
+            let scope: Vec<String> = inputs
+                .iter()
+                .cloned()
+                .chain(stages.iter().map(|stage: &StageAst| stage.name.clone()))
+                .collect();
+            let args = if scope.is_empty() {
+                Vec::new()
+            } else {
+                (0..self.below(3))
+                    .map(|_| scope[self.below(scope.len() as u64) as usize].clone())
+                    .collect()
+            };
+            stages.push(StageAst {
+                name: format!("s{s}"),
+                module: format!("module{}", self.below(3)),
+                args,
+                span: Span::default(),
+            });
+        }
+        let output = stages[self.below(stages.len() as u64) as usize]
+            .name
+            .clone();
+        PipelineItem {
+            name,
+            inputs,
+            stages,
+            output,
+            computes: self.chance(40).then(|| "linked".to_owned()),
+            span: Span::default(),
+        }
+    }
+
     fn document(&mut self) -> Document {
         let items = (0..self.below(3) + 1)
             .map(|i| {
                 let name = format!("item{i}");
-                match self.below(3) {
+                match self.below(4) {
                     0 => Item::Crn(self.crn_item(name)),
                     1 => Item::Fn(self.fn_item(name)),
+                    2 => Item::Pipeline(self.pipeline_item(name)),
                     _ => Item::Spec(self.spec_item(name)),
                 }
             })

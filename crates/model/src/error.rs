@@ -25,6 +25,13 @@ pub enum CrnError {
     /// The requested operation requires an output-oblivious CRN but the CRN
     /// consumes its output species.
     NotOutputOblivious,
+    /// A renaming or module import would collapse two distinct species onto
+    /// the same name.  Species names are user-controlled (they arrive through
+    /// the `.crn` parser), so this is a recoverable input error, not a bug.
+    SpeciesCollision {
+        /// The name two distinct species would share.
+        name: String,
+    },
 }
 
 impl fmt::Display for CrnError {
@@ -41,6 +48,9 @@ impl fmt::Display for CrnError {
             }
             CrnError::NotOutputOblivious => {
                 write!(f, "operation requires an output-oblivious CRN")
+            }
+            CrnError::SpeciesCollision { name } => {
+                write!(f, "two distinct species would collapse onto `{name}`")
             }
         }
     }
@@ -69,6 +79,10 @@ mod tests {
         }
         .to_string()
         .contains("10000"));
+        assert_eq!(
+            CrnError::SpeciesCollision { name: "W0".into() }.to_string(),
+            "two distinct species would collapse onto `W0`"
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //!   ([`reachability`]),
 //! * the structural predicates of Section 2.3 (output-oblivious,
 //!   output-monotonic) and the transformation of Observation 2.4,
-//! * composition by concatenation (Observation 2.2 / Lemma 2.3), fan-out and
+//! * composition by concatenation (Observation 2.2 / Lemma 2.3) generalized
+//!   to the n-stage, capture-proof [`compose::Pipeline`] engine, fan-out and
 //!   fixed-input hardcoding (Observation 5.3) in [`compose`] and [`transform`],
 //! * the worked example CRNs of Figures 1 and 2 in [`examples`].
 //!
@@ -55,7 +56,7 @@ pub mod species;
 pub mod transform;
 
 pub use compiled::{CompiledCrn, CompiledReaction, DenseState};
-pub use compose::{concatenate, fan_out, parallel_union};
+pub use compose::{concatenate, fan_out, parallel_union, PipeSource, Pipeline, StageId};
 pub use config::Configuration;
 pub use crn::Crn;
 pub use error::CrnError;
@@ -66,4 +67,6 @@ pub use reachability::{
 };
 pub use reaction::Reaction;
 pub use species::{Species, SpeciesSet};
-pub use transform::{bimolecularize, hardcode_input, make_output_oblivious, rename_species};
+pub use transform::{
+    bimolecularize, hardcode_input, import_module, make_output_oblivious, rename_species,
+};

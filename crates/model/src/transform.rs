@@ -2,7 +2,7 @@
 //! (Observation 5.3), the output-monotonic → output-oblivious rewrite
 //! (Observation 2.4), and conversion to bimolecular form (footnote 5).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::crn::Crn;
 use crate::error::CrnError;
@@ -15,54 +15,79 @@ use crate::species::Species;
 ///
 /// Distinct species must stay distinct after renaming.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if two distinct species are renamed to the same name.
-#[must_use]
-pub fn rename_species(crn: &Crn, rename: &HashMap<String, String>) -> Crn {
+/// Returns [`CrnError::SpeciesCollision`] if two distinct species would be
+/// renamed to the same name.  Species names are user-controlled since the
+/// `.crn` parser landed, so a collision is an input error, not a bug.
+pub fn rename_species(crn: &Crn, rename: &HashMap<String, String>) -> Result<Crn, CrnError> {
     let mut out = Crn::new();
     let mut map: HashMap<Species, Species> = HashMap::new();
     for (species, name) in crn.species().iter_named() {
         let new_name = rename.get(name).map_or(name, String::as_str);
         let before = out.species().len();
         let new_species = out.add_species(new_name);
-        assert_eq!(
-            out.species().len(),
-            before + 1,
-            "renaming collapses two species onto `{new_name}`"
-        );
+        if out.species().len() != before + 1 {
+            return Err(CrnError::SpeciesCollision {
+                name: new_name.to_owned(),
+            });
+        }
         map.insert(species, new_species);
     }
     for reaction in crn.reactions() {
         out.add_reaction(reaction.map_species(|s| map[&s]));
     }
-    out
+    Ok(out)
 }
 
 /// Copies every species and reaction of `module` into `target`.
 ///
-/// Species listed in `shared` keep (or acquire) exactly the given target name;
-/// all other species are prefixed with `prefix` to keep modules disjoint, as
-/// required by the concatenation construction of Section 2.3.  Returns the
-/// mapping from the module's species to the target's species.
+/// Species listed in `shared` keep (or acquire) exactly the given target name
+/// — this is the deliberate identification used by the concatenation
+/// construction of Section 2.3; all other species are prefixed with `prefix`
+/// to keep modules disjoint.  Returns the mapping from the module's species
+/// to the target's species.
+///
+/// For composition that can never collide regardless of the module's species
+/// names, prefer [`crate::compose::Pipeline`], which allocates guaranteed
+/// fresh names instead of relying on a prefix convention.
+///
+/// # Errors
+///
+/// Returns [`CrnError::SpeciesCollision`] when a *non*-shared species, after
+/// prefixing, would be captured by a species that already exists in `target`,
+/// or when two distinct module species land on the same target species (two
+/// `shared` entries with the same name).  Silent capture would quietly merge
+/// unrelated species, so it is rejected.
 pub fn import_module(
     target: &mut Crn,
     module: &Crn,
     prefix: &str,
     shared: &HashMap<Species, String>,
-) -> HashMap<Species, Species> {
+) -> Result<HashMap<Species, Species>, CrnError> {
     let mut map = HashMap::new();
+    let mut used: std::collections::HashSet<Species> = HashSet::new();
     for (species, name) in module.species().iter_named() {
         let new_name = match shared.get(&species) {
             Some(n) => n.clone(),
-            None => format!("{prefix}{name}"),
+            None => {
+                let prefixed = format!("{prefix}{name}");
+                if target.species_named(&prefixed).is_some() {
+                    return Err(CrnError::SpeciesCollision { name: prefixed });
+                }
+                prefixed
+            }
         };
-        map.insert(species, target.add_species(&new_name));
+        let imported = target.add_species(&new_name);
+        if !used.insert(imported) {
+            return Err(CrnError::SpeciesCollision { name: new_name });
+        }
+        map.insert(species, imported);
     }
     for reaction in module.reactions() {
         target.add_reaction(reaction.map_species(|s| map[&s]));
     }
-    map
+    Ok(map)
 }
 
 /// Observation 5.3: hardcodes input `i` of `crn` to the constant `j`.
@@ -75,7 +100,9 @@ pub fn import_module(
 ///
 /// # Errors
 ///
-/// Returns [`CrnError::InvalidRoles`] if `i` is out of range.
+/// Returns [`CrnError::InvalidRoles`] if `i` is out of range, or
+/// [`CrnError::SpeciesCollision`] if the primed fresh names (`X_i'`, `L'`)
+/// already occur in the CRN.
 pub fn hardcode_input(crn: &FunctionCrn, i: usize, j: u64) -> Result<FunctionCrn, CrnError> {
     if i >= crn.dim() {
         return Err(CrnError::InvalidRoles(format!(
@@ -100,7 +127,7 @@ pub fn hardcode_input(crn: &FunctionCrn, i: usize, j: u64) -> Result<FunctionCrn
         None => ("L_fix".to_owned(), "L_fix'".to_owned()),
     };
 
-    let mut out = rename_species(crn.crn(), &rename);
+    let mut out = rename_species(crn.crn(), &rename)?;
     // The old leader name (or the fresh leader for leaderless CRNs) becomes the
     // new leader that releases the hardcoded input.
     let new_leader = out.add_species(&leader_name);
@@ -283,20 +310,68 @@ mod tests {
         crn.parse_reaction("X -> 2Y").unwrap();
         let mut rename = HashMap::new();
         rename.insert("Y".to_owned(), "W".to_owned());
-        let renamed = rename_species(&crn, &rename);
+        let renamed = rename_species(&crn, &rename).unwrap();
         assert!(renamed.species_named("W").is_some());
         assert!(renamed.species_named("Y").is_none());
         assert_eq!(renamed.describe(), "X -> 2W\n");
     }
 
     #[test]
-    #[should_panic(expected = "collapses")]
-    fn rename_collision_panics() {
+    fn rename_collision_is_an_error_not_a_panic() {
         let mut crn = Crn::new();
         crn.parse_reaction("X -> Y").unwrap();
         let mut rename = HashMap::new();
         rename.insert("X".to_owned(), "Y".to_owned());
-        let _ = rename_species(&crn, &rename);
+        assert_eq!(
+            rename_species(&crn, &rename).unwrap_err(),
+            CrnError::SpeciesCollision { name: "Y".into() }
+        );
+    }
+
+    #[test]
+    fn import_module_rejects_capture_by_existing_species() {
+        // The target already holds `f0.X`; importing a module containing `X`
+        // under prefix `f0.` must not silently merge the two.
+        let mut target = Crn::new();
+        target.parse_reaction("f0.X -> f0.X").unwrap();
+        let mut module = Crn::new();
+        module.parse_reaction("X -> Y").unwrap();
+        assert_eq!(
+            import_module(&mut target, &module, "f0.", &HashMap::new()).unwrap_err(),
+            CrnError::SpeciesCollision {
+                name: "f0.X".into()
+            }
+        );
+    }
+
+    #[test]
+    fn import_module_rejects_shared_names_that_collapse() {
+        let mut target = Crn::new();
+        let mut module = Crn::new();
+        module.parse_reaction("X -> Y").unwrap();
+        let x = module.species_named("X").unwrap();
+        let y = module.species_named("Y").unwrap();
+        let mut shared = HashMap::new();
+        shared.insert(x, "W".to_owned());
+        shared.insert(y, "W".to_owned());
+        assert_eq!(
+            import_module(&mut target, &module, "m.", &shared).unwrap_err(),
+            CrnError::SpeciesCollision { name: "W".into() }
+        );
+    }
+
+    #[test]
+    fn import_module_identifies_shared_species_on_purpose() {
+        let mut target = Crn::new();
+        let wire = target.add_species("W");
+        let mut module = Crn::new();
+        module.parse_reaction("X -> Y").unwrap();
+        let y = module.species_named("Y").unwrap();
+        let mut shared = HashMap::new();
+        shared.insert(y, "W".to_owned());
+        let map = import_module(&mut target, &module, "m.", &shared).unwrap();
+        assert_eq!(map[&y], wire);
+        assert!(target.species_named("m.X").is_some());
     }
 
     #[test]

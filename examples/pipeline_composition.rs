@@ -1,10 +1,12 @@
 //! Feed-forward composition of output-oblivious modules (Observation 2.2):
-//! a three-stage pipeline computing `min(2·a, 3·b) + 1` and a demonstration of
-//! how composing a *non*-oblivious upstream CRN (max) fails.
+//! a three-stage pipeline computing `min(2·a, 3·b) + 1`, the same function
+//! built as one DAG on the capture-proof `Pipeline` engine, and a
+//! demonstration of how composing a *non*-oblivious upstream CRN (max)
+//! fails.
 //!
 //! Run with `cargo run --example pipeline_composition`.
 
-use composable_crn::model::compose::{compose_feed_forward, concatenate};
+use composable_crn::model::compose::{compose_feed_forward, concatenate, PipeSource, Pipeline};
 use composable_crn::model::{check_stable_computation, examples};
 use composable_crn::numeric::NVec;
 
@@ -36,6 +38,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             verdict.is_correct()
         );
     }
+
+    // The same function as one DAG on the n-stage engine: both scalers read
+    // their own global input, the min joins them, add_one caps the chain.
+    // Every wire is a guaranteed-fresh interned species, so module species
+    // names can never capture one another.
+    let mut dag = Pipeline::new(2);
+    let s_double = dag.add_stage(
+        "double",
+        &examples::multiply_crn(2),
+        &[PipeSource::Global(0)],
+    )?;
+    let s_triple = dag.add_stage(
+        "triple",
+        &examples::multiply_crn(3),
+        &[PipeSource::Global(1)],
+    )?;
+    let s_min = dag.add_stage(
+        "min",
+        &examples::min_crn(),
+        &[PipeSource::Stage(s_double), PipeSource::Stage(s_triple)],
+    )?;
+    let s_inc = dag.add_stage("inc", &add_one, &[PipeSource::Stage(s_min)])?;
+    assert!(dag.non_oblivious_feeders().is_empty());
+    let dag_pipeline = dag.build(s_inc)?;
+    let verdict = check_stable_computation(&dag_pipeline, &NVec::from(vec![3, 5]), 7, 500_000)?;
+    println!(
+        "the same pipeline as one DAG build: {} species, {} reactions, min(2·3, 3·5) + 1 = 7 \
+         stably computed = {}",
+        dag_pipeline.species_count(),
+        dag_pipeline.reaction_count(),
+        verdict.is_correct()
+    );
 
     // Composing the non-oblivious max CRN breaks (Section 1.2).
     let bad = concatenate(&examples::max_crn(), &examples::double_crn())?;
