@@ -33,7 +33,7 @@ fn composition_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("E16_composition_engine");
     for stages in [50usize, 200] {
         group.bench_function(format!("pipeline_build/{stages}"), |b| {
-            b.iter(|| crn_bench::e16_pipeline_chain(black_box(stages)).species_count())
+            b.iter(|| crn_bench::e16_pipeline_chain(black_box(stages)).species_count());
         });
     }
     group.finish();

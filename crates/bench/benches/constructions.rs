@@ -23,7 +23,7 @@ fn construction_sizes(c: &mut Criterion) {
         eprintln!("  {name}: {species} species, {reactions} reactions");
     }
     c.bench_function("E9_construction_size_table", |b| {
-        b.iter(crn_bench::construction_sizes)
+        b.iter(crn_bench::construction_sizes);
     });
 }
 
@@ -38,7 +38,7 @@ fn lemma61_synthesis_cost(c: &mut Criterion) {
                 ]),
                 p,
             );
-            b.iter(|| quilt_crn(&g).expect("quilt CRN"))
+            b.iter(|| quilt_crn(&g).expect("quilt CRN"));
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn theorem31_synthesis_cost(c: &mut Criterion) {
             let s =
                 analyze_1d(|x| if x < 3 { 0 } else { 2 * x + x % 2 }, 8, 4, 12).expect("structure");
             synthesize_1d_leader(&s)
-        })
+        });
     });
 }
 
@@ -63,7 +63,7 @@ fn composition_overhead(c: &mut Criterion) {
         eprintln!("  {row:?}");
     }
     c.bench_function("E10_composition_overhead", |b| {
-        b.iter(|| crn_bench::composition_overhead(&[8, 32], 2))
+        b.iter(|| crn_bench::composition_overhead(&[8, 32], 2));
     });
 }
 

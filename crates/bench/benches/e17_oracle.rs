@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the invariant refutation oracle (experiment E17
+//! of DESIGN.md): target-reachability queries/sec on the `max` CRN box
+//! sweep, conservation-law oracle versus the exhaustive engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn oracle_throughput(c: &mut Criterion) {
+    let (oracle_qps, exhaustive_qps, speedup, identical) = crn_bench::e17_box_check(12, 5);
+    eprintln!("\n[E17] invariant oracle vs exhaustive target reachability (max CRN, bound 12)");
+    eprintln!(
+        "  {oracle_qps:.0} queries/s with oracle vs {exhaustive_qps:.0} exhaustive, \
+         speedup {speedup:.1}x, bit-identical={identical}"
+    );
+    assert!(identical, "the oracle must not change any verdict");
+
+    let mut group = c.benchmark_group("E17_target_reachable_max_bound12");
+    group.bench_function("invariant_oracle", |b| {
+        b.iter(|| crn_bench::e17_box_oracle(12));
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| crn_bench::e17_box_exhaustive(12));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = e17_oracle;
+    config = configured();
+    targets = oracle_throughput
+}
+criterion_main!(e17_oracle);

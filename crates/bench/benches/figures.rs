@@ -28,7 +28,7 @@ fn fig1_examples(c: &mut Criterion) {
         }
     }
     c.bench_function("E1_fig1_convergence_series", |b| {
-        b.iter(|| crn_bench::fig1_convergence(&[8, 32], 2))
+        b.iter(|| crn_bench::fig1_convergence(&[8, 32], 2));
     });
 }
 
@@ -37,7 +37,7 @@ fn fig3_quilt(c: &mut Criterion) {
     eprintln!("\n[E3 / Figure 3a] floor(3x/2) value table (Lemma 6.1 CRN: {species} species, {reactions} reactions)");
     eprintln!("  {:?}", table);
     c.bench_function("E3_fig3_quilt_table", |b| {
-        b.iter(|| crn_bench::fig3_quilt_table(12))
+        b.iter(|| crn_bench::fig3_quilt_table(12));
     });
 }
 
@@ -46,7 +46,7 @@ fn fig5_one_dim(c: &mut Criterion) {
     eprintln!("\n[E5 / Figure 5] staircase structure: n={n} p={p} deltas={deltas:?}");
     eprintln!("  Theorem 3.1 CRN: {leader:?} (species, reactions); leaderless: {leaderless:?}");
     c.bench_function("E5_fig5_one_dim_analysis", |b| {
-        b.iter(crn_bench::fig5_one_dim)
+        b.iter(crn_bench::fig5_one_dim);
     });
 }
 
@@ -55,7 +55,7 @@ fn fig6_lemma41(c: &mut Criterion) {
     eprintln!("\n[E6 / Figure 6] Lemma 4.1 witness for max: base={base} step={step} delta={delta}");
     eprintln!("  stripped max CRN overproduces to {overshoot} on input (2,3)");
     c.bench_function("E6_fig6_lemma41_witness", |b| {
-        b.iter(crn_bench::fig6_lemma41)
+        b.iter(crn_bench::fig6_lemma41);
     });
 }
 
@@ -66,7 +66,7 @@ fn fig7_regions(c: &mut Criterion) {
     );
     eprintln!("  Lemma 6.2 CRN: {species} species, {reactions} reactions");
     c.bench_function("E7_fig7_characterization", |b| {
-        b.iter(|| crn_bench::fig7_characterization(6))
+        b.iter(|| crn_bench::fig7_characterization(6));
     });
 }
 
@@ -74,7 +74,7 @@ fn fig8_arrangement(c: &mut Criterion) {
     let census = crn_bench::fig8_region_census(6);
     eprintln!("\n[E8 / Figure 8c] eventual regions by recession-cone dimension: {census:?}");
     c.bench_function("E8_fig8_region_census", |b| {
-        b.iter(|| crn_bench::fig8_region_census(5))
+        b.iter(|| crn_bench::fig8_region_census(5));
     });
 }
 

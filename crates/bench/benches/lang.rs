@@ -32,7 +32,7 @@ fn lang_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("E15_lang_front_end");
     for (name, text) in &documents {
         group.bench_function(format!("parse/{name}"), |b| {
-            b.iter(|| crn_lang::parse(black_box(text)).expect("parses"))
+            b.iter(|| crn_lang::parse(black_box(text)).expect("parses"));
         });
     }
     group.finish();

@@ -21,7 +21,7 @@ fn ssa_throughput(c: &mut Criterion) {
         group.bench_function(format!("max_crn_n{n}"), |b| {
             let max = examples::max_crn();
             let start = max.initial_configuration(&NVec::from(vec![n, n])).unwrap();
-            b.iter(|| Gillespie::new(max.crn().clone(), 1).run(&start, 10_000_000))
+            b.iter(|| Gillespie::new(max.crn().clone(), 1).run(&start, 10_000_000));
         });
     }
     group.finish();
@@ -34,7 +34,7 @@ fn scaling_limit(c: &mut Criterion) {
         eprintln!("  c={factor}: error={error:.5}");
     }
     c.bench_function("E11_scaling_error_series", |b| {
-        b.iter(|| crn_bench::scaling_error_series(&[1, 4, 16, 64]))
+        b.iter(|| crn_bench::scaling_error_series(&[1, 4, 16, 64]));
     });
 }
 
@@ -45,7 +45,7 @@ fn popproto_scheduling(c: &mut Criterion) {
         eprintln!("  {row:?}");
     }
     c.bench_function("E12_popproto_interactions", |b| {
-        b.iter(|| crn_bench::popproto_interactions(&[8, 32]))
+        b.iter(|| crn_bench::popproto_interactions(&[8, 32]));
     });
 }
 

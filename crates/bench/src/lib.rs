@@ -20,7 +20,7 @@ use crn_core::spec::{EventuallyMin, ObliviousSpec};
 use crn_core::synthesis::{quilt_crn, synthesize};
 use crn_geometry::Arrangement;
 use crn_model::compose::concatenate;
-use crn_model::{examples, FunctionCrn};
+use crn_model::{examples, Configuration, FunctionCrn};
 use crn_numeric::{NVec, QVec, Rational};
 use crn_popproto::run_pairwise;
 use crn_semilinear::examples as sl;
@@ -110,7 +110,7 @@ pub fn fig5_one_dim() -> (u64, u64, Vec<u64>, CrnSize, Option<CrnSize>) {
     (
         s.threshold(),
         s.period,
-        s.deltas.clone(),
+        s.deltas,
         (leader.species_count(), leader.reaction_count()),
         leaderless,
     )
@@ -424,6 +424,66 @@ pub fn e13_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
         verdicts / naive_secs,
         naive_secs / engine_secs,
         engine_result == naive_result,
+    )
+}
+
+/// The E17 query sweep with the invariant oracle: for every `(x1, x2)` in
+/// `[0, bound]^2`, is the pure configuration `{Y: x1 + x2}` reachable from
+/// `I_(x1, x2)` of the `max` CRN?  The conservation laws `X1 + Y - Z2 - K`
+/// and `X2 + Y - Z1 - K` refute every point except the origin without
+/// exploring a single configuration, so this measures the static
+/// short-circuit.  Returns the per-point verdicts in row-major order.
+#[must_use]
+pub fn e17_box_oracle(bound: u64) -> Vec<bool> {
+    e17_box_verdicts(bound, crn_model::target_reachable)
+}
+
+/// The E17 query sweep on the exhaustive engine (no oracle): every query
+/// explores the full state space of `I_(x1, x2)` before answering.
+#[must_use]
+pub fn e17_box_exhaustive(bound: u64) -> Vec<bool> {
+    e17_box_verdicts(bound, crn_model::target_reachable_exhaustive)
+}
+
+fn e17_box_verdicts(
+    bound: u64,
+    decide: impl Fn(
+        &crn_model::Crn,
+        &Configuration,
+        &Configuration,
+        usize,
+    ) -> Result<bool, crn_model::CrnError>,
+) -> Vec<bool> {
+    let max = examples::max_crn();
+    let y = max.output();
+    let mut verdicts = Vec::with_capacity(((bound + 1) * (bound + 1)) as usize);
+    for x1 in 0..=bound {
+        for x2 in 0..=bound {
+            let start = max
+                .initial_configuration(&NVec::from(vec![x1, x2]))
+                .expect("in range");
+            let target = Configuration::from_counts(vec![(y, x1 + x2)]);
+            verdicts.push(decide(max.crn(), &start, &target, 1_000_000).expect("fits"));
+        }
+    }
+    verdicts
+}
+
+/// E17 headline measurement: queries/sec for the `max` box sweep with the
+/// invariant oracle versus the exhaustive engine.  Returns
+/// `(oracle_queries_per_sec, exhaustive_queries_per_sec, speedup,
+/// verdicts_identical)`.
+#[must_use]
+pub fn e17_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
+    let queries = f64::from(repeats) * ((bound + 1) * (bound + 1)) as f64;
+    let (oracle_secs, oracle_verdicts) = time_repeats(repeats, || e17_box_oracle(bound));
+    let (exhaustive_secs, exhaustive_verdicts) =
+        time_repeats(repeats, || e17_box_exhaustive(bound));
+    (
+        queries / oracle_secs,
+        queries / exhaustive_secs,
+        exhaustive_secs / oracle_secs,
+        oracle_verdicts == exhaustive_verdicts,
     )
 }
 
@@ -808,6 +868,20 @@ mod tests {
             assert!(row.naive_verdicts_per_sec > 0.0);
             assert!(row.speedup > 0.0);
         }
+    }
+
+    #[test]
+    fn e17_oracle_and_exhaustive_verdicts_are_bit_identical() {
+        let verdicts = e17_box_oracle(2);
+        // Only the origin query (target {Y: 0}, all counts zero besides the
+        // untouched debris) is reachable; every other point is refuted.
+        assert_eq!(verdicts.len(), 9);
+        assert_eq!(verdicts.iter().filter(|&&v| v).count(), 1);
+        assert!(verdicts[0], "origin query must be reachable");
+        assert_eq!(verdicts, e17_box_exhaustive(2));
+        let (oracle_qps, exhaustive_qps, speedup, identical) = e17_box_check(2, 1);
+        assert!(identical, "oracle changed a verdict");
+        assert!(oracle_qps > 0.0 && exhaustive_qps > 0.0 && speedup > 0.0);
     }
 
     #[test]

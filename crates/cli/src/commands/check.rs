@@ -1,11 +1,12 @@
 //! `crn check`: parse, lower and validate one or more documents.
 
 use crate::args::Args;
+use crate::commands::lint::LintReport;
 use crate::commands::{resolve_target, usage_error, EXIT_OK, EXIT_USAGE, EXIT_VERDICT};
 use crate::json::Json;
 use crate::workspace::Workspace;
 
-/// Runs `crn check <file>... [--bound N] [--json]`.
+/// Runs `crn check <file>... [--bound N] [--json] [--deny-warnings]`.
 ///
 /// Exit codes: 2 when any file does not parse or lower; 1 when every file
 /// loads but some content is invalid (a `fn` presentation that is not
@@ -13,8 +14,12 @@ use crate::workspace::Workspace;
 /// or dimension-mismatched `computes` link); 0 otherwise.  All files are
 /// always examined (the worst class wins), so a batch `--json` report covers
 /// every file even when one fails to load.
+///
+/// Structural lint findings (`C001`–`C005`, see `crn lint`) are printed as
+/// non-blocking warnings and listed in the `--json` payload; with
+/// `--deny-warnings` any finding also forces exit 1.
 pub fn run(raw: &[String]) -> i32 {
-    let args = match Args::parse(raw, &["bound"], &["json"]) {
+    let args = match Args::parse(raw, &["bound"], &["json", "deny-warnings"]) {
         Ok(args) => args,
         Err(message) => return usage_error(&message),
     };
@@ -69,6 +74,7 @@ pub fn run(raw: &[String]) -> i32 {
                 }
             }
         }
+        let warnings = crate::commands::lint::collect(&ws);
         if args.switch("json") {
             reports.push(Json::obj(vec![
                 ("file", Json::str(path.as_str())),
@@ -80,34 +86,46 @@ pub fn run(raw: &[String]) -> i32 {
                     "problems",
                     Json::Arr(problems.iter().map(|p| Json::str(p.as_str())).collect()),
                 ),
+                (
+                    "warnings",
+                    Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
+                ),
             ]));
-        } else if problems.is_empty() {
-            println!(
-                "{path}: ok ({} crn, {} fn, {} spec item{})",
-                ws.crns.len(),
-                ws.fns.len(),
-                ws.specs.len(),
-                if ws.doc.items.len() == 1 { "" } else { "s" }
-            );
-            for (name, lowered) in &ws.crns {
-                let kind = match ws.pipeline(name) {
-                    Some(info) => format!("pipeline {name} ({} stages)", info.stage_count),
-                    None => format!("crn {name}"),
-                };
+        } else {
+            if problems.is_empty() {
                 println!(
-                    "  {kind}: {} species, {} reactions, output-oblivious: {}",
-                    lowered.crn.species_count(),
-                    lowered.crn.reaction_count(),
-                    lowered.crn.is_output_oblivious()
+                    "{path}: ok ({} crn, {} fn, {} spec item{})",
+                    ws.crns.len(),
+                    ws.fns.len(),
+                    ws.specs.len(),
+                    if ws.doc.items.len() == 1 { "" } else { "s" }
+                );
+                for (name, lowered) in &ws.crns {
+                    let kind = match ws.pipeline(name) {
+                        Some(info) => format!("pipeline {name} ({} stages)", info.stage_count),
+                        None => format!("crn {name}"),
+                    };
+                    println!(
+                        "  {kind}: {} species, {} reactions, output-oblivious: {}",
+                        lowered.crn.species_count(),
+                        lowered.crn.reaction_count(),
+                        lowered.crn.is_output_oblivious()
+                    );
+                }
+            } else {
+                println!("{path}: INVALID");
+                for problem in &problems {
+                    println!("  {problem}");
+                }
+            }
+            for warning in &warnings {
+                println!(
+                    "  warning[{}] {}: {}",
+                    warning.code, warning.item, warning.message
                 );
             }
-        } else {
-            println!("{path}: INVALID");
-            for problem in &problems {
-                println!("  {problem}");
-            }
         }
-        if !problems.is_empty() {
+        if !problems.is_empty() || (!warnings.is_empty() && args.switch("deny-warnings")) {
             exit = exit.max(EXIT_VERDICT);
         }
     }

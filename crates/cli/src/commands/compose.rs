@@ -5,13 +5,14 @@ use crn_lang::ast::{Document, Item};
 use crn_lang::crn_to_item;
 
 use crate::args::Args;
+use crate::commands::lint::LintReport;
 use crate::commands::{
     load_or_usage, resolve_link, usage_error, EXIT_OK, EXIT_USAGE, EXIT_VERDICT,
 };
 use crate::json::Json;
 
 /// Runs `crn compose <file> [--item NAME] [-o OUT] [--json]
-/// [--allow-non-oblivious]`.
+/// [--allow-non-oblivious] [--deny-warnings]`.
 ///
 /// Composes the named `pipeline` item (or the document's only one) and emits
 /// the result as a self-contained document: the linked `fn`/`spec` item (if
@@ -22,10 +23,19 @@ use crate::json::Json;
 /// output-oblivious, so a pipeline that feeds a non-oblivious stage forward
 /// is refused with exit code 1 unless `--allow-non-oblivious` is given (the
 /// escape hatch that reproduces the paper's Section 1.2 counterexample).
-/// Exit codes: 0 composed, 1 refused wiring or dangling/mismatched
-/// `computes` link, 2 usage/parse errors.
+///
+/// Structural lint findings (`C001`–`C005`, see `crn lint`) on the composed
+/// CRN are printed to stderr — stdout carries the composed document — and
+/// listed in the `--json` payload; with `--deny-warnings` any finding also
+/// forces exit 1.  Exit codes: 0 composed, 1 refused wiring,
+/// dangling/mismatched `computes` link, or denied warning, 2 usage/parse
+/// errors.
 pub fn run(raw: &[String]) -> i32 {
-    let args = match Args::parse(raw, &["item", "o"], &["json", "allow-non-oblivious"]) {
+    let args = match Args::parse(
+        raw,
+        &["item", "o"],
+        &["json", "allow-non-oblivious", "deny-warnings"],
+    ) {
         Ok(args) => args,
         Err(message) => return usage_error(&message),
     };
@@ -86,6 +96,25 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
 
+    // Lint the composed CRN: capture-renamed internal species that end up
+    // dead or an output that a stage still consumes are exactly the defects
+    // composition can introduce.  Warnings go to stderr because stdout
+    // carries the composed document.
+    let warnings: Vec<LintReport> = crate::commands::lint::collect(&ws)
+        .into_iter()
+        .filter(|w| w.item == name)
+        .collect();
+    if !args.switch("json") {
+        for warning in &warnings {
+            eprint!("{}", warning.rendered);
+        }
+    }
+    let exit = if warnings.is_empty() || !args.switch("deny-warnings") {
+        EXIT_OK
+    } else {
+        EXIT_VERDICT
+    };
+
     let mut items = Vec::new();
     if let Some(computes) = lowered.computes.as_deref() {
         if let Some(linked) = ws
@@ -136,10 +165,14 @@ pub fn run(raw: &[String]) -> i32 {
                             .collect(),
                     ),
                 ),
+                (
+                    "warnings",
+                    Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
+                ),
                 ("document", Json::str(text.as_str())),
             ])
         );
-        return EXIT_OK;
+        return exit;
     }
     match args.value("o") {
         Some(out) => {
@@ -154,5 +187,5 @@ pub fn run(raw: &[String]) -> i32 {
         }
         None => print!("{text}"),
     }
-    EXIT_OK
+    exit
 }

@@ -15,6 +15,7 @@ pub mod characterize;
 pub mod check;
 pub mod compose;
 pub mod fmt;
+pub mod lint;
 pub mod sim;
 pub mod synthesize;
 pub mod verify;

@@ -9,7 +9,8 @@
 //!
 //! | subcommand | pipeline stage |
 //! |---|---|
-//! | `crn check` | parse + lower + validate |
+//! | `crn check` | parse + lower + validate (plus non-blocking lint warnings) |
+//! | `crn lint` | structural static analysis: stable codes `C001`–`C005` |
 //! | `crn characterize` | semilinear `fn` → spec / impossibility witness |
 //! | `crn synthesize` | spec (or `fn`) → output-oblivious CRN, emitted as text |
 //! | `crn compose` | `pipeline` item → composed CRN via the capture-proof engine |
@@ -37,15 +38,21 @@ USAGE:
   crn <command> [arguments]
 
 COMMANDS:
-  check <file>...        parse, lower and validate documents
-                         [--bound N=6] [--json]
+  check <file>...        parse, lower and validate documents; prints
+                         non-blocking lint warnings
+                         [--bound N=6] [--json] [--deny-warnings]
+  lint <file>...         structural static analysis (stable codes C001-C005:
+                         dead species, unfireable reactions, consumed output,
+                         starved leader, excluded output)
+                         [--json] [--deny-warnings]
   characterize <file>    run the Section 7 pipeline on fn items
                          [--item NAME] [--bound N=8] [--json]
   synthesize <file>      compile a spec (or characterizable fn) to a CRN
                          [--item NAME] [--bound N=8] [-o OUT]
-  compose <file>         materialize a pipeline item into a composed CRN
+  compose <file>         materialize a pipeline item into a composed CRN;
+                         lint warnings for the composed item go to stderr
                          [--item NAME] [-o OUT] [--json]
-                         [--allow-non-oblivious]
+                         [--allow-non-oblivious] [--deny-warnings]
   verify <file>          check `computes` links by exhaustive reachability
                          [--item NAME] [--bound N=4] [--max-configs N=200000]
                          [--spot] [--max-steps N=1000000] [--seed S=7] [--json]
@@ -58,6 +65,8 @@ COMMANDS:
 
 EXIT CODES:
   0  success             1  verdict failure        2  usage or parse error
+  Lint warnings never change the exit code unless --deny-warnings is given,
+  which promotes any warning to exit 1.
 ";
 
 /// Runs the CLI on `args` (without the program name) and returns the process
@@ -70,6 +79,7 @@ pub fn run(args: &[String]) -> i32 {
     };
     match command.as_str() {
         "check" => commands::check::run(rest),
+        "lint" => commands::lint::run(rest),
         "characterize" => commands::characterize::run(rest),
         "synthesize" => commands::synthesize::run(rest),
         "compose" => commands::compose::run(rest),

@@ -31,6 +31,8 @@ pub struct PipelineInfo {
 pub struct Workspace {
     /// The path the file was loaded from (used in diagnostics).
     pub path: String,
+    /// The raw source text (for rendering span-anchored lint warnings).
+    pub source: String,
     /// The parsed document (for canonical re-printing).
     pub doc: Document,
     /// Lowered `crn` items in source order, followed by the composed
@@ -153,6 +155,7 @@ impl Workspace {
         }
         Ok(Workspace {
             path: path.to_owned(),
+            source: source.to_owned(),
             doc,
             crns,
             fns: lowered.fns,

@@ -88,6 +88,27 @@ const GOLDENS: &[(&str, &str, &[&str], i32)] = &[
     ("pipeline_two_min", "check", &[], 0),
     ("pipeline_two_min", "compose", &[], 0),
     ("pipeline_adversarial", "compose", &[], 0),
+    // `crn lint` goldens: one per corpus document, pinning the full
+    // span-rendered warning output (exit 0 — findings never block without
+    // --deny-warnings; see lint_deny_warnings_exit_code below).
+    ("add", "lint", &[], 0),
+    ("compound_spec", "lint", &[], 0),
+    ("equation2", "lint", &[], 0),
+    ("figure1_double", "lint", &[], 0),
+    ("figure1_max", "lint", &[], 0),
+    ("figure1_min", "lint", &[], 0),
+    ("figure7", "lint", &[], 0),
+    ("floor_three_halves", "lint", &[], 0),
+    ("lint_adversarial", "lint", &[], 0),
+    ("max_impossible", "lint", &[], 0),
+    ("min_one", "lint", &[], 0),
+    ("min_spec", "lint", &[], 0),
+    ("mod3", "lint", &[], 0),
+    ("pipeline_adversarial", "lint", &[], 0),
+    ("pipeline_non_oblivious", "lint", &[], 0),
+    ("pipeline_two_min", "lint", &[], 0),
+    ("staircase", "lint", &[], 0),
+    ("truncated_subtraction", "lint", &[], 0),
 ];
 
 #[test]
@@ -108,6 +129,27 @@ fn corpus_golden_outputs_match() {
             golden_path.display()
         );
     }
+}
+
+#[test]
+fn lint_deny_warnings_exit_code() {
+    // --deny-warnings promotes findings to exit 1 — the adversarial fixture
+    // (which trips every code C001–C005) must fail, clean documents must not.
+    let (code, stdout) = run_crn(&["lint", "corpus/lint_adversarial.crn", "--deny-warnings"]);
+    assert_eq!(
+        code, 1,
+        "adversarial doc must fail --deny-warnings\n{stdout}"
+    );
+    for code_id in ["C001", "C002", "C003", "C004", "C005"] {
+        assert!(stdout.contains(code_id), "missing {code_id}:\n{stdout}");
+    }
+    let (code, stdout) = run_crn(&["lint", "corpus/add.crn", "--deny-warnings"]);
+    assert_eq!(code, 0, "clean doc must pass --deny-warnings\n{stdout}");
+    // `crn check --deny-warnings` follows the same contract.
+    let (code, _) = run_crn(&["check", "corpus/lint_adversarial.crn", "--deny-warnings"]);
+    assert_eq!(code, 1, "check --deny-warnings must fail on the fixture");
+    let (code, _) = run_crn(&["check", "corpus/lint_adversarial.crn"]);
+    assert_eq!(code, 0, "warnings alone must not fail plain check");
 }
 
 #[test]

@@ -46,9 +46,12 @@ impl Constraint {
     /// The constraint `coefficients · y ≤ bound` (stored with negated
     /// coefficients).
     #[must_use]
-    pub fn at_most(coefficients: QVec, bound: Rational) -> Self {
+    pub fn at_most(mut coefficients: QVec, bound: Rational) -> Self {
+        for i in 0..coefficients.dim() {
+            coefficients[i] = -coefficients[i];
+        }
         Constraint {
-            coefficients: coefficients.scale(Rational::from(-1)),
+            coefficients,
             bound: -bound,
             strict: false,
         }

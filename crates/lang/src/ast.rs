@@ -86,12 +86,24 @@ pub fn remaining_params(params: &[String], fixed: usize) -> Vec<String> {
 
 /// One reaction `reactants -> products`, each side a list of
 /// `(coefficient, species)` terms in source order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`span`](ReactionAst::span): two reactions are equal
+/// when they denote the same rewrite, wherever they were written.
+#[derive(Debug, Clone)]
 pub struct ReactionAst {
     /// The left-hand side (consumed species).
     pub reactants: Vec<(u64, String)>,
     /// The right-hand side (produced species).
     pub products: Vec<(u64, String)>,
+    /// The span of the reaction (through the terminating `;`), for lint
+    /// diagnostics anchored at the offending reaction.
+    pub span: Span,
+}
+
+impl PartialEq for ReactionAst {
+    fn eq(&self, other: &Self) -> bool {
+        self.reactants == other.reactants && self.products == other.products
+    }
 }
 
 /// A `crn` item: role declarations, an optional link to the function it
@@ -107,6 +119,9 @@ pub struct CrnItem {
     pub inputs: Vec<String>,
     /// The output species.
     pub output: String,
+    /// The span of the `output` declaration's species name, for lints
+    /// anchored at the output role rather than any one reaction.
+    pub output_span: Span,
     /// The leader species, if declared.
     pub leader: Option<String>,
     /// The name of a `fn` or `spec` item this CRN claims to compute.

@@ -611,6 +611,7 @@ pub fn crn_to_item(
         .map(|r| ReactionAst {
             reactants: side(r.reactants()),
             products: side(r.products()),
+            span: Span::default(),
         })
         .collect();
     let inputs: Vec<String> = crn.roles().inputs.iter().map(|&s| name_of(s)).collect();
@@ -627,6 +628,7 @@ pub fn crn_to_item(
         name: sanitize(name, &[]),
         inputs,
         output: name_of(crn.output()),
+        output_span: Span::default(),
         leader: crn.leader().map(name_of),
         computes: computes.map(str::to_owned),
         init,

@@ -216,7 +216,7 @@ impl Parser {
         let (name, _) = self.ident("a name for the CRN")?;
         self.expect(&TokenKind::LBrace)?;
         let mut inputs: Option<Vec<String>> = None;
-        let mut output: Option<String> = None;
+        let mut output: Option<(String, Span)> = None;
         let mut leader: Option<String> = None;
         let mut computes: Option<String> = None;
         let mut init: Vec<(String, u64)> = Vec::new();
@@ -240,7 +240,7 @@ impl Parser {
                     "output" => {
                         let span = self.bump().span;
                         self.no_duplicate(output.is_some(), "output", span)?;
-                        output = Some(self.declared_ident("the output species")?.0);
+                        output = Some(self.declared_ident("the output species")?);
                         self.expect(&TokenKind::Semi)?;
                     }
                     "leader" => {
@@ -288,7 +288,7 @@ impl Parser {
             )
             .with_help("declare the ordered input species, e.g. `inputs X1 X2;`")
         })?;
-        let output = output.ok_or_else(|| {
+        let (output, output_span) = output.ok_or_else(|| {
             Diagnostic::new(
                 format!("crn `{name}` is missing an `output` declaration"),
                 end,
@@ -299,6 +299,7 @@ impl Parser {
             name,
             inputs,
             output,
+            output_span,
             leader,
             computes,
             init,
@@ -319,13 +320,15 @@ impl Parser {
     }
 
     fn reaction(&mut self) -> Result<ReactionAst, Diagnostic> {
+        let start = self.peek().span;
         let reactants = self.reaction_side()?;
         self.expect(&TokenKind::Arrow)?;
         let products = self.reaction_side()?;
-        self.expect(&TokenKind::Semi)?;
+        let end = self.expect(&TokenKind::Semi)?;
         Ok(ReactionAst {
             reactants,
             products,
+            span: start.to(end),
         })
     }
 

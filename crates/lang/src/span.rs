@@ -83,11 +83,18 @@ impl Diagnostic {
     /// ```
     #[must_use]
     pub fn render(&self, source: &str, filename: &str) -> String {
+        self.render_with_level(source, filename, "error")
+    }
+
+    /// [`render`](Diagnostic::render) with an explicit level prefix, e.g.
+    /// `"warning"` for non-fatal lint findings.
+    #[must_use]
+    pub fn render_with_level(&self, source: &str, filename: &str, level: &str) -> String {
         let (line, col) = self.line_col(source);
         let source_line = source.lines().nth(line - 1).unwrap_or("");
         let gutter = line.to_string().len();
         let mut out = String::new();
-        out.push_str(&format!("error: {}\n", self.message));
+        out.push_str(&format!("{level}: {}\n", self.message));
         out.push_str(&format!(
             "{:gutter$}--> {filename}:{line}:{col}\n",
             "",

@@ -108,6 +108,7 @@ impl Gen {
         ReactionAst {
             reactants: side(self),
             products: side(self),
+            span: Span::default(),
         }
     }
 
@@ -134,6 +135,7 @@ impl Gen {
             name,
             inputs: inputs.to_vec(),
             output,
+            output_span: Span::default(),
             leader,
             computes,
             init,

@@ -1,0 +1,305 @@
+//! Typed structural lints with stable codes `C001`–`C005`.
+//!
+//! Each lint is a *static* fact about a [`FunctionCrn`] — no state space is
+//! explored.  The codes are stable identifiers for tooling (goldens, CI
+//! filters, `--json` consumers):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | `C001` | dead species: never producible from the inputs and leader |
+//! | `C002` | unfireable reaction: some reactant is never producible |
+//! | `C003` | output consumed non-catalytically ⇒ not output-oblivious (Observation 2.2) |
+//! | `C004` | leader consumed by competing reactions and never regenerated |
+//! | `C005` | a conservation law bounds the output to zero from every input |
+//!
+//! `C001`/`C002` come from the [`Liveness`] fixpoint (sound: flagged
+//! structure is dead for *every* initial configuration over the declared
+//! roles).  `C003` is syntactic on reaction deltas.  `C004` is a heuristic
+//! for the classic starved-leader bug, deliberately conservative so that
+//! single-use leaders (`L + X -> Y` computing `min(1, x)`) stay silent.
+//! `C005` instantiates the P-semiflow bound: a nonnegative law `v` with zero
+//! weight on every input, positive weight `v(Y)` on the output, and
+//! `⌊v·c₀ / v(Y)⌋ = 0` for the leader-only part of the initial configuration
+//! proves `Y = 0` along every trajectory from every input — the CRN cannot
+//! compute anything but zero.
+
+use crate::compiled::CompiledCrn;
+use crate::function::FunctionCrn;
+use crate::species::Species;
+
+use super::invariants::{nonnegative_laws, ConservationLaw, FARKAS_ROW_CAP};
+use super::liveness::Liveness;
+use super::stoichiometry::Stoichiometry;
+
+/// Stable lint identifiers.  The numeric suffix never changes meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// Dead species: never producible from the inputs and leader.
+    DeadSpecies,
+    /// Unfireable reaction: some reactant is never producible.
+    UnfireableReaction,
+    /// The output species is consumed on a non-catalytic path.
+    OutputConsumed,
+    /// The leader is consumed by competing reactions and never regenerated.
+    LeaderStarved,
+    /// A conservation law bounds the output to zero from every input.
+    OutputExcluded,
+}
+
+impl LintCode {
+    /// The stable code string, e.g. `"C003"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::DeadSpecies => "C001",
+            LintCode::UnfireableReaction => "C002",
+            LintCode::OutputConsumed => "C003",
+            LintCode::LeaderStarved => "C004",
+            LintCode::OutputExcluded => "C005",
+        }
+    }
+}
+
+impl std::fmt::Display for LintCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structural finding: a code, the anchoring species and/or reaction
+/// (reaction indices follow the CRN's reaction order), and a rendered
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// The species the finding is about, when species-anchored.
+    pub species: Option<Species>,
+    /// The index of the offending reaction, when reaction-anchored.
+    pub reaction: Option<usize>,
+    /// A rendered message with species names substituted in.
+    pub message: String,
+}
+
+/// Runs every lint against a function CRN, in stable code order.
+#[must_use]
+pub fn lint(f: &FunctionCrn) -> Vec<Lint> {
+    let crn = f.crn();
+    let species = crn.species();
+    let compiled = CompiledCrn::compile(crn);
+    let mut out = Vec::new();
+
+    // C001 / C002 — liveness from the declared initial species.
+    let mut initial: Vec<usize> = f.roles().inputs.iter().map(|s| s.index()).collect();
+    if let Some(leader) = f.leader() {
+        initial.push(leader.index());
+    }
+    let live = Liveness::analyze(&compiled, &initial);
+    for s in live.dead_species() {
+        // Only named species can be dead here: the compiled stride covers
+        // exactly the interner plus reaction-mentioned species, and every
+        // reaction-mentioned species is interned.
+        if s < species.len() {
+            let sp = Species(s);
+            out.push(Lint {
+                code: LintCode::DeadSpecies,
+                species: Some(sp),
+                reaction: None,
+                message: format!(
+                    "species `{}` is never producible from the inputs",
+                    species.name(sp)
+                ),
+            });
+        }
+    }
+    for r in live.unfireable_reactions() {
+        out.push(Lint {
+            code: LintCode::UnfireableReaction,
+            species: None,
+            reaction: Some(r),
+            message: format!(
+                "reaction `{}` can never fire: a reactant is never producible",
+                crn.reactions()[r].display(species)
+            ),
+        });
+    }
+
+    // C003 — a reaction that strictly decreases the output species makes the
+    // CRN non-output-oblivious (Observation 2.2); catalytic uses are fine.
+    let output = f.output();
+    for (r, reaction) in crn.reactions().iter().enumerate() {
+        if reaction.decreases(output) {
+            out.push(Lint {
+                code: LintCode::OutputConsumed,
+                species: Some(output),
+                reaction: Some(r),
+                message: format!(
+                    "output `{}` is consumed non-catalytically by `{}`: \
+                     the CRN is not output-oblivious",
+                    species.name(output),
+                    crn.reactions()[r].display(species)
+                ),
+            });
+        }
+    }
+
+    // C004 — the leader is contested (reactant of two or more reactions, at
+    // least one of which destroys it) and nothing ever regenerates it.  A
+    // single consuming reaction is the normal single-use-leader idiom and
+    // stays silent.
+    if let Some(leader) = f.leader() {
+        let regenerated = crn.reactions().iter().any(|rx| rx.produces(leader));
+        let consumers: Vec<usize> = (0..crn.reactions().len())
+            .filter(|&r| crn.reactions()[r].consumes(leader))
+            .collect();
+        let destroyed = consumers
+            .iter()
+            .any(|&r| crn.reactions()[r].decreases(leader));
+        if !regenerated && consumers.len() >= 2 && destroyed {
+            out.push(Lint {
+                code: LintCode::LeaderStarved,
+                species: Some(leader),
+                reaction: consumers.first().copied(),
+                message: format!(
+                    "leader `{}` is consumed by {} reactions and never regenerated",
+                    species.name(leader),
+                    consumers.len()
+                ),
+            });
+        }
+    }
+
+    // C005 — a nonnegative conservation law proves the output stays zero.
+    let stoich = Stoichiometry::of(&compiled);
+    let inputs = &f.roles().inputs;
+    let leader = f.leader();
+    for law in nonnegative_laws(&stoich, FARKAS_ROW_CAP) {
+        if let Some(message) = output_excluded(&law, inputs, output, leader, species) {
+            out.push(Lint {
+                code: LintCode::OutputExcluded,
+                species: Some(output),
+                reaction: None,
+                message,
+            });
+            break; // one witness law is enough
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.code, a.reaction, a.species.map(|s| s.index())).cmp(&(
+            b.code,
+            b.reaction,
+            b.species.map(|s| s.index()),
+        ))
+    });
+    out
+}
+
+/// Checks whether `law` bounds the output to zero regardless of inputs:
+/// zero weight on every input, positive weight on the output, and a
+/// leader-only initial budget below one output's worth.
+fn output_excluded(
+    law: &ConservationLaw,
+    inputs: &[Species],
+    output: Species,
+    leader: Option<Species>,
+    species: &crate::species::SpeciesSet,
+) -> Option<String> {
+    let vy = law.weight(output.index());
+    if vy <= 0 {
+        return None;
+    }
+    if inputs.iter().any(|x| law.weight(x.index()) != 0) {
+        return None;
+    }
+    // v·c₀ over the input-independent part of the initial configuration:
+    // only the leader (count 1) contributes — inputs weigh zero by the
+    // check above, and everything else starts at zero count.
+    let budget = leader.map_or(0, |l| law.weight(l.index()));
+    if budget / vy != 0 {
+        return None;
+    }
+    Some(format!(
+        "conservation law {} bounds output `{}` to zero from every input",
+        law.display(species),
+        species.name(output)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crn::Crn;
+    use crate::examples;
+
+    fn codes(lints: &[Lint]) -> Vec<&'static str> {
+        lints.iter().map(|l| l.code.as_str()).collect()
+    }
+
+    #[test]
+    fn figure1_examples_lint_as_expected() {
+        // min is clean; max flags only the K + Y -> 0 output consumption.
+        assert!(lint(&examples::min_crn()).is_empty());
+        let max = lint(&examples::max_crn());
+        assert_eq!(codes(&max), vec!["C003"]);
+        assert_eq!(max[0].reaction, Some(3));
+    }
+
+    #[test]
+    fn single_use_leader_is_not_starved() {
+        // L + X -> Y computing min(1, x): the classic leader idiom is fine.
+        assert!(lint(&examples::min1_leader_crn()).is_empty());
+    }
+
+    #[test]
+    fn dead_chain_fires_c001_and_c002() {
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("D -> U").unwrap();
+        let f = crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", None).unwrap();
+        let lints = lint(&f);
+        assert_eq!(codes(&lints), vec!["C001", "C001", "C002"]);
+        assert_eq!(lints[2].reaction, Some(1));
+    }
+
+    #[test]
+    fn contested_leader_fires_c004() {
+        let mut crn = Crn::new();
+        crn.parse_reaction("L + X -> W").unwrap();
+        crn.parse_reaction("L + W -> Y").unwrap();
+        let f =
+            crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("L")).unwrap();
+        let lints = lint(&f);
+        assert!(codes(&lints).contains(&"C004"), "{lints:?}");
+    }
+
+    #[test]
+    fn regenerated_leader_is_not_starved() {
+        let mut crn = Crn::new();
+        crn.parse_reaction("L + X -> W").unwrap();
+        crn.parse_reaction("L + W -> Y + L").unwrap();
+        let f =
+            crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("L")).unwrap();
+        assert!(!codes(&lint(&f)).contains(&"C004"));
+    }
+
+    #[test]
+    fn starved_output_fires_c005() {
+        // L -> W ; 2W -> Y with one leader: law L + W + 2Y gives budget 1,
+        // floor(1/2) = 0, so Y can never rise above zero for any input X.
+        let mut crn = Crn::new();
+        crn.parse_reaction("L -> W").unwrap();
+        crn.parse_reaction("2W -> Y").unwrap();
+        crn.add_species("X");
+        let f =
+            crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("L")).unwrap();
+        let lints = lint(&f);
+        assert!(codes(&lints).contains(&"C005"), "{lints:?}");
+    }
+
+    #[test]
+    fn productive_output_does_not_fire_c005() {
+        // X -> 2Y: the only semiflow-style law involving Y weighs X too.
+        assert!(lint(&examples::double_crn()).is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Producible-species / fireable-reaction fixpoint analysis.
+//!
+//! A sound over-approximation of what *can ever happen* from any initial
+//! configuration supported on a given species set: start with the initial
+//! species marked producible, repeatedly mark a reaction fireable when all of
+//! its reactants are producible and its products producible in turn, until
+//! nothing changes.  Counts are abstracted away entirely (every producible
+//! species is treated as available in unbounded supply), so:
+//!
+//! * a species **not** producible here is dead for real — no trajectory from
+//!   any configuration over the initial species ever makes it (`C001`);
+//! * a reaction **not** fireable here can never fire (`C002`).
+//!
+//! The converse is not claimed: the abstraction may mark structure live that
+//! exact counting would starve.  That direction is what the conservation-law
+//! machinery in [`super::invariants`] covers.
+
+use crate::compiled::CompiledCrn;
+
+/// The result of the producible/fireable fixpoint for one compiled CRN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    producible: Vec<bool>,
+    fireable: Vec<bool>,
+}
+
+impl Liveness {
+    /// Runs the fixpoint.  `initial_species` are the dense indices assumed
+    /// present at time zero (typically the function's inputs plus its
+    /// leader); out-of-range indices are ignored.
+    #[must_use]
+    pub fn analyze(compiled: &CompiledCrn, initial_species: &[usize]) -> Self {
+        let stride = compiled.stride();
+        let mut producible = vec![false; stride];
+        for &s in initial_species {
+            if s < stride {
+                producible[s] = true;
+            }
+        }
+        let reactions = compiled.reactions();
+        let mut fireable = vec![false; reactions.len()];
+        loop {
+            let mut changed = false;
+            for (r, reaction) in reactions.iter().enumerate() {
+                if fireable[r] {
+                    continue;
+                }
+                if reaction.reactants().iter().all(|&(s, _)| producible[s]) {
+                    fireable[r] = true;
+                    changed = true;
+                    // Products are the positive net deltas plus the catalysts
+                    // (zero-delta reactants), and catalysts are producible
+                    // already, so positive deltas suffice.
+                    for &(s, d) in reaction.delta() {
+                        if d > 0 && !producible[s] {
+                            producible[s] = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Liveness {
+            producible,
+            fireable,
+        }
+    }
+
+    /// Whether species index `s` can ever be present (false past the stride).
+    #[must_use]
+    pub fn producible(&self, s: usize) -> bool {
+        self.producible.get(s).copied().unwrap_or(false)
+    }
+
+    /// Whether reaction `r` can ever fire.
+    #[must_use]
+    pub fn fireable(&self, r: usize) -> bool {
+        self.fireable.get(r).copied().unwrap_or(false)
+    }
+
+    /// Dense indices of species that are never producible.
+    #[must_use]
+    pub fn dead_species(&self) -> Vec<usize> {
+        (0..self.producible.len())
+            .filter(|&s| !self.producible[s])
+            .collect()
+    }
+
+    /// Indices of reactions that can never fire.
+    #[must_use]
+    pub fn unfireable_reactions(&self) -> Vec<usize> {
+        (0..self.fireable.len())
+            .filter(|&r| !self.fireable[r])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crn::Crn;
+    use crate::examples;
+
+    #[test]
+    fn max_crn_is_fully_live_from_its_inputs() {
+        let max = examples::max_crn();
+        let compiled = CompiledCrn::compile(max.crn());
+        let crn = max.crn();
+        let idx = |name: &str| crn.species_named(name).unwrap().index();
+        let live = Liveness::analyze(&compiled, &[idx("X1"), idx("X2")]);
+        assert!(live.dead_species().is_empty());
+        assert!(live.unfireable_reactions().is_empty());
+    }
+
+    #[test]
+    fn chain_needs_the_whole_prefix() {
+        // D -> U is dead when D is not initial; so is U.
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("D -> U").unwrap();
+        let compiled = CompiledCrn::compile(&crn);
+        let x = crn.species_named("X").unwrap().index();
+        let d = crn.species_named("D").unwrap().index();
+        let u = crn.species_named("U").unwrap().index();
+        let live = Liveness::analyze(&compiled, &[x]);
+        assert!(live.producible(x));
+        assert!(!live.producible(d));
+        assert!(!live.producible(u));
+        assert!(live.fireable(0));
+        assert!(!live.fireable(1));
+        assert_eq!(live.dead_species(), vec![d, u]);
+        assert_eq!(live.unfireable_reactions(), vec![1]);
+    }
+
+    #[test]
+    fn catalysts_do_not_block_their_own_products() {
+        // C + X -> C + Y: fireable when both C and X are initial, and Y then
+        // becomes producible even though C's delta is zero.
+        let mut crn = Crn::new();
+        crn.parse_reaction("C + X -> C + Y").unwrap();
+        let compiled = CompiledCrn::compile(&crn);
+        let c = crn.species_named("C").unwrap().index();
+        let x = crn.species_named("X").unwrap().index();
+        let y = crn.species_named("Y").unwrap().index();
+        let live = Liveness::analyze(&compiled, &[c, x]);
+        assert!(live.fireable(0));
+        assert!(live.producible(y));
+        let starved = Liveness::analyze(&compiled, &[x]);
+        assert!(!starved.fireable(0));
+        assert!(!starved.producible(y));
+    }
+
+    #[test]
+    fn out_of_range_initials_are_ignored() {
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        let compiled = CompiledCrn::compile(&crn);
+        let live = Liveness::analyze(&compiled, &[99]);
+        assert!(!live.producible(99));
+        assert!(!live.fireable(0));
+    }
+}

@@ -1,0 +1,26 @@
+//! Static analysis of CRNs: stoichiometry, conservation laws, liveness and
+//! structural lints.
+//!
+//! CRNs are Petri nets, so a large class of trajectory facts is decidable
+//! without exploring any state space:
+//!
+//! * [`Stoichiometry`] — the exact integer net-change matrix `N`;
+//! * [`conservation_basis`] / [`nonnegative_laws`] — P-invariants `v·N = 0`,
+//!   computed with exact rational arithmetic and scaled to primitive integer
+//!   vectors; a law weighing two configurations differently refutes
+//!   reachability between them (see
+//!   [`InvariantOracle`](crate::reachability::InvariantOracle));
+//! * [`Liveness`] — a producible-species / fireable-reaction fixpoint whose
+//!   negative verdicts are exact (dead means dead);
+//! * [`lint`] — stable-coded structural findings `C001`–`C005` consumed by
+//!   the `crn lint` CLI subcommand.
+
+mod invariants;
+mod lints;
+mod liveness;
+mod stoichiometry;
+
+pub use invariants::{conservation_basis, nonnegative_laws, ConservationLaw, FARKAS_ROW_CAP};
+pub use lints::{lint, Lint, LintCode};
+pub use liveness::Liveness;
+pub use stoichiometry::Stoichiometry;

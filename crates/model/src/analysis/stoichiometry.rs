@@ -1,0 +1,103 @@
+//! The exact integer stoichiometry matrix of a compiled CRN.
+
+use crate::compiled::CompiledCrn;
+
+/// The stoichiometry matrix `N ∈ Z^{S × R}` of a CRN, stored column-major:
+/// entry `N[s][r]` is the net change of species `s` when reaction `r` fires.
+///
+/// Rows are dense species indices up to [`CompiledCrn::stride`] (so foreign
+/// species mentioned only by reactions are covered), columns are reactions in
+/// the CRN's order.  Catalysts (consumed and re-produced in equal amounts)
+/// contribute zero entries, exactly as in [`crate::CompiledReaction::delta`].
+///
+/// Every trajectory fact used by the analysis layer flows from this matrix:
+/// a configuration reachable from `c` in `k` firings is `c + N·f` for the
+/// firing-count vector `f ∈ N^R`, so any `v` with `v·N = 0` (a *P-invariant*
+/// of the underlying Petri net) satisfies `v·c' = v·c` along every trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stoichiometry {
+    stride: usize,
+    columns: Vec<Vec<i64>>,
+}
+
+impl Stoichiometry {
+    /// Builds the matrix from a compiled CRN.
+    #[must_use]
+    pub fn of(compiled: &CompiledCrn) -> Self {
+        let stride = compiled.stride();
+        let columns = compiled
+            .reactions()
+            .iter()
+            .map(|reaction| {
+                let mut column = vec![0i64; stride];
+                for &(s, d) in reaction.delta() {
+                    column[s] = d;
+                }
+                column
+            })
+            .collect();
+        Stoichiometry { stride, columns }
+    }
+
+    /// The number of species rows (the compiled stride).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The number of reaction columns.
+    #[must_use]
+    pub fn reaction_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The net-change column of reaction `r` (length [`stride`](Self::stride)).
+    #[must_use]
+    pub fn column(&self, r: usize) -> &[i64] {
+        &self.columns[r]
+    }
+
+    /// The entry `N[species][reaction]`.
+    #[must_use]
+    pub fn entry(&self, species: usize, reaction: usize) -> i64 {
+        self.columns[reaction][species]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crn::Crn;
+    use crate::examples;
+
+    #[test]
+    fn max_crn_matrix_entries() {
+        // X1 -> Z1 + Y ; X2 -> Z2 + Y ; Z1 + Z2 -> K ; K + Y -> 0.
+        let max = examples::max_crn();
+        let compiled = CompiledCrn::compile(max.crn());
+        let n = Stoichiometry::of(&compiled);
+        assert_eq!(n.stride(), 6);
+        assert_eq!(n.reaction_count(), 4);
+        let crn = max.crn();
+        let idx = |name: &str| crn.species_named(name).unwrap().index();
+        assert_eq!(n.entry(idx("X1"), 0), -1);
+        assert_eq!(n.entry(idx("Z1"), 0), 1);
+        assert_eq!(n.entry(idx("Y"), 0), 1);
+        assert_eq!(n.entry(idx("Y"), 3), -1);
+        assert_eq!(n.entry(idx("K"), 3), -1);
+        assert_eq!(n.entry(idx("X2"), 0), 0);
+    }
+
+    #[test]
+    fn catalysts_contribute_zero_entries() {
+        let mut crn = Crn::new();
+        crn.parse_reaction("C + X -> C + 2Y").unwrap();
+        let n = Stoichiometry::of(&CompiledCrn::compile(&crn));
+        let c = crn.species_named("C").unwrap().index();
+        let x = crn.species_named("X").unwrap().index();
+        let y = crn.species_named("Y").unwrap().index();
+        assert_eq!(n.entry(c, 0), 0);
+        assert_eq!(n.entry(x, 0), -1);
+        assert_eq!(n.entry(y, 0), 2);
+    }
+}

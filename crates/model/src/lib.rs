@@ -15,7 +15,10 @@
 //!   species and an optional leader, including the stable-computation
 //!   semantics of Section 2.2,
 //! * exhaustive bounded reachability and stable-computation checking
-//!   ([`reachability`]),
+//!   ([`reachability`]), with a conservation-law refutation oracle,
+//! * a static-analysis layer ([`analysis`]): the exact stoichiometry matrix,
+//!   integer conservation laws, producible/fireable liveness and the typed
+//!   structural lints `C001`–`C005`,
 //! * the structural predicates of Section 2.3 (output-oblivious,
 //!   output-monotonic) and the transformation of Observation 2.4,
 //! * composition by concatenation (Observation 2.2 / Lemma 2.3) generalized
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod compiled;
 pub mod compose;
 pub mod config;
@@ -55,6 +59,10 @@ pub mod reaction;
 pub mod species;
 pub mod transform;
 
+pub use analysis::{
+    conservation_basis, lint, nonnegative_laws, ConservationLaw, Lint, LintCode, Liveness,
+    Stoichiometry,
+};
 pub use compiled::{CompiledCrn, CompiledReaction, DenseState};
 pub use compose::{concatenate, fan_out, parallel_union, PipeSource, Pipeline, StageId};
 pub use config::Configuration;
@@ -63,7 +71,8 @@ pub use error::CrnError;
 pub use function::{FunctionCrn, Roles};
 pub use reachability::{
     check_on_box, check_on_box_with_workers, check_stable_computation, max_output_reachable,
-    reachable_configurations, ReachabilityLimits, StableComputationVerdict,
+    reachable_configurations, target_reachable, target_reachable_exhaustive, InvariantOracle,
+    ReachabilityLimits, StableComputationVerdict,
 };
 pub use reaction::Reaction;
 pub use species::{Species, SpeciesSet};

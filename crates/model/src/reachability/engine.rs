@@ -11,6 +11,7 @@
 
 use crn_numeric::NVec;
 
+use crate::analysis::{conservation_basis, ConservationLaw, Stoichiometry};
 use crate::compiled::CompiledCrn;
 use crate::error::CrnError;
 use crate::function::FunctionCrn;
@@ -102,6 +103,49 @@ impl ExploreState {
             current += 1;
         }
         Ok(())
+    }
+}
+
+/// A conservation-law refutation oracle: answers "is `target` provably
+/// unreachable from `source`?" in `O(laws × species)` without exploring any
+/// state space.
+///
+/// Built once per CRN from the *signed* conservation-law basis of the
+/// stoichiometry matrix (see [`conservation_basis`]).  Every reachable
+/// configuration `c'` satisfies `v·c' = v·c` for each basis law `v`, so a
+/// law weighing source and target differently is a proof of unreachability.
+/// The basis spans the whole left nullspace, which makes the oracle
+/// *complete for linear refutation*: if any rational invariant separates the
+/// two configurations, some basis law does.
+///
+/// The oracle is sound but (necessarily) incomplete overall — reachability
+/// also fails for non-linear reasons — so a `None` answer means "explore".
+pub struct InvariantOracle {
+    laws: Vec<ConservationLaw>,
+}
+
+impl InvariantOracle {
+    /// Computes the conservation-law basis of `compiled`.
+    #[must_use]
+    pub fn new(compiled: &CompiledCrn) -> Self {
+        InvariantOracle {
+            laws: conservation_basis(&Stoichiometry::of(compiled)),
+        }
+    }
+
+    /// Returns a law weighing `source` and `target` differently, if one
+    /// exists — a static proof that neither configuration can reach the
+    /// other.  Both slices are dense count vectors; indices beyond the law
+    /// stride (species untouched by every reaction) weigh zero.
+    #[must_use]
+    pub fn refutes(&self, source: &[u64], target: &[u64]) -> Option<&ConservationLaw> {
+        self.laws.iter().find(|law| law.refutes(source, target))
+    }
+
+    /// The basis laws the oracle consults.
+    #[must_use]
+    pub fn laws(&self) -> &[ConservationLaw] {
+        &self.laws
     }
 }
 

@@ -50,6 +50,7 @@ use arena::ConfigArena;
 use engine::{ExploreState, VerdictEngine};
 
 pub use csr::CsrGraph;
+pub use engine::InvariantOracle;
 pub use scc::Condensation;
 
 /// Limits for exhaustive exploration.
@@ -291,6 +292,80 @@ pub fn max_output_reachable(
         .into_iter()
         .max()
         .unwrap_or(0))
+}
+
+/// Whether `target` is reachable from `start` in `crn`, with conservation-law
+/// refutation before exploration.
+///
+/// The query first tries two static refutations: (a) species untouched by
+/// every reaction must have identical counts in `start` and `target`, and
+/// (b) no basis law of the [`InvariantOracle`] may weigh the two
+/// configurations differently.  Either failing proves unreachability in
+/// `O(species)` per law, without building an arena.  Only when both pass is
+/// the reachable space explored exhaustively.
+///
+/// The verdict is always identical to [`target_reachable_exhaustive`]; the
+/// oracle only ever converts an expensive `false` into a cheap one.
+///
+/// # Errors
+///
+/// Returns [`CrnError::SearchLimitExceeded`] if a (non-refuted) exploration
+/// exceeds `max_configurations`.
+pub fn target_reachable(
+    crn: &Crn,
+    start: &Configuration,
+    target: &Configuration,
+    max_configurations: usize,
+) -> Result<bool, CrnError> {
+    let compiled = crate::compiled::CompiledCrn::compile(crn);
+    let stride = arena::stride_for(arena::stride_for(compiled.stride(), start), target);
+    let start_dense = arena::to_dense(start, stride).expect("stride covers start");
+    let target_dense = arena::to_dense(target, stride).expect("stride covers target");
+    // Species at indices past the compiled stride appear in no reaction, so
+    // their counts are constant along every trajectory.
+    if start_dense[compiled.stride()..] != target_dense[compiled.stride()..] {
+        return Ok(false);
+    }
+    let oracle = InvariantOracle::new(&compiled);
+    if oracle.refutes(&start_dense, &target_dense).is_some() {
+        return Ok(false);
+    }
+    let mut state = ExploreState::new();
+    state.run(
+        &compiled,
+        stride,
+        &start_dense,
+        ReachabilityLimits { max_configurations },
+    )?;
+    Ok(state.arena.lookup(&target_dense).is_some())
+}
+
+/// [`target_reachable`] without the static refutations: always explores.
+/// Kept as the differential-testing baseline for the oracle (a refutation
+/// must never contradict this function) and as the E17 comparison point.
+///
+/// # Errors
+///
+/// Returns [`CrnError::SearchLimitExceeded`] if the exploration exceeds
+/// `max_configurations`.
+pub fn target_reachable_exhaustive(
+    crn: &Crn,
+    start: &Configuration,
+    target: &Configuration,
+    max_configurations: usize,
+) -> Result<bool, CrnError> {
+    let compiled = crate::compiled::CompiledCrn::compile(crn);
+    let stride = arena::stride_for(arena::stride_for(compiled.stride(), start), target);
+    let start_dense = arena::to_dense(start, stride).expect("stride covers start");
+    let target_dense = arena::to_dense(target, stride).expect("stride covers target");
+    let mut state = ExploreState::new();
+    state.run(
+        &compiled,
+        stride,
+        &start_dense,
+        ReachabilityLimits { max_configurations },
+    )?;
+    Ok(state.arena.lookup(&target_dense).is_some())
 }
 
 /// All configurations reachable from `start` (convenience wrapper).
@@ -569,7 +644,114 @@ mod tests {
         FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles")
     }
 
+    #[test]
+    fn oracle_refutes_max_overshoot_statically() {
+        // From I_(x1,x2) of the max CRN, the pure configuration {Y: x1+x2}
+        // is unreachable whenever x1+x2 > 0 (the Z/K debris cannot all be
+        // cleared while keeping every Y), and the laws X1+Y-Z2-K and
+        // X2+Y-Z1-K prove it without exploration.
+        let max = examples::max_crn();
+        let compiled = crate::compiled::CompiledCrn::compile(max.crn());
+        let oracle = InvariantOracle::new(&compiled);
+        assert_eq!(oracle.laws().len(), 2);
+        let y = max.output();
+        for x1 in 0..4u64 {
+            for x2 in 0..4u64 {
+                let input = NVec::from(vec![x1, x2]);
+                let start = max.initial_configuration(&input).unwrap();
+                let target = Configuration::from_counts(vec![(y, x1 + x2)]);
+                let start_dense = arena::to_dense(&start, compiled.stride()).unwrap();
+                let target_dense = arena::to_dense(&target, compiled.stride()).unwrap();
+                let refuted = oracle.refutes(&start_dense, &target_dense).is_some();
+                assert_eq!(refuted, x1 + x2 > 0, "at ({x1},{x2})");
+                // Bit-identical verdicts with and without the oracle.
+                let fast = target_reachable(max.crn(), &start, &target, 100_000).unwrap();
+                let slow =
+                    target_reachable_exhaustive(max.crn(), &start, &target, 100_000).unwrap();
+                assert_eq!(fast, slow, "at ({x1},{x2})");
+                assert_eq!(fast, x1 + x2 == 0, "at ({x1},{x2})");
+            }
+        }
+    }
+
+    #[test]
+    fn target_reachable_finds_reachable_targets() {
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![3])).unwrap();
+        let x = double.roles().inputs[0];
+        let y = double.output();
+        for k in 0..=3u64 {
+            let target = Configuration::from_counts(vec![(x, 3 - k), (y, 2 * k)]);
+            assert!(target_reachable(double.crn(), &start, &target, 1_000).unwrap());
+        }
+        // {Y: 3} is refuted by the law 2X + Y: 2·3 + 0 = 6 ≠ 2·0 + 3.
+        let odd = Configuration::from_counts(vec![(y, 3)]);
+        let compiled = crate::compiled::CompiledCrn::compile(double.crn());
+        let oracle = InvariantOracle::new(&compiled);
+        let s = arena::to_dense(&start, compiled.stride()).unwrap();
+        let t = arena::to_dense(&odd, compiled.stride()).unwrap();
+        assert!(oracle.refutes(&s, &t).is_some());
+        assert!(!target_reachable(double.crn(), &start, &odd, 1_000).unwrap());
+    }
+
+    #[test]
+    fn foreign_species_mismatch_is_refuted_without_exploring() {
+        // A species no reaction touches differs between start and target: the
+        // constant-species precheck refutes it even with a limit of 1.
+        let double = examples::double_crn();
+        let start = double.initial_configuration(&NVec::from(vec![2])).unwrap();
+        let mut target = start.clone();
+        target.add(Species(40), 1);
+        assert!(!target_reachable(double.crn(), &start, &target, 1).unwrap());
+    }
+
     proptest! {
+        /// Differential soundness of the invariant oracle: whenever it
+        /// refutes a start/target pair of a random CRN, the exhaustive
+        /// engine must agree the target is unreachable — and with or
+        /// without the oracle the final verdicts are bit-identical.
+        #[test]
+        fn invariant_oracle_agrees_with_exhaustive_search(
+            stoich in proptest::collection::vec(proptest::collection::vec(0u64..3, 6), 1..4),
+            x in 0u64..5,
+            target_counts in proptest::collection::vec(0u64..5, 3),
+        ) {
+            let crn = random_crn(&stoich);
+            let start = crn.initial_configuration(&NVec::from(vec![x])).unwrap();
+            let species = [
+                crn.roles().inputs[0],
+                crn.output(),
+                crn.crn().species_named("Z").unwrap(),
+            ];
+            let target = Configuration::from_counts(
+                species
+                    .iter()
+                    .zip(&target_counts)
+                    .map(|(&s, &c)| (s, c))
+                    .collect::<Vec<_>>(),
+            );
+            let fast = target_reachable(crn.crn(), &start, &target, 5_000);
+            let slow = target_reachable_exhaustive(crn.crn(), &start, &target, 5_000);
+            match (&fast, &slow) {
+                // The oracle may refute without exploring, so it can succeed
+                // where the exhaustive engine blows the limit; it must never
+                // claim reachable in that case.
+                (Ok(v), Err(_)) => prop_assert!(!v),
+                _ => prop_assert_eq!(fast, slow),
+            }
+            // A refutation must never contradict a completed exploration.
+            let compiled = crate::compiled::CompiledCrn::compile(crn.crn());
+            let oracle = InvariantOracle::new(&compiled);
+            let stride = arena::stride_for(compiled.stride(), &start);
+            let s = arena::to_dense(&start, stride).unwrap();
+            let t = arena::to_dense(&target, stride).unwrap();
+            if oracle.refutes(&s, &t).is_some() {
+                if let Ok(reachable) = slow {
+                    prop_assert!(!reachable, "oracle refuted a reachable target");
+                }
+            }
+        }
+
         /// Additivity of reachability (Section 2.2): if A ->* B then A + C ->* B + C.
         #[test]
         fn reachability_is_additive(x in 0u64..5, extra in 0u64..4) {

@@ -689,7 +689,7 @@ mod tests {
         assert!(points.contains(&NVec::from(vec![3, 3])));
         assert!(points.contains(&NVec::from(vec![2, 1])));
         // All points are distinct.
-        let mut sorted = points.clone();
+        let mut sorted = points;
         sorted.sort();
         sorted.dedup();
         assert_eq!(sorted.len(), 16);

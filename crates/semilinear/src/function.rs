@@ -126,14 +126,14 @@ impl SemilinearFunction {
                 if domain.contains(&x) {
                     matches += 1;
                     if piece.eval_integer(&x).is_none() {
-                        return Err(SemilinearFunctionError::NotNatural(x.clone()));
+                        return Err(SemilinearFunctionError::NotNatural(x));
                     }
                 }
             }
             match matches {
-                0 => return Err(SemilinearFunctionError::NotCovered(x.clone())),
+                0 => return Err(SemilinearFunctionError::NotCovered(x)),
                 1 => {}
-                _ => return Err(SemilinearFunctionError::Overlap(x.clone())),
+                _ => return Err(SemilinearFunctionError::Overlap(x)),
             }
         }
         Ok(())

@@ -8,7 +8,10 @@
 
 use proptest::prelude::*;
 
-use crn_model::{CompiledCrn, Configuration, Crn, DenseState, Reaction, Species};
+use crn_model::{
+    conservation_basis, CompiledCrn, Configuration, Crn, DenseState, Reaction, Species,
+    Stoichiometry,
+};
 use crn_sim::gillespie::{Gillespie, SparseGillespie};
 use crn_sim::kernel::{propensity_dense, ApplicableSet, PropensityTable};
 use crn_sim::scheduler::propensity;
@@ -68,7 +71,7 @@ proptest! {
         let crn = random_crn(&stoich);
         let start = start_config(&crn, (cx, cy, cz));
         let dense = Gillespie::new(crn.clone(), seed).run(&start, 300);
-        let sparse = SparseGillespie::new(crn.clone(), seed).run(&start, 300);
+        let sparse = SparseGillespie::new(crn, seed).run(&start, 300);
         prop_assert_eq!(&dense.final_configuration, &sparse.final_configuration);
         prop_assert_eq!(dense.steps, sparse.steps);
         prop_assert_eq!(dense.silent, sparse.silent);
@@ -148,6 +151,45 @@ proptest! {
             prop_assert_eq!(set.indices(), rescan.as_slice());
             // The rescan order is the sparse `applicable_reactions` order.
             prop_assert_eq!(rescan, crn.applicable_reactions(&state.to_configuration()));
+        }
+    }
+
+    /// Every conservation law of the stoichiometry matrix is *exactly*
+    /// preserved along stochastic trajectories: the dot product of each law
+    /// with the state is constant across a 10⁴-step Gillespie run, checked
+    /// at every prefix depth (reseeding replays the identical trajectory, so
+    /// shorter runs are intermediate states of the longest one).
+    #[test]
+    fn conservation_laws_hold_along_gillespie_trajectories(
+        stoich in stoich_strategy(),
+        cx in 0u64..20,
+        cy in 0u64..20,
+        cz in 0u64..20,
+        seed in 0u64..64,
+    ) {
+        let crn = random_crn(&stoich);
+        let compiled = CompiledCrn::compile(&crn);
+        let laws = conservation_basis(&Stoichiometry::of(&compiled));
+        let start = start_config(&crn, (cx, cy, cz));
+        let dense_start = DenseState::from_configuration(&start, compiled.stride());
+        let initial: Vec<i128> = laws.iter().map(|law| law.weigh(dense_start.counts())).collect();
+        let mut sim = Gillespie::new(crn, seed);
+        for depth in [1u64, 10, 100, 1_000, 10_000] {
+            sim.reseed(seed);
+            let out = sim.run(&start, depth);
+            let state = DenseState::from_configuration(&out.final_configuration, compiled.stride());
+            for (law, &expected) in laws.iter().zip(&initial) {
+                prop_assert_eq!(
+                    law.weigh(state.counts()),
+                    expected,
+                    "law {:?} drifted after {} steps",
+                    law.weights(),
+                    out.steps
+                );
+            }
+            if out.silent {
+                break;
+            }
         }
     }
 

@@ -7,6 +7,8 @@
 //! no code in the workspace calls serialization at runtime. Swap this for the
 //! real `serde` once a registry is reachable.
 
+#![forbid(unsafe_code)]
+
 /// Marker trait standing in for `serde::Serialize`.
 pub trait Serialize {}
 

@@ -7,6 +7,8 @@
 //! helper attributes such as `#[serde(skip)]`) and expand to nothing. Swap
 //! `vendor/serde*` for the real crates once a registry is reachable.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Stub of serde's `Serialize` derive: validates nothing, emits nothing.
