@@ -1,0 +1,41 @@
+//! Criterion benchmarks for the analysis-pruned reachability engine
+//! (experiment E18 of DESIGN.md): box-check verdicts/sec on the `max` CRN
+//! sweep, static interval verdicts plus direct-indexed exploration versus
+//! the unpruned reference engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn pruned_box_throughput(c: &mut Criterion) {
+    let (pruned_vps, reference_vps, speedup, identical) = crn_bench::e18_box_check(12, 3);
+    eprintln!("\n[E18] analysis-pruned vs reference box check (max CRN, bound 12, 1 worker)");
+    eprintln!(
+        "  {pruned_vps:.1} verdicts/s pruned vs {reference_vps:.1} reference, \
+         speedup {speedup:.1}x, bit-identical={identical}"
+    );
+    assert!(identical, "the analysis must not change any verdict");
+
+    let mut group = c.benchmark_group("E18_box_check_max_bound12");
+    group.bench_function("pruned", |b| {
+        b.iter(|| crn_bench::e18_box_pruned(12));
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| crn_bench::e18_box_reference(12));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = e18_pruned_box;
+    config = configured();
+    targets = pruned_box_throughput
+}
+criterion_main!(e18_pruned_box);

@@ -487,6 +487,67 @@ pub fn e17_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
     )
 }
 
+/// The E18 headline workload: the analysis-pruned box check (static
+/// interval verdicts plus direct-indexed exploration) of the `max` CRN
+/// against `max(x1, x2)` on `[0, bound]^2`.  Pinned to one worker so the
+/// measured speedup over the reference engine is purely algorithmic.
+#[must_use]
+pub fn e18_box_pruned(bound: u64) -> Option<crn_model::StableComputationVerdict> {
+    crn_model::check_on_box_with_workers(
+        &examples::max_crn(),
+        |x| x[0].max(x[1]),
+        bound,
+        1_000_000,
+        1,
+    )
+    .expect("fits")
+}
+
+/// The E18 baseline: the same box on the unpruned reference engine (hash
+/// interning, no static verdicts) — the PR 6 behaviour.
+#[must_use]
+pub fn e18_box_reference(bound: u64) -> Option<crn_model::StableComputationVerdict> {
+    crn_model::check_on_box_reference_with_workers(
+        &examples::max_crn(),
+        |x| x[0].max(x[1]),
+        bound,
+        1_000_000,
+        1,
+    )
+    .expect("fits")
+}
+
+/// E18 headline measurement: verdicts/sec for the `max` CRN box check on the
+/// analysis-pruned engine versus the unpruned reference.  Returns
+/// `(pruned_verdicts_per_sec, reference_verdicts_per_sec, speedup,
+/// results_identical)`.  As in E13, the verdict count assumes the full
+/// `(bound + 1)^2` box is scanned, which holds because the `max` CRN passes
+/// everywhere.
+///
+/// # Panics
+///
+/// Panics if the `max` CRN unexpectedly fails somewhere in the box.
+#[must_use]
+pub fn e18_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
+    let verdicts = f64::from(repeats) * ((bound + 1) * (bound + 1)) as f64;
+    // One unmeasured pass each, so first-call page faults and lazy buffer
+    // growth are not billed to either engine.
+    let _ = e18_box_pruned(bound);
+    let _ = e18_box_reference(bound);
+    let (pruned_secs, pruned_result) = time_repeats(repeats, || e18_box_pruned(bound));
+    let (reference_secs, reference_result) = time_repeats(repeats, || e18_box_reference(bound));
+    assert!(
+        pruned_result.is_none(),
+        "the max CRN must pass the whole box for the verdict count to be exact"
+    );
+    (
+        verdicts / pruned_secs,
+        verdicts / reference_secs,
+        reference_secs / pruned_secs,
+        pruned_result == reference_result,
+    )
+}
+
 /// One row of the E14 dense-kernel throughput experiment.
 #[derive(Debug, Clone)]
 pub struct KernelThroughputRow {
@@ -901,6 +962,21 @@ mod tests {
         .unwrap();
         assert_eq!(fast, slow);
         assert!(fast.unwrap().input == crn_numeric::NVec::from(vec![0, 1]));
+    }
+
+    #[test]
+    fn e18_box_check_engines_are_bit_identical() {
+        let (pruned_vps, reference_vps, speedup, identical) = e18_box_check(2, 1);
+        assert!(identical, "pruned and reference box verdicts diverged");
+        assert!(pruned_vps > 0.0 && reference_vps > 0.0 && speedup > 0.0);
+        // And on a failing box the pruned scan picks the same first failure.
+        let min = examples::min_crn();
+        let pruned =
+            crn_model::check_on_box_with_workers(&min, |x| x[0].max(x[1]), 2, 100_000, 1).unwrap();
+        let reference =
+            crn_model::check_on_box_reference_with_workers(&min, |x| x[0].max(x[1]), 2, 100_000, 1)
+                .unwrap();
+        assert_eq!(pruned, reference);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `crn check`: parse, lower and validate one or more documents.
 
 use crate::args::Args;
-use crate::commands::lint::LintReport;
+use crate::commands::lint::{LintNote, LintReport};
 use crate::commands::{resolve_target, usage_error, EXIT_OK, EXIT_USAGE, EXIT_VERDICT};
 use crate::json::Json;
 use crate::workspace::Workspace;
@@ -15,9 +15,10 @@ use crate::workspace::Workspace;
 /// always examined (the worst class wins), so a batch `--json` report covers
 /// every file even when one fails to load.
 ///
-/// Structural lint findings (`C001`–`C005`, see `crn lint`) are printed as
-/// non-blocking warnings and listed in the `--json` payload; with
-/// `--deny-warnings` any finding also forces exit 1.
+/// Structural lint findings (`C001`–`C009`, see `crn lint`) are printed as
+/// non-blocking warnings and listed in the `--json` payload, along with any
+/// "analysis incomplete" truncation notes; with `--deny-warnings` any
+/// finding also forces exit 1 (notes never do).
 pub fn run(raw: &[String]) -> i32 {
     let args = match Args::parse(raw, &["bound"], &["json", "deny-warnings"]) {
         Ok(args) => args,
@@ -74,7 +75,8 @@ pub fn run(raw: &[String]) -> i32 {
                 }
             }
         }
-        let warnings = crate::commands::lint::collect(&ws);
+        let summary = crate::commands::lint::collect(&ws);
+        let warnings = summary.warnings;
         if args.switch("json") {
             reports.push(Json::obj(vec![
                 ("file", Json::str(path.as_str())),
@@ -89,6 +91,10 @@ pub fn run(raw: &[String]) -> i32 {
                 (
                     "warnings",
                     Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
+                ),
+                (
+                    "notes",
+                    Json::Arr(summary.notes.iter().map(LintNote::to_json).collect()),
                 ),
             ]));
         } else {
@@ -123,6 +129,9 @@ pub fn run(raw: &[String]) -> i32 {
                     "  warning[{}] {}: {}",
                     warning.code, warning.item, warning.message
                 );
+            }
+            for note in &summary.notes {
+                println!("  note {}: {}", note.item, note.message);
             }
         }
         if !problems.is_empty() || (!warnings.is_empty() && args.switch("deny-warnings")) {

@@ -24,7 +24,7 @@ use crate::json::Json;
 /// is refused with exit code 1 unless `--allow-non-oblivious` is given (the
 /// escape hatch that reproduces the paper's Section 1.2 counterexample).
 ///
-/// Structural lint findings (`C001`–`C005`, see `crn lint`) on the composed
+/// Structural lint findings (`C001`–`C009`, see `crn lint`) on the composed
 /// CRN are printed to stderr — stdout carries the composed document — and
 /// listed in the `--json` payload; with `--deny-warnings` any finding also
 /// forces exit 1.  Exit codes: 0 composed, 1 refused wiring,
@@ -100,13 +100,23 @@ pub fn run(raw: &[String]) -> i32 {
     // dead or an output that a stage still consumes are exactly the defects
     // composition can introduce.  Warnings go to stderr because stdout
     // carries the composed document.
-    let warnings: Vec<LintReport> = crate::commands::lint::collect(&ws)
+    let summary = crate::commands::lint::collect(&ws);
+    let warnings: Vec<LintReport> = summary
+        .warnings
         .into_iter()
         .filter(|w| w.item == name)
+        .collect();
+    let notes: Vec<_> = summary
+        .notes
+        .into_iter()
+        .filter(|n| n.item == name)
         .collect();
     if !args.switch("json") {
         for warning in &warnings {
             eprint!("{}", warning.rendered);
+        }
+        for note in &notes {
+            eprintln!("note: {}: {}", note.item, note.message);
         }
     }
     let exit = if warnings.is_empty() || !args.switch("deny-warnings") {
@@ -168,6 +178,15 @@ pub fn run(raw: &[String]) -> i32 {
                 (
                     "warnings",
                     Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
+                ),
+                (
+                    "notes",
+                    Json::Arr(
+                        notes
+                            .iter()
+                            .map(crate::commands::lint::LintNote::to_json)
+                            .collect(),
+                    ),
                 ),
                 ("document", Json::str(text.as_str())),
             ])

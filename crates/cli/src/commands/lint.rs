@@ -1,6 +1,6 @@
 //! `crn lint`: structural static analysis with stable warning codes.
 //!
-//! Runs the `crn_model::analysis` lints (`C001`–`C005`) over every `crn` and
+//! Runs the `crn_model::analysis` lints (`C001`–`C009`) over every `crn` and
 //! `pipeline` item of each document and reports the findings as
 //! span-anchored, compiler-style warnings.  Findings never block by default
 //! (exit 0); `--deny-warnings` promotes any finding to exit 1, which is what
@@ -8,7 +8,7 @@
 
 use crn_lang::ast::Item;
 use crn_lang::span::{Diagnostic, Span};
-use crn_model::analysis::lint;
+use crn_model::analysis::lint_full;
 
 use crate::args::Args;
 use crate::commands::{usage_error, EXIT_OK, EXIT_USAGE, EXIT_VERDICT};
@@ -44,14 +44,41 @@ impl LintReport {
     }
 }
 
+/// One "analysis incomplete" note: an internal enumeration cap truncated a
+/// lint's search, so its silence is not a proof of absence.
+pub(crate) struct LintNote {
+    /// The `crn`/`pipeline` item the truncated analysis ran on.
+    pub item: String,
+    /// The note text (starts with "analysis incomplete:").
+    pub message: String,
+}
+
+impl LintNote {
+    /// The note as a JSON object (for `--json` payloads).
+    pub(crate) fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("item", Json::str(self.item.as_str())),
+            ("message", Json::str(self.message.as_str())),
+        ])
+    }
+}
+
+/// The full lint result of one workspace: span-anchored warnings plus the
+/// truncation notes.
+pub(crate) struct LintSummary {
+    pub warnings: Vec<LintReport>,
+    pub notes: Vec<LintNote>,
+}
+
 /// Runs every analysis lint over every `crn`/`pipeline` item of `ws`,
 /// anchoring each finding to the most specific source span available:
 /// the offending reaction when the lint is reaction-anchored, the `output`
 /// declaration for output-starvation findings, the first reaction mentioning
 /// the species for dead-species findings, and the whole item otherwise
 /// (composed pipelines have no per-reaction source).
-pub(crate) fn collect(ws: &Workspace) -> Vec<LintReport> {
+pub(crate) fn collect(ws: &Workspace) -> LintSummary {
     let mut reports = Vec::new();
+    let mut notes = Vec::new();
     for (name, lowered) in &ws.crns {
         let ast = ws
             .doc
@@ -63,7 +90,14 @@ pub(crate) fn collect(ws: &Workspace) -> Vec<LintReport> {
             Some(Item::Crn(ci)) => Some(ci),
             _ => None,
         };
-        for finding in lint(&lowered.crn) {
+        let outcome = lint_full(&lowered.crn);
+        for message in outcome.notes {
+            notes.push(LintNote {
+                item: name.clone(),
+                message,
+            });
+        }
+        for finding in outcome.findings {
             let species_name = finding
                 .species
                 .map(|s| lowered.crn.crn().species().name(s).to_owned());
@@ -83,7 +117,10 @@ pub(crate) fn collect(ws: &Workspace) -> Vec<LintReport> {
             });
         }
     }
-    reports
+    LintSummary {
+        warnings: reports,
+        notes,
+    }
 }
 
 /// The most specific span for one finding (see [`collect`]).
@@ -149,29 +186,40 @@ pub fn run(raw: &[String]) -> i32 {
                 continue;
             }
         };
-        let findings = collect(&ws);
+        let summary = collect(&ws);
         if args.switch("json") {
             reports.push(Json::obj(vec![
                 ("file", Json::str(path.as_str())),
                 ("ok", Json::Bool(true)),
                 (
                     "warnings",
-                    Json::Arr(findings.iter().map(LintReport::to_json).collect()),
+                    Json::Arr(summary.warnings.iter().map(LintReport::to_json).collect()),
+                ),
+                (
+                    "notes",
+                    Json::Arr(summary.notes.iter().map(LintNote::to_json).collect()),
                 ),
             ]));
-        } else if findings.is_empty() {
-            println!("{path}: clean ({} crn items linted)", ws.crns.len());
         } else {
-            println!(
-                "{path}: {} warning{}",
-                findings.len(),
-                if findings.len() == 1 { "" } else { "s" }
-            );
-            for finding in &findings {
-                print!("{}", finding.rendered);
+            if summary.warnings.is_empty() {
+                println!("{path}: clean ({} crn items linted)", ws.crns.len());
+            } else {
+                println!(
+                    "{path}: {} warning{}",
+                    summary.warnings.len(),
+                    if summary.warnings.len() == 1 { "" } else { "s" }
+                );
+                for finding in &summary.warnings {
+                    print!("{}", finding.rendered);
+                }
+            }
+            // Truncation notes are never silent: a capped enumeration means
+            // the absence of a finding is not a proof of absence.
+            for note in &summary.notes {
+                println!("note: {}: {}", note.item, note.message);
             }
         }
-        if !findings.is_empty() && args.switch("deny-warnings") {
+        if !summary.warnings.is_empty() && args.switch("deny-warnings") {
             exit = exit.max(EXIT_VERDICT);
         }
     }

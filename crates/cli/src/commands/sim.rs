@@ -9,19 +9,23 @@ use crate::commands::{EXIT_OK, EXIT_VERDICT};
 use crate::json::Json;
 
 /// Runs `crn sim <file> [--item NAME] [--input a,b,…] [--trials N]
-/// [--workers W] [--seed S] [--max-steps N] [--json]`.
+/// [--workers W] [--seed S] [--max-steps N] [--json] [--deny-warnings]`.
 ///
 /// Simulates each targeted `crn` item as an [`Ensemble`] of independent
 /// Gillespie trials on its input — `--input` if given, otherwise the item's
 /// `init` declaration.  A run *converges* when every trial reaches silence
 /// with one common output value; when the item has a `computes` link the
-/// output must also equal the linked function's value.  Exit codes: 0 all
-/// converged (and correct), 1 otherwise, 2 usage/parse errors.
+/// output must also equal the linked function's value.
+///
+/// Structural lint findings on the document are echoed to stderr in short
+/// form; with `--deny-warnings` any finding forces exit 1 even when every
+/// trial converges.  Exit codes: 0 all converged (and correct), 1 otherwise
+/// (or denied warning), 2 usage/parse errors.
 pub fn run(raw: &[String]) -> i32 {
     let args = match Args::parse(
         raw,
         &["item", "input", "trials", "workers", "seed", "max-steps"],
-        &["json"],
+        &["json", "deny-warnings"],
     ) {
         Ok(args) => args,
         Err(message) => return usage_error(&message),
@@ -51,6 +55,19 @@ pub fn run(raw: &[String]) -> i32 {
         Ok(input) => input,
         Err(message) => return usage_error(&message),
     };
+    // Lint findings ride along on stderr, mirroring `crn verify`: a trial
+    // that converges on a structurally defective CRN is still worth flagging.
+    let summary = crate::commands::lint::collect(&ws);
+    for warning in &summary.warnings {
+        eprintln!(
+            "warning[{}] {}: {}",
+            warning.code, warning.item, warning.message
+        );
+    }
+    for note in &summary.notes {
+        eprintln!("note: {}: {}", note.item, note.message);
+    }
+    let denied_warnings = !summary.warnings.is_empty() && args.switch("deny-warnings");
     let targets: Vec<&String> = match args.value("item") {
         Some(name) => match ws.crns.iter().find(|(n, _)| n == name) {
             Some((n, _)) => vec![n],
@@ -81,9 +98,17 @@ pub fn run(raw: &[String]) -> i32 {
             ));
         }
         println!("{path}: no crn items with an `init` declaration; nothing to simulate");
-        return EXIT_OK;
+        return if denied_warnings {
+            EXIT_VERDICT
+        } else {
+            EXIT_OK
+        };
     }
-    let mut exit = EXIT_OK;
+    let mut exit = if denied_warnings {
+        EXIT_VERDICT
+    } else {
+        EXIT_OK
+    };
     let mut reports = Vec::new();
     for name in targets {
         // Resolved defensively: an unresolved target is a usage error

@@ -1,6 +1,7 @@
 //! `crn verify`: reachability-based verification of `computes` claims.
 
-use crn_model::check_on_box;
+use crn_model::reachability::oracle::check_on_box_naive;
+use crn_model::{check_on_box, check_on_box_reference};
 use crn_sim::runner::spot_check_on_box;
 
 use crate::args::Args;
@@ -8,19 +9,38 @@ use crate::commands::{load_or_usage, resolve_target, usage_error, EXIT_OK, EXIT_
 use crate::json::Json;
 
 /// Runs `crn verify <file> [--item NAME] [--bound N] [--max-configs N]
-/// [--spot] [--max-steps N] [--seed S] [--json]`.
+/// [--engine pruned|reference|seed] [--spot] [--max-steps N] [--seed S]
+/// [--json] [--deny-warnings]`.
 ///
 /// For each `crn` item with a `computes` link (or the named one), checks
 /// stable computation of the linked function on every input of
 /// `[0, bound]^d`: exhaustively via the reachability engine by default, or by
 /// seeded stochastic spot checks with `--spot` (for CRNs whose reachable
-/// space outgrows `--max-configs`).  Exit codes: 0 all pass, 1 any failing or
-/// unverifiable input, 2 usage/parse errors.
+/// space outgrows `--max-configs`).
+///
+/// `--engine` selects the exhaustive backend: `pruned` (default) runs the
+/// analysis-pruned engine, `reference` the unpruned hash-interned engine and
+/// `seed` the naive fixpoint oracle — all three must produce identical
+/// verdicts, which the CI corpus smoke step cross-checks.  `--engine` is
+/// meaningless under `--spot` and refused there.
+///
+/// Structural lint findings on the verified items are echoed to stderr in
+/// short form (stdout carries the verdicts); with `--deny-warnings` any
+/// finding forces exit 1 even when every verdict passes.  Exit codes: 0 all
+/// pass, 1 any failing or unverifiable input (or denied warning), 2
+/// usage/parse errors.
 pub fn run(raw: &[String]) -> i32 {
     let args = match Args::parse(
         raw,
-        &["item", "bound", "max-configs", "max-steps", "seed"],
-        &["spot", "json"],
+        &[
+            "item",
+            "bound",
+            "max-configs",
+            "max-steps",
+            "seed",
+            "engine",
+        ],
+        &["spot", "json", "deny-warnings"],
     ) {
         Ok(args) => args,
         Err(message) => return usage_error(&message),
@@ -39,10 +59,32 @@ pub fn run(raw: &[String]) -> i32 {
             return usage_error(&m)
         }
     };
+    let engine = args.value("engine").unwrap_or("pruned");
+    if !matches!(engine, "pruned" | "reference" | "seed") {
+        return usage_error(&format!(
+            "unknown engine `{engine}`; expected `pruned`, `reference` or `seed`"
+        ));
+    }
+    if args.value("engine").is_some() && args.switch("spot") {
+        return usage_error("`--engine` selects the exhaustive backend; drop it or drop `--spot`");
+    }
     let ws = match load_or_usage(path) {
         Ok(ws) => ws,
         Err(code) => return code,
     };
+    // Lint findings ride along on stderr so a verified-but-smelly document is
+    // never silently blessed; stdout stays reserved for the verdicts.
+    let summary = crate::commands::lint::collect(&ws);
+    for warning in &summary.warnings {
+        eprintln!(
+            "warning[{}] {}: {}",
+            warning.code, warning.item, warning.message
+        );
+    }
+    for note in &summary.notes {
+        eprintln!("note: {}: {}", note.item, note.message);
+    }
+    let denied_warnings = !summary.warnings.is_empty() && args.switch("deny-warnings");
     let targets: Vec<&String> = match args.value("item") {
         Some(name) => match ws.crns.iter().find(|(n, _)| n == name) {
             Some((n, lowered)) => {
@@ -64,9 +106,17 @@ pub fn run(raw: &[String]) -> i32 {
     };
     if targets.is_empty() {
         println!("{path}: no crn items with a `computes` link; nothing to verify");
-        return EXIT_OK;
+        return if denied_warnings {
+            EXIT_VERDICT
+        } else {
+            EXIT_OK
+        };
     }
-    let mut exit = EXIT_OK;
+    let mut exit = if denied_warnings {
+        EXIT_VERDICT
+    } else {
+        EXIT_OK
+    };
     let mut reports = Vec::new();
     for name in targets {
         // Both lookups were established above, but re-resolve defensively:
@@ -121,7 +171,15 @@ pub fn run(raw: &[String]) -> i32 {
                 }
             }
         } else {
-            match check_on_box(&lowered.crn, eval, bound, max_configs) {
+            // All three backends share one verdict contract; the stdout
+            // success line is engine-independent on purpose, so CI can diff
+            // the pruned run against the seed oracle byte for byte.
+            let outcome = match engine {
+                "reference" => check_on_box_reference(&lowered.crn, eval, bound, max_configs),
+                "seed" => check_on_box_naive(&lowered.crn, eval, bound, max_configs),
+                _ => check_on_box(&lowered.crn, eval, bound, max_configs),
+            };
+            match outcome {
                 Ok(None) => {}
                 Ok(Some(verdict)) => {
                     exit = fail(

@@ -10,7 +10,7 @@
 //! | subcommand | pipeline stage |
 //! |---|---|
 //! | `crn check` | parse + lower + validate (plus non-blocking lint warnings) |
-//! | `crn lint` | structural static analysis: stable codes `C001`–`C005` |
+//! | `crn lint` | structural + semantic static analysis: stable codes `C001`–`C009` |
 //! | `crn characterize` | semilinear `fn` → spec / impossibility witness |
 //! | `crn synthesize` | spec (or `fn`) → output-oblivious CRN, emitted as text |
 //! | `crn compose` | `pipeline` item → composed CRN via the capture-proof engine |
@@ -41,9 +41,11 @@ COMMANDS:
   check <file>...        parse, lower and validate documents; prints
                          non-blocking lint warnings
                          [--bound N=6] [--json] [--deny-warnings]
-  lint <file>...         structural static analysis (stable codes C001-C005:
-                         dead species, unfireable reactions, consumed output,
-                         starved leader, excluded output)
+  lint <file>...         structural + semantic static analysis (stable codes
+                         C001-C009: dead species, unfireable reactions,
+                         consumed output, starved leader, excluded output,
+                         unmarked siphon, output-locking trap, unbounded
+                         species, transient reaction)
                          [--json] [--deny-warnings]
   characterize <file>    run the Section 7 pipeline on fn items
                          [--item NAME] [--bound N=8] [--json]
@@ -53,13 +55,17 @@ COMMANDS:
                          lint warnings for the composed item go to stderr
                          [--item NAME] [-o OUT] [--json]
                          [--allow-non-oblivious] [--deny-warnings]
-  verify <file>          check `computes` links by exhaustive reachability
+  verify <file>          check `computes` links by exhaustive reachability;
+                         lint warnings go to stderr
                          [--item NAME] [--bound N=4] [--max-configs N=200000]
-                         [--spot] [--max-steps N=1000000] [--seed S=7] [--json]
-  sim <file>             Gillespie ensemble simulation
+                         [--engine pruned|reference|seed] [--spot]
+                         [--max-steps N=1000000] [--seed S=7] [--json]
+                         [--deny-warnings]
+  sim <file>             Gillespie ensemble simulation; lint warnings go to
+                         stderr
                          [--item NAME] [--input a,b,...] [--trials N=16]
                          [--workers W=auto] [--seed S=1]
-                         [--max-steps N=10000000] [--json]
+                         [--max-steps N=10000000] [--json] [--deny-warnings]
   fmt <file>...          canonical formatting [--write | --check]
   help                   print this message
 

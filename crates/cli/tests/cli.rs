@@ -239,6 +239,88 @@ fn synthesize_of_a_zero_parameter_spec_re_enters_the_pipeline() {
     assert!(stdout.contains("\"outputs\":[5]"), "{stdout}");
 }
 
+/// A document that verifies clean but trips C003 (its output is consumed
+/// non-catalytically), so lint warnings and verdicts can move independently.
+const WARNING_DOC: &str = "\
+fn maxish(x1, x2) {
+  case x1 >= x2: x1;
+  otherwise: x2;
+}
+
+crn max {
+  inputs X1 X2;
+  output Y;
+  computes maxish;
+  X1 -> Z1 + Y;
+  X2 -> Z2 + Y;
+  Z1 + Z2 -> K;
+  K + Y -> 0;
+}
+";
+
+#[test]
+fn verify_engines_agree_and_honor_deny_warnings() {
+    let path = scratch("engines.crn", WARNING_DOC);
+    let path = path.to_str().unwrap();
+    // All three exhaustive backends pass with byte-identical stdout, and the
+    // C003 finding lands on stderr without touching the exit code.
+    let mut stdouts = Vec::new();
+    for engine in ["pruned", "reference", "seed"] {
+        let (code, stdout, stderr) = run_crn(&["verify", path, "--bound", "3", "--engine", engine]);
+        assert_eq!(code, 0, "--engine {engine}\n{stdout}\n{stderr}");
+        assert!(stderr.contains("warning[C003]"), "{stderr}");
+        stdouts.push(stdout);
+    }
+    assert_eq!(stdouts[0], stdouts[1], "pruned vs reference stdout");
+    assert_eq!(stdouts[0], stdouts[2], "pruned vs seed stdout");
+    // --deny-warnings promotes the finding to exit 1 even though every
+    // verdict passes; the verdicts themselves still print.
+    let (code, stdout, stderr) = run_crn(&["verify", path, "--bound", "3", "--deny-warnings"]);
+    assert_eq!(code, 1, "{stdout}\n{stderr}");
+    assert!(stdout.contains("ok (exhaustive)"), "{stdout}");
+    // An unknown engine and --engine under --spot are usage errors.
+    let (code, _, _) = run_crn(&["verify", path, "--engine", "frobnicate"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = run_crn(&["verify", path, "--spot", "--engine", "seed"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn sim_echoes_lint_warnings_and_honors_deny_warnings() {
+    let path = scratch("sim_warnings.crn", WARNING_DOC);
+    let path = path.to_str().unwrap();
+    let (code, _, stderr) = run_crn(&["sim", path, "--input", "2,3", "--trials", "3"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("warning[C003]"), "{stderr}");
+    let (code, stdout, stderr) = run_crn(&[
+        "sim",
+        path,
+        "--input",
+        "2,3",
+        "--trials",
+        "3",
+        "--deny-warnings",
+    ]);
+    assert_eq!(code, 1, "{stdout}\n{stderr}");
+    assert!(stdout.contains("expected 3: ok"), "{stdout}");
+}
+
+#[test]
+fn lint_json_is_byte_identical_across_runs() {
+    // The JSON payload is a machine interface: two runs over the same file
+    // must agree byte for byte (stable finding order, stable note order).
+    let path = scratch("lint_determinism.crn", WARNING_DOC);
+    let path = path.to_str().unwrap();
+    let (code, first, _) = run_crn(&["lint", path, "--json"]);
+    assert_eq!(code, 0);
+    assert!(first.contains("\"code\":\"C003\""), "{first}");
+    for _ in 0..2 {
+        let (code, again, _) = run_crn(&["lint", path, "--json"]);
+        assert_eq!(code, 0);
+        assert_eq!(first, again, "lint --json must be deterministic");
+    }
+}
+
 #[test]
 fn multi_file_check_json_reports_every_file() {
     let good = scratch("json_good.crn", VALID_DOC);

@@ -107,7 +107,9 @@ const GOLDENS: &[(&str, &str, &[&str], i32)] = &[
     ("pipeline_adversarial", "lint", &[], 0),
     ("pipeline_non_oblivious", "lint", &[], 0),
     ("pipeline_two_min", "lint", &[], 0),
+    ("siphon_deadlock", "lint", &[], 0),
     ("staircase", "lint", &[], 0),
+    ("t_invariant_cycle", "lint", &[], 0),
     ("truncated_subtraction", "lint", &[], 0),
 ];
 
@@ -134,15 +136,28 @@ fn corpus_golden_outputs_match() {
 #[test]
 fn lint_deny_warnings_exit_code() {
     // --deny-warnings promotes findings to exit 1 — the adversarial fixture
-    // (which trips every code C001–C005) must fail, clean documents must not.
+    // (which trips every structural code C001–C005, plus the C006 shadow of
+    // its dead chain) must fail, clean documents must not.
     let (code, stdout) = run_crn(&["lint", "corpus/lint_adversarial.crn", "--deny-warnings"]);
     assert_eq!(
         code, 1,
         "adversarial doc must fail --deny-warnings\n{stdout}"
     );
-    for code_id in ["C001", "C002", "C003", "C004", "C005"] {
+    for code_id in ["C001", "C002", "C003", "C004", "C005", "C006"] {
         assert!(stdout.contains(code_id), "missing {code_id}:\n{stdout}");
     }
+    // The analysis-v2 fixtures cover the semantic codes C006–C009.
+    let (code, stdout) = run_crn(&["lint", "corpus/siphon_deadlock.crn", "--deny-warnings"]);
+    assert_eq!(
+        code, 1,
+        "siphon fixture must fail --deny-warnings\n{stdout}"
+    );
+    for code_id in ["C006", "C007", "C008"] {
+        assert!(stdout.contains(code_id), "missing {code_id}:\n{stdout}");
+    }
+    let (code, stdout) = run_crn(&["lint", "corpus/t_invariant_cycle.crn", "--deny-warnings"]);
+    assert_eq!(code, 1, "cycle fixture must fail --deny-warnings\n{stdout}");
+    assert!(stdout.contains("C009"), "missing C009:\n{stdout}");
     let (code, stdout) = run_crn(&["lint", "corpus/add.crn", "--deny-warnings"]);
     assert_eq!(code, 0, "clean doc must pass --deny-warnings\n{stdout}");
     // `crn check --deny-warnings` follows the same contract.

@@ -212,33 +212,30 @@ pub fn conservation_basis(stoich: &Stoichiometry) -> Vec<ConservationLaw> {
 /// law is genuine, some may be missed) past this many candidate rows.
 pub const FARKAS_ROW_CAP: usize = 4096;
 
-/// Minimal-support nonnegative conservation laws (P-semiflows) by the Farkas
-/// algorithm, capped at `max_rows` intermediate rows.
-///
-/// Starting from `[N | I]` (one row per species), each reaction column is
-/// annulled in turn by adding every positive multiple-pair combination of
-/// rows with opposite signs and discarding rows with a nonzero entry; the
-/// identity half of the surviving rows are nonnegative laws.  Rows are
-/// reduced by their gcd and deduplicated, and the result is filtered to laws
-/// of minimal support.  Truncation at `max_rows` only loses laws, it never
-/// fabricates one.
-#[must_use]
-pub fn nonnegative_laws(stoich: &Stoichiometry, max_rows: usize) -> Vec<ConservationLaw> {
-    let species = stoich.stride();
-    let reactions = stoich.reaction_count();
-    // Each row is [reaction part (length R) | species weights (length S)].
-    let mut table: Vec<Vec<i128>> = (0..species)
-        .map(|s| {
-            let mut row = vec![0i128; reactions + species];
-            for (r, cell) in row[..reactions].iter_mut().enumerate() {
-                *cell = i128::from(stoich.entry(s, r));
-            }
-            row[reactions + s] = 1;
-            row
-        })
-        .collect();
+/// The result of a capped P-semiflow enumeration: the laws found plus
+/// whether the Farkas row cap cut the search short.  A truncated enumeration
+/// is still *sound* (every returned law is genuine) but no longer complete,
+/// so consumers that reason from the *absence* of a law must check the flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemiflowEnumeration {
+    /// The minimal-support nonnegative laws found.
+    pub laws: Vec<ConservationLaw>,
+    /// Whether the intermediate-row cap truncated the enumeration.
+    pub truncated: bool,
+}
 
-    for col in 0..reactions {
+/// Runs the Farkas annulment loop over the first `annul` columns of `table`,
+/// combining positive/negative row pairs with positive coefficients and
+/// keeping at most `max_rows` intermediate rows per column.  Returns the
+/// surviving rows (whose first `annul` entries are all zero) and whether the
+/// cap cut the enumeration short.
+pub(super) fn farkas_annul(
+    mut table: Vec<Vec<i128>>,
+    annul: usize,
+    max_rows: usize,
+) -> (Vec<Vec<i128>>, bool) {
+    let mut truncated = false;
+    for col in 0..annul {
         let (zero, nonzero): (Vec<_>, Vec<_>) = table.drain(..).partition(|row| row[col] == 0);
         let mut next = zero;
         let positive: Vec<&Vec<i128>> = nonzero.iter().filter(|row| row[col] > 0).collect();
@@ -263,24 +260,21 @@ pub fn nonnegative_laws(stoich: &Stoichiometry, max_rows: usize) -> Vec<Conserva
                     next.push(combined);
                 }
                 if next.len() >= max_rows {
+                    truncated = true;
                     break 'pairs;
                 }
             }
         }
         table = next;
     }
+    (table, truncated)
+}
 
-    let mut laws: Vec<ConservationLaw> = table
-        .into_iter()
-        .filter_map(|row| ConservationLaw::primitive(row[reactions..].to_vec()))
-        .collect();
-    // Keep only minimal-support laws: drop any law whose support strictly
-    // contains another law's support (the Farkas combination step can emit
-    // sums of smaller semiflows).
-    let supports: Vec<Vec<bool>> = laws
-        .iter()
-        .map(|law| law.weights().iter().map(|&w| w != 0).collect())
-        .collect();
+/// Drops every item whose support strictly contains another item's support.
+/// Items with empty support are kept untouched (and must not occur alongside
+/// nonempty ones, or they would knock everything out).
+pub(super) fn retain_minimal_support<T>(items: &mut Vec<T>, support_of: impl Fn(&T) -> Vec<bool>) {
+    let supports: Vec<Vec<bool>> = items.iter().map(&support_of).collect();
     let minimal: Vec<bool> = supports
         .iter()
         .enumerate()
@@ -293,10 +287,58 @@ pub fn nonnegative_laws(stoich: &Stoichiometry, max_rows: usize) -> Vec<Conserva
         })
         .collect();
     let mut keep = minimal.into_iter();
-    laws.retain(|_| keep.next().expect("one flag per law"));
+    items.retain(|_| keep.next().expect("one flag per item"));
+}
+
+/// Minimal-support nonnegative conservation laws (P-semiflows) by the Farkas
+/// algorithm, capped at `max_rows` intermediate rows, with the truncation
+/// flag surfaced.
+///
+/// Starting from `[N | I]` (one row per species), each reaction column is
+/// annulled in turn by adding every positive multiple-pair combination of
+/// rows with opposite signs and discarding rows with a nonzero entry; the
+/// identity half of the surviving rows are nonnegative laws.  Rows are
+/// reduced by their gcd and deduplicated, and the result is filtered to laws
+/// of minimal support.  Truncation at `max_rows` only loses laws, it never
+/// fabricates one.
+#[must_use]
+pub fn nonnegative_laws_capped(stoich: &Stoichiometry, max_rows: usize) -> SemiflowEnumeration {
+    let species = stoich.stride();
+    let reactions = stoich.reaction_count();
+    // Each row is [reaction part (length R) | species weights (length S)].
+    let table: Vec<Vec<i128>> = (0..species)
+        .map(|s| {
+            let mut row = vec![0i128; reactions + species];
+            for (r, cell) in row[..reactions].iter_mut().enumerate() {
+                *cell = i128::from(stoich.entry(s, r));
+            }
+            row[reactions + s] = 1;
+            row
+        })
+        .collect();
+
+    let (table, truncated) = farkas_annul(table, reactions, max_rows);
+
+    let mut laws: Vec<ConservationLaw> = table
+        .into_iter()
+        .filter_map(|row| ConservationLaw::primitive(row[reactions..].to_vec()))
+        .collect();
+    // Keep only minimal-support laws: drop any law whose support strictly
+    // contains another law's support (the Farkas combination step can emit
+    // sums of smaller semiflows).
+    retain_minimal_support(&mut laws, |law| {
+        law.weights().iter().map(|&w| w != 0).collect()
+    });
     laws.sort_by(|a, b| a.weights().cmp(b.weights()));
     laws.dedup();
-    laws
+    SemiflowEnumeration { laws, truncated }
+}
+
+/// [`nonnegative_laws_capped`] without the truncation flag, for callers that
+/// only consume the laws positively (a found law is always genuine).
+#[must_use]
+pub fn nonnegative_laws(stoich: &Stoichiometry, max_rows: usize) -> Vec<ConservationLaw> {
+    nonnegative_laws_capped(stoich, max_rows).laws
 }
 
 #[cfg(test)]
@@ -412,6 +454,23 @@ mod tests {
         assert_eq!(law.weigh(&[3]), 3);
         assert_eq!(law.weigh(&[3, 1, 9]), 5);
         assert_eq!(law.weight(7), 0);
+    }
+
+    #[test]
+    fn a_tiny_row_cap_surfaces_truncation() {
+        // min's Farkas run needs three intermediate rows; a cap of one row
+        // cannot hold them, and the flag must say so instead of silently
+        // narrowing the law set.
+        let min = examples::min_crn();
+        let n = stoich(min.crn());
+        let full = nonnegative_laws_capped(&n, FARKAS_ROW_CAP);
+        assert!(!full.truncated);
+        assert_eq!(full.laws.len(), 2);
+        let cut = nonnegative_laws_capped(&n, 1);
+        assert!(cut.truncated);
+        assert!(cut.laws.len() < full.laws.len());
+        // Whatever survives the cap is still a genuine law.
+        assert_laws_hold(&cut.laws, &n);
     }
 
     #[test]

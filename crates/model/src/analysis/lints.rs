@@ -1,4 +1,4 @@
-//! Typed structural lints with stable codes `C001`–`C005`.
+//! Typed structural lints with stable codes `C001`–`C009`.
 //!
 //! Each lint is a *static* fact about a [`FunctionCrn`] — no state space is
 //! explored.  The codes are stable identifiers for tooling (goldens, CI
@@ -11,6 +11,10 @@
 //! | `C003` | output consumed non-catalytically ⇒ not output-oblivious (Observation 2.2) |
 //! | `C004` | leader consumed by competing reactions and never regenerated |
 //! | `C005` | a conservation law bounds the output to zero from every input |
+//! | `C006` | a minimal siphon starts unmarked and can never become marked |
+//! | `C007` | a markable trap permanently locks conservation budget away from the output |
+//! | `C008` | a producible species no decreasing potential bounds — divergence risk |
+//! | `C009` | a reaction outside every T-semiflow support in a cyclic bounded CRN |
 //!
 //! `C001`/`C002` come from the [`Liveness`] fixpoint (sound: flagged
 //! structure is dead for *every* initial configuration over the declared
@@ -22,14 +26,41 @@
 //! `⌊v·c₀ / v(Y)⌋ = 0` for the leader-only part of the initial configuration
 //! proves `Y = 0` along every trajectory from every input — the CRN cannot
 //! compute anything but zero.
+//!
+//! The analysis-v2 codes instantiate Petri-net structure theory:
+//!
+//! * `C006` — a minimal siphon disjoint from the inputs and leader starts
+//!   empty and, by the siphon property, stays empty forever: every reaction
+//!   consuming from it is structurally dead for every input.
+//! * `C007` — a minimal trap `Q` not containing the output, markable from
+//!   the declared roles, whose species all carry positive weight under an
+//!   input-independent nonnegative law that also weighs the output: marking
+//!   `Q` permanently sinks at least `min_{s∈Q} v(s)` of the conserved
+//!   budget, strictly lowering the output's reachable ceiling.
+//! * `C008` — a producible species covered by no decreasing potential: no
+//!   invariant reasoning bounds its count, so it may diverge (skipped when
+//!   the potential enumeration truncated — absence would be unreliable).
+//! * `C009` — in a structurally bounded CRN (every species covered by a
+//!   decreasing potential) any infinite firing sequence repeats a
+//!   configuration, so the reactions fired infinitely often form a
+//!   T-semiflow support; a reaction outside every support fires at most
+//!   finitely often.  Only reported when the CRN has at least one
+//!   T-semiflow (otherwise *every* reaction of a terminating CRN would be
+//!   flagged) and no relevant enumeration truncated.
+//!
+//! When a cap does truncate an enumeration, [`lint_full`] reports it as an
+//! explicit "analysis incomplete" note instead of silently narrowing.
 
 use crate::compiled::CompiledCrn;
 use crate::function::FunctionCrn;
 use crate::species::Species;
 
-use super::invariants::{nonnegative_laws, ConservationLaw, FARKAS_ROW_CAP};
+use super::bounds::SpeciesBounds;
+use super::invariants::{nonnegative_laws_capped, ConservationLaw, FARKAS_ROW_CAP};
 use super::liveness::Liveness;
+use super::siphons::{minimal_siphons, minimal_traps, SIPHON_NODE_CAP};
 use super::stoichiometry::Stoichiometry;
+use super::t_invariants::nonnegative_t_semiflows;
 
 /// Stable lint identifiers.  The numeric suffix never changes meaning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -44,6 +75,15 @@ pub enum LintCode {
     LeaderStarved,
     /// A conservation law bounds the output to zero from every input.
     OutputExcluded,
+    /// A minimal siphon starts unmarked and can never become marked.
+    UnmarkedSiphon,
+    /// A markable trap permanently locks conservation budget away from the
+    /// output.
+    OutputLockingTrap,
+    /// A producible species bounded by no decreasing potential.
+    UnboundedSpecies,
+    /// A reaction outside every T-semiflow support of a cyclic bounded CRN.
+    TransientReaction,
 }
 
 impl LintCode {
@@ -56,6 +96,10 @@ impl LintCode {
             LintCode::OutputConsumed => "C003",
             LintCode::LeaderStarved => "C004",
             LintCode::OutputExcluded => "C005",
+            LintCode::UnmarkedSiphon => "C006",
+            LintCode::OutputLockingTrap => "C007",
+            LintCode::UnboundedSpecies => "C008",
+            LintCode::TransientReaction => "C009",
         }
     }
 }
@@ -81,13 +125,34 @@ pub struct Lint {
     pub message: String,
 }
 
-/// Runs every lint against a function CRN, in stable code order.
+/// The complete result of one lint run: the findings, plus "analysis
+/// incomplete" notes for every enumeration an internal cap truncated (no
+/// silent caps — a clean finding list means nothing if the search that
+/// would have produced findings was cut short).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintOutcome {
+    /// The findings, in stable `(code, reaction, species)` order.
+    pub findings: Vec<Lint>,
+    /// Human-readable truncation notes, in a fixed emission order.
+    pub notes: Vec<String>,
+}
+
+/// Runs every lint against a function CRN, in stable code order, dropping
+/// the truncation notes.  Prefer [`lint_full`] in user-facing tooling.
 #[must_use]
 pub fn lint(f: &FunctionCrn) -> Vec<Lint> {
+    lint_full(f).findings
+}
+
+/// Runs every lint against a function CRN, in stable code order, together
+/// with the "analysis incomplete" notes.
+#[must_use]
+pub fn lint_full(f: &FunctionCrn) -> LintOutcome {
     let crn = f.crn();
     let species = crn.species();
     let compiled = CompiledCrn::compile(crn);
     let mut out = Vec::new();
+    let mut notes = Vec::new();
 
     // C001 / C002 — liveness from the declared initial species.
     let mut initial: Vec<usize> = f.roles().inputs.iter().map(|s| s.index()).collect();
@@ -173,8 +238,15 @@ pub fn lint(f: &FunctionCrn) -> Vec<Lint> {
     let stoich = Stoichiometry::of(&compiled);
     let inputs = &f.roles().inputs;
     let leader = f.leader();
-    for law in nonnegative_laws(&stoich, FARKAS_ROW_CAP) {
-        if let Some(message) = output_excluded(&law, inputs, output, leader, species) {
+    let semiflows = nonnegative_laws_capped(&stoich, FARKAS_ROW_CAP);
+    if semiflows.truncated {
+        notes.push(format!(
+            "analysis incomplete: P-semiflow enumeration truncated at {FARKAS_ROW_CAP} rows \
+             (C005/C007 may miss laws)"
+        ));
+    }
+    for law in &semiflows.laws {
+        if let Some(message) = output_excluded(law, inputs, output, leader, species) {
             out.push(Lint {
                 code: LintCode::OutputExcluded,
                 species: Some(output),
@@ -185,6 +257,145 @@ pub fn lint(f: &FunctionCrn) -> Vec<Lint> {
         }
     }
 
+    // C006 — a minimal siphon disjoint from every initially-marked species
+    // starts empty; by the siphon property nothing can ever mark it.
+    let mut marked = vec![false; compiled.stride()];
+    for &s in &initial {
+        if s < marked.len() {
+            marked[s] = true;
+        }
+    }
+    let siphons = minimal_siphons(&compiled, SIPHON_NODE_CAP);
+    if siphons.truncated {
+        notes.push(format!(
+            "analysis incomplete: siphon enumeration truncated at {SIPHON_NODE_CAP} nodes \
+             (C006 may miss siphons)"
+        ));
+    }
+    for set in &siphons.sets {
+        if set.iter().any(|&s| marked[s]) {
+            continue;
+        }
+        out.push(Lint {
+            code: LintCode::UnmarkedSiphon,
+            species: set
+                .iter()
+                .find(|&&s| s < species.len())
+                .map(|&s| Species(s)),
+            reaction: None,
+            message: format!(
+                "siphon {{{}}} starts unmarked and no reaction can ever mark it: \
+                 every reaction consuming from it is structurally dead",
+                display_set(set, species)
+            ),
+        });
+    }
+
+    // C007 — a markable trap whose species all sink input-independent
+    // conservation budget the output needs: once the trap is marked, the
+    // output's reachable ceiling drops for good.
+    let traps = minimal_traps(&compiled, SIPHON_NODE_CAP);
+    if traps.truncated {
+        notes.push(format!(
+            "analysis incomplete: trap enumeration truncated at {SIPHON_NODE_CAP} nodes \
+             (C007 may miss traps)"
+        ));
+    }
+    for set in &traps.sets {
+        if set.contains(&output.index()) {
+            continue;
+        }
+        if !set.iter().any(|&s| live.producible(s)) {
+            continue; // a trap that can never be marked locks nothing
+        }
+        let Some((law, ceiling, locked)) =
+            trap_locks_output(set, &semiflows.laws, inputs, output, leader)
+        else {
+            continue;
+        };
+        out.push(Lint {
+            code: LintCode::OutputLockingTrap,
+            species: set
+                .iter()
+                .find(|&&s| s < species.len())
+                .map(|&s| Species(s)),
+            reaction: None,
+            message: format!(
+                "trap {{{}}} can become marked and then permanently locks conservation \
+                 budget away from output `{}`: law {} caps the output at {} instead of {}",
+                display_set(set, species),
+                species.name(output),
+                law.display(species),
+                locked,
+                ceiling
+            ),
+        });
+    }
+
+    // C008 — a producible species no decreasing potential covers: no
+    // invariant reasoning bounds its count, so it may grow without bound.
+    // Skipped entirely under truncation (the claim is about absence).
+    let bounds = SpeciesBounds::of(&compiled);
+    if bounds.truncated() {
+        notes.push(format!(
+            "analysis incomplete: potential enumeration truncated at {FARKAS_ROW_CAP} rows \
+             (C008/C009 skipped)"
+        ));
+    } else {
+        for s in 0..species.len() {
+            if live.producible(s) && !bounds.covered(s) {
+                out.push(Lint {
+                    code: LintCode::UnboundedSpecies,
+                    species: Some(Species(s)),
+                    reaction: None,
+                    message: format!(
+                        "species `{}` is bounded by no conservation law or decreasing \
+                         potential: its count may diverge",
+                        species.name(Species(s))
+                    ),
+                });
+            }
+        }
+    }
+
+    // C009 — in a structurally bounded CRN, a reaction outside every
+    // T-semiflow support fires at most finitely often.  Reported only when
+    // the CRN actually has repeatable cycles, so terminating CRNs (where
+    // the fact is vacuously true of every reaction) stay silent.
+    let t_semiflows = nonnegative_t_semiflows(&stoich, FARKAS_ROW_CAP);
+    if t_semiflows.truncated {
+        notes.push(format!(
+            "analysis incomplete: T-semiflow enumeration truncated at {FARKAS_ROW_CAP} rows \
+             (C009 skipped)"
+        ));
+    }
+    let structurally_bounded =
+        !bounds.truncated() && (0..compiled.stride()).all(|s| bounds.covered(s));
+    if !t_semiflows.truncated && structurally_bounded && !t_semiflows.semiflows.is_empty() {
+        let mut in_support = vec![false; crn.reactions().len()];
+        for flow in &t_semiflows.semiflows {
+            for r in flow.support() {
+                if r < in_support.len() {
+                    in_support[r] = true;
+                }
+            }
+        }
+        for (r, covered) in in_support.iter().enumerate() {
+            if !covered {
+                out.push(Lint {
+                    code: LintCode::TransientReaction,
+                    species: None,
+                    reaction: Some(r),
+                    message: format!(
+                        "reaction `{}` lies outside every T-invariant of this bounded CRN: \
+                         it can fire at most finitely often while the cycles run forever",
+                        crn.reactions()[r].display(species)
+                    ),
+                });
+            }
+        }
+    }
+
     out.sort_by(|a, b| {
         (a.code, a.reaction, a.species.map(|s| s.index())).cmp(&(
             b.code,
@@ -192,7 +403,61 @@ pub fn lint(f: &FunctionCrn) -> Vec<Lint> {
             b.species.map(|s| s.index()),
         ))
     });
-    out
+    LintOutcome {
+        findings: out,
+        notes,
+    }
+}
+
+/// Renders a species-index set as comma-separated names (foreign indices as
+/// `#i`).
+fn display_set(set: &[usize], species: &crate::species::SpeciesSet) -> String {
+    set.iter()
+        .map(|&s| {
+            if s < species.len() {
+                species.name(Species(s)).to_owned()
+            } else {
+                format!("#{s}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Checks whether marking trap `set` strictly lowers the output ceiling of
+/// some input-independent nonnegative law: the law must weigh the output
+/// and every trap species positively, weigh every input zero, and satisfy
+/// `⌊(B − w_min) / v(Y)⌋ < ⌊B / v(Y)⌋ > 0` for the leader-only budget `B`.
+fn trap_locks_output<'l>(
+    set: &[usize],
+    laws: &'l [ConservationLaw],
+    inputs: &[Species],
+    output: Species,
+    leader: Option<Species>,
+) -> Option<(&'l ConservationLaw, i128, i128)> {
+    for law in laws {
+        let vy = law.weight(output.index());
+        if vy <= 0 {
+            continue;
+        }
+        if inputs.iter().any(|x| law.weight(x.index()) != 0) {
+            continue;
+        }
+        if set.iter().any(|&s| law.weight(s) <= 0) {
+            continue;
+        }
+        let budget = leader.map_or(0, |l| law.weight(l.index()));
+        let ceiling = budget / vy;
+        if ceiling == 0 {
+            continue; // C005 territory: the output is excluded outright
+        }
+        let w_min = set.iter().map(|&s| law.weight(s)).min().unwrap_or(0);
+        let locked = (budget - w_min).div_euclid(vy).max(0);
+        if locked < ceiling {
+            return Some((law, ceiling, locked));
+        }
+    }
+    None
 }
 
 /// Checks whether `law` bounds the output to zero regardless of inputs:
@@ -252,14 +517,17 @@ mod tests {
     }
 
     #[test]
-    fn dead_chain_fires_c001_and_c002() {
+    fn dead_chain_fires_c001_c002_and_c006() {
+        // D and U are dead (C001), D -> U can never fire (C002), and {D} is
+        // an unmarked siphon (C006) — the structural view of the same bug.
         let mut crn = Crn::new();
         crn.parse_reaction("X -> Y").unwrap();
         crn.parse_reaction("D -> U").unwrap();
         let f = crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", None).unwrap();
         let lints = lint(&f);
-        assert_eq!(codes(&lints), vec!["C001", "C001", "C002"]);
+        assert_eq!(codes(&lints), vec!["C001", "C001", "C002", "C006"]);
         assert_eq!(lints[2].reaction, Some(1));
+        assert!(lints[3].message.contains("siphon {D}"), "{lints:?}");
     }
 
     #[test]
@@ -301,5 +569,135 @@ mod tests {
     fn productive_output_does_not_fire_c005() {
         // X -> 2Y: the only semiflow-style law involving Y weighs X too.
         assert!(lint(&examples::double_crn()).is_empty());
+    }
+
+    #[test]
+    fn locked_budget_fires_c007() {
+        // L -> 2B ; B + X -> Y ; B -> V: the law 2L + B + Y + V gives the
+        // output a leader-only ceiling of 2, but any budget token B straying
+        // into the trap {V} permanently locks one Y away.
+        let mut crn = Crn::new();
+        crn.parse_reaction("L -> 2B").unwrap();
+        crn.parse_reaction("B + X -> Y").unwrap();
+        crn.parse_reaction("B -> V").unwrap();
+        let f =
+            crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("L")).unwrap();
+        let lints = lint(&f);
+        assert_eq!(codes(&lints), vec!["C007"], "{lints:?}");
+        assert!(lints[0].message.contains("trap {V}"), "{lints:?}");
+        assert!(lints[0].message.contains("at 1 instead of 2"), "{lints:?}");
+    }
+
+    #[test]
+    fn uncovered_species_fires_c008() {
+        // X -> Y ; Y -> Y + G: G only ever grows, and no potential covers it.
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("Y -> Y + G").unwrap();
+        let f = crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", None).unwrap();
+        let lints = lint(&f);
+        assert_eq!(codes(&lints), vec!["C008"], "{lints:?}");
+        assert!(lints[0].message.contains('G'), "{lints:?}");
+    }
+
+    #[test]
+    fn reaction_outside_the_cycles_fires_c009() {
+        // X -> Y makes irreversible progress while A <-> B cycles forever;
+        // the CRN is structurally bounded, so X -> Y fires finitely often.
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("A -> B").unwrap();
+        crn.parse_reaction("B -> A").unwrap();
+        let f =
+            crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", Some("A")).unwrap();
+        let lints = lint(&f);
+        assert_eq!(codes(&lints), vec!["C009"], "{lints:?}");
+        assert_eq!(lints[0].reaction, Some(0));
+    }
+
+    #[test]
+    fn terminating_crns_do_not_fire_c009() {
+        // max has no T-invariants at all: flagging every reaction of every
+        // terminating CRN would be pure noise, so C009 stays silent.
+        let max = lint(&examples::max_crn());
+        assert!(!codes(&max).contains(&"C009"), "{max:?}");
+    }
+
+    #[test]
+    fn truncation_surfaces_as_notes_not_silence() {
+        // A full run of the adversarial-but-small examples produces no
+        // notes: nothing truncated, so nothing to disclaim.
+        assert!(lint_full(&examples::max_crn()).notes.is_empty());
+        assert!(lint_full(&examples::min_crn()).notes.is_empty());
+    }
+
+    fn random_function_crn(rows: &[Vec<u64>]) -> crate::function::FunctionCrn {
+        let mut crn = Crn::new();
+        for name in ["X", "Y", "Z"] {
+            crn.add_species(name);
+        }
+        for row in rows {
+            let side = |counts: &[u64]| {
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(s, &c)| (Species(s), c))
+                    .collect::<Vec<_>>()
+            };
+            crn.add_reaction(crate::reaction::Reaction::new(
+                side(&row[..3]),
+                side(&row[3..]),
+            ));
+        }
+        crate::function::FunctionCrn::with_named_roles(crn, &["X"], "Y", None).unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// Linting is deterministic, and the species-anchored findings
+        /// (everything not tied to a reaction index) are independent of the
+        /// order reactions were declared in.
+        #[test]
+        fn lints_are_deterministic_and_order_insensitive(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0u64..3, 6),
+                1..4,
+            ),
+            seed in 0usize..24,
+        ) {
+            let f = random_function_crn(&rows);
+            let first = lint_full(&f);
+            let second = lint_full(&f);
+            proptest::prop_assert_eq!(&first, &second);
+
+            // A deterministic permutation of the declaration order.
+            let mut permuted = rows.clone();
+            if permuted.len() > 1 {
+                let k = seed % permuted.len();
+                permuted.rotate_left(k);
+                if seed % 2 == 1 {
+                    permuted.reverse();
+                }
+            }
+            let g = random_function_crn(&permuted);
+            let reordered = lint_full(&g);
+            let species_anchored = |outcome: &LintOutcome| {
+                let mut msgs: Vec<String> = outcome
+                    .findings
+                    .iter()
+                    .filter(|l| l.reaction.is_none())
+                    .map(|l| format!("{}: {}", l.code, l.message))
+                    .collect();
+                msgs.sort();
+                msgs
+            };
+            proptest::prop_assert_eq!(
+                species_anchored(&first),
+                species_anchored(&reordered)
+            );
+            proptest::prop_assert_eq!(first.notes, reordered.notes);
+        }
     }
 }

@@ -62,6 +62,21 @@ impl Stoichiometry {
     pub fn entry(&self, species: usize, reaction: usize) -> i64 {
         self.columns[reaction][species]
     }
+
+    /// The transposed matrix `Nᵀ ∈ Z^{R × S}`: rows become reactions and
+    /// columns become species.  Left-nullspace machinery applied to the
+    /// transpose computes *right* nullspace vectors of `N` — the T-invariants
+    /// (firing-count vectors `f` with `N·f = 0`).
+    #[must_use]
+    pub fn transposed(&self) -> Stoichiometry {
+        let columns = (0..self.stride)
+            .map(|s| self.columns.iter().map(|col| col[s]).collect())
+            .collect();
+        Stoichiometry {
+            stride: self.columns.len(),
+            columns,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +101,20 @@ mod tests {
         assert_eq!(n.entry(idx("Y"), 3), -1);
         assert_eq!(n.entry(idx("K"), 3), -1);
         assert_eq!(n.entry(idx("X2"), 0), 0);
+    }
+
+    #[test]
+    fn transposed_swaps_rows_and_columns() {
+        let max = examples::max_crn();
+        let n = Stoichiometry::of(&CompiledCrn::compile(max.crn()));
+        let t = n.transposed();
+        assert_eq!(t.stride(), n.reaction_count());
+        assert_eq!(t.reaction_count(), n.stride());
+        for s in 0..n.stride() {
+            for r in 0..n.reaction_count() {
+                assert_eq!(t.entry(r, s), n.entry(s, r));
+            }
+        }
     }
 
     #[test]

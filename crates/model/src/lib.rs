@@ -18,7 +18,8 @@
 //!   ([`reachability`]), with a conservation-law refutation oracle,
 //! * a static-analysis layer ([`analysis`]): the exact stoichiometry matrix,
 //!   integer conservation laws, producible/fireable liveness and the typed
-//!   structural lints `C001`–`C005`,
+//!   structural and semantic lints `C001`–`C009` (siphons, traps,
+//!   T-invariants and species bounds behind the analysis-v2 codes),
 //! * the structural predicates of Section 2.3 (output-oblivious,
 //!   output-monotonic) and the transformation of Observation 2.4,
 //! * composition by concatenation (Observation 2.2 / Lemma 2.3) generalized
@@ -70,7 +71,8 @@ pub use crn::Crn;
 pub use error::CrnError;
 pub use function::{FunctionCrn, Roles};
 pub use reachability::{
-    check_on_box, check_on_box_with_workers, check_stable_computation, max_output_reachable,
+    check_on_box, check_on_box_reference, check_on_box_reference_with_workers,
+    check_on_box_with_workers, check_stable_computation, max_output_reachable,
     reachable_configurations, target_reachable, target_reachable_exhaustive, InvariantOracle,
     ReachabilityLimits, StableComputationVerdict,
 };

@@ -9,9 +9,14 @@
 //!
 //! [`ReachabilityGraph::explore`]: super::ReachabilityGraph::explore
 
+use std::sync::Arc;
+
 use crn_numeric::NVec;
 
-use crate::analysis::{conservation_basis, ConservationLaw, Stoichiometry};
+use crate::analysis::{
+    conservation_basis, nonnegative_t_semiflows, t_invariant_basis, ConservationLaw,
+    CountIntervals, Liveness, SpeciesBounds, Stoichiometry, FARKAS_ROW_CAP,
+};
 use crate::compiled::CompiledCrn;
 use crate::error::CrnError;
 use crate::function::FunctionCrn;
@@ -20,6 +25,217 @@ use super::arena::ConfigArena;
 use super::csr::CsrGraph;
 use super::scc::Condensation;
 use super::{ReachabilityLimits, StableComputationVerdict};
+
+/// Largest interval-box volume for which the engine switches from hash
+/// interning to the mixed-radix code index.  The only hard requirement is
+/// that reaction offsets stay representable (`i64`); the cap keeps the
+/// arithmetic comfortably clear of overflow.
+const DIRECT_INDEX_CAP: u128 = 1 << 62;
+
+/// The point-independent static-analysis artifacts of a pruned engine:
+/// monotone potential bounds, the signed conservation-law basis, and the
+/// T-invariant acyclicity certificate.
+pub(super) struct BoxAnalysis {
+    bounds: SpeciesBounds,
+    laws: Vec<ConservationLaw>,
+    /// No nonzero nonnegative T-invariant exists: no firing sequence can
+    /// restore a configuration, so *every* reachability graph of this CRN is
+    /// acyclic (a cycle's firing-count vector would be such an invariant).
+    /// Certified either by a trivial signed T-invariant basis
+    /// ([`t_invariant_basis`] is complete and uncapped) or by an untruncated
+    /// empty T-semiflow enumeration.
+    acyclic: bool,
+}
+
+/// A perfect mixed-radix encoding of the interval box
+/// `∏ [lower(s), upper(s)]` proven to contain every reachable configuration:
+/// configuration `c` maps to the injective code `Σ (c(s) − lower(s)) ·
+/// place(s)`, and firing reaction `r` *translates* the code by the constant
+/// `offset(r)` — so BFS successor identity is one integer addition plus one
+/// probe of a u64-keyed index, with no count-vector copy, no word-wise
+/// hashing, and no `apply_into` for already-seen configurations.
+pub(super) struct DirectSpec {
+    lower: Vec<u64>,
+    place: Vec<u64>,
+    /// Per-reaction code translation `Σ delta(s) · place(s)`.
+    offsets: Vec<i64>,
+    /// All reactions' reactant requirements flattened into one array —
+    /// reaction `r`'s entries are `reqs[req_offsets[r]..req_offsets[r + 1]]`
+    /// — so the hot applicability test walks two dense arrays instead of
+    /// chasing one `Vec` per reaction.
+    reqs: Vec<(u32, u64)>,
+    req_offsets: Vec<u32>,
+}
+
+impl DirectSpec {
+    /// Builds the encoding when the box is finite and at most `cap`
+    /// configurations; `None` otherwise.
+    fn build(intervals: &CountIntervals, compiled: &CompiledCrn, cap: u128) -> Option<DirectSpec> {
+        let volume = intervals.state_space()?;
+        if volume > cap {
+            return None;
+        }
+        let n = intervals.len();
+        let mut lower = Vec::with_capacity(n);
+        let mut place = Vec::with_capacity(n);
+        let mut running: u64 = 1;
+        for s in 0..n {
+            lower.push(intervals.lower(s));
+            place.push(running);
+            let width = intervals.upper(s).expect("finite volume") - intervals.lower(s) + 1;
+            running = running.checked_mul(width).expect("volume fits the cap");
+        }
+        let offsets = compiled
+            .reactions()
+            .iter()
+            .map(|reaction| {
+                reaction
+                    .delta()
+                    .iter()
+                    .map(|&(s, d)| d * i64::try_from(place[s]).expect("place fits i64"))
+                    .sum()
+            })
+            .collect();
+        let mut reqs = Vec::new();
+        let mut req_offsets = vec![0u32];
+        for reaction in compiled.reactions() {
+            for &(s, c) in reaction.reactants() {
+                reqs.push((u32::try_from(s).expect("species index fits u32"), c));
+            }
+            req_offsets.push(u32::try_from(reqs.len()).expect("requirement count fits u32"));
+        }
+        Some(DirectSpec {
+            lower,
+            place,
+            offsets,
+            reqs,
+            req_offsets,
+        })
+    }
+
+    /// The code of `counts`, which must lie inside the box.
+    fn encode(&self, counts: &[u64]) -> u64 {
+        counts
+            .iter()
+            .zip(&self.lower)
+            .zip(&self.place)
+            .map(|((&c, &lo), &p)| (c - lo) * p)
+            .sum()
+    }
+}
+
+/// The SplitMix64 finalizer: a full-avalanche mix of one word, so
+/// lexicographically adjacent codes spread across the slot table.
+fn mix_code(code: u64) -> u64 {
+    let mut z = code.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-configuration record of the direct (code-indexed) exploration: the
+/// mixed-radix code plus the duplicate-edge stamp, deliberately in one
+/// struct so the probe's code confirmation and the edge-dedup check touch
+/// the same cache line.
+#[derive(Clone, Copy)]
+struct DirectNode {
+    code: u64,
+    /// Id of the last expanding node that emitted an edge to this one;
+    /// `u32::MAX` = none yet (ids are capped below `u32::MAX` by the index).
+    last_emit: u32,
+}
+
+/// An open-addressing index over mixed-radix codes: like the arena's hash
+/// index, but keyed by one u64 code per configuration instead of the full
+/// count vector, so memory stays proportional to the *reachable* set (cache
+/// resident) rather than the interval box, and every probe compares a single
+/// word.  Slots are epoch-stamped `(epoch << 32) | (id + 1)` cells, so
+/// resetting between the points of a box sweep is O(1) — no memset of a
+/// table sized for the sweep's biggest point.
+struct CodeIndex {
+    slots: Vec<u64>,
+    epoch: u32,
+}
+
+impl CodeIndex {
+    fn new() -> Self {
+        CodeIndex {
+            slots: vec![0; 16],
+            epoch: 1,
+        }
+    }
+
+    /// Empties the index, keeping the allocation: stale slots are recognized
+    /// by their epoch stamp.
+    fn reset(&mut self) {
+        match self.epoch.checked_add(1) {
+            Some(e) => self.epoch = e,
+            None => {
+                self.slots.iter_mut().for_each(|s| *s = 0);
+                self.epoch = 1;
+            }
+        }
+    }
+
+    fn stamp(&self, id: usize) -> u64 {
+        let id = u32::try_from(id).expect("explorations stay below 2^32 - 1 configurations");
+        (u64::from(self.epoch) << 32) | u64::from(id + 1)
+    }
+
+    /// The live id in `slot`, if any.
+    fn occupant(&self, slot: usize) -> Option<usize> {
+        let cell = self.slots[slot];
+        if cell >> 32 == u64::from(self.epoch) && cell & u64::from(u32::MAX) != 0 {
+            Some((cell & u64::from(u32::MAX)) as usize - 1)
+        } else {
+            None
+        }
+    }
+
+    /// The arena id of `code`, if present; `nodes` is the per-id record
+    /// store.
+    fn lookup(&self, code: u64, nodes: &[DirectNode]) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut slot = (mix_code(code) as usize) & mask;
+        loop {
+            match self.occupant(slot) {
+                None => return None,
+                Some(id) if nodes[id].code == code => return Some(id),
+                Some(_) => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts `id` for its code (which the caller has established is absent
+    /// and already pushed as the last entry of `nodes`).
+    fn insert(&mut self, id: usize, nodes: &[DirectNode]) {
+        // Grow at 1/2 load: probes run on the seen-successor fast path, so
+        // short chains are worth the memory.
+        if nodes.len() * 2 > self.slots.len() {
+            self.grow(nodes);
+        } else {
+            self.place(id, nodes);
+        }
+    }
+
+    fn grow(&mut self, nodes: &[DirectNode]) {
+        let new_len = self.slots.len() * 2;
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        for id in 0..nodes.len() {
+            self.place(id, nodes);
+        }
+    }
+
+    fn place(&mut self, id: usize, nodes: &[DirectNode]) {
+        let mask = self.slots.len() - 1;
+        let mut slot = (mix_code(nodes[id].code) as usize) & mask;
+        while self.occupant(slot).is_some() {
+            slot = (slot + 1) & mask;
+        }
+        self.slots[slot] = self.stamp(id);
+    }
+}
 
 /// Reusable storage for one breadth-first exploration: the configuration
 /// arena, the CSR successor structure being built, and the per-node scratch.
@@ -31,7 +247,26 @@ pub(super) struct ExploreState {
     last_emit: Vec<usize>,
     cur: Vec<u64>,
     succ: Vec<u64>,
+    /// Direct-mode state: the code-keyed index and the per-arena-id records.
+    direct: CodeIndex,
+    nodes: Vec<DirectNode>,
+    // Fused-decision scratch (`run_decide_direct`): flat successor rows and
+    // the inline-Tarjan arrays, kept so repeated decisions allocate nothing.
+    edges: Vec<u32>,
+    rows: Vec<(u32, u32)>,
+    t_index: Vec<usize>,
+    t_lowlink: Vec<usize>,
+    t_onstack: Vec<bool>,
+    t_comp: Vec<usize>,
+    t_stack: Vec<usize>,
+    t_frames: Vec<(usize, usize)>,
+    dp_max: Vec<u64>,
+    dp_min: Vec<u64>,
+    dp_rec: Vec<bool>,
 }
+
+/// Marker for a vertex the fused decision pass has not visited yet.
+const UNVISITED: usize = usize::MAX;
 
 impl ExploreState {
     /// Creates empty state; every buffer grows on first use.
@@ -42,6 +277,19 @@ impl ExploreState {
             last_emit: Vec::new(),
             cur: Vec::new(),
             succ: Vec::new(),
+            direct: CodeIndex::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            rows: Vec::new(),
+            t_index: Vec::new(),
+            t_lowlink: Vec::new(),
+            t_onstack: Vec::new(),
+            t_comp: Vec::new(),
+            t_stack: Vec::new(),
+            t_frames: Vec::new(),
+            dp_max: Vec::new(),
+            dp_min: Vec::new(),
+            dp_rec: Vec::new(),
         }
     }
 
@@ -104,6 +352,361 @@ impl ExploreState {
         }
         Ok(())
     }
+
+    /// [`run`](ExploreState::run) over a proven interval box: successor
+    /// identity is one integer addition plus a single-word probe instead of
+    /// materializing and hashing the count vector, and already-seen
+    /// successors skip `apply_into` entirely.  The BFS discovery order — and
+    /// therefore every id, edge and verdict — is identical to the hash-mode
+    /// exploration.
+    pub(super) fn run_direct(
+        &mut self,
+        compiled: &CompiledCrn,
+        stride: usize,
+        start_dense: &[u64],
+        limits: ReachabilityLimits,
+        spec: &DirectSpec,
+    ) -> Result<(), CrnError> {
+        self.arena.reset(stride);
+        self.csr.reset();
+        self.cur.clear();
+        self.cur.resize(stride, 0);
+        self.succ.clear();
+        self.succ.resize(stride, 0);
+        self.direct.reset();
+        self.nodes.clear();
+
+        let start_code = spec.encode(start_dense);
+        self.arena.push_unindexed(start_dense);
+        self.nodes.push(DirectNode {
+            code: start_code,
+            last_emit: u32::MAX,
+        });
+        self.direct.insert(0, &self.nodes);
+
+        let mut current = 0usize;
+        while current < self.arena.len() {
+            self.cur.copy_from_slice(self.arena.get(current));
+            let cur_code = self.nodes[current].code;
+            let cur_stamp = u32::try_from(current).expect("ids fit u32 (index cap)");
+            for r in 0..spec.offsets.len() {
+                let lo = spec.req_offsets[r] as usize;
+                let hi = spec.req_offsets[r + 1] as usize;
+                if spec.reqs[lo..hi]
+                    .iter()
+                    .any(|&(s, c)| self.cur[s as usize] < c)
+                {
+                    continue;
+                }
+                // The successor's code without materializing its counts: the
+                // box bounds are sound, so the translated code stays in range.
+                let succ_code = cur_code.wrapping_add_signed(spec.offsets[r]);
+                let id = match self.direct.lookup(succ_code, &self.nodes) {
+                    Some(id) => id,
+                    None => {
+                        if self.arena.len() >= limits.max_configurations {
+                            return Err(CrnError::SearchLimitExceeded {
+                                limit: format!(
+                                    "{} reachable configurations",
+                                    limits.max_configurations
+                                ),
+                            });
+                        }
+                        compiled.reactions()[r].apply_into(&self.cur, &mut self.succ);
+                        debug_assert_eq!(spec.encode(&self.succ), succ_code);
+                        let id = self.arena.push_unindexed(&self.succ);
+                        self.nodes.push(DirectNode {
+                            code: succ_code,
+                            last_emit: u32::MAX,
+                        });
+                        self.direct.insert(id, &self.nodes);
+                        id
+                    }
+                };
+                if self.nodes[id].last_emit != cur_stamp {
+                    self.nodes[id].last_emit = cur_stamp;
+                    self.csr.push_edge(id);
+                }
+            }
+            self.csr.seal_node();
+            current += 1;
+        }
+        Ok(())
+    }
+
+    /// The decision pass for a CRN whose [`BoxAnalysis`] carries the
+    /// T-invariant acyclicity certificate: every reachability graph is a
+    /// DAG, so all strongly connected components are singletons and the sink
+    /// components are exactly the *terminal* configurations (no applicable
+    /// reaction).  "Every component recovers" then collapses to "every
+    /// terminal configuration carries the expected output" — checked inline
+    /// during the BFS itself, with no successor structure, no condensation
+    /// and no separate decision traversal at all.
+    ///
+    /// Returns `false` as soon as a bad terminal is expanded (possibly
+    /// before the exploration completes, and possibly pre-empting the
+    /// configuration-limit error — which is order-independent, firing iff
+    /// the reachable set exceeds the limit); callers materialize every
+    /// `false` with a full BFS-order check, which reproduces the exact
+    /// verdict or error.
+    #[allow(clippy::too_many_arguments)] // mirrors run_direct + the verdict target
+    pub(super) fn run_decide_dag(
+        &mut self,
+        compiled: &CompiledCrn,
+        stride: usize,
+        start_dense: &[u64],
+        limits: ReachabilityLimits,
+        spec: &DirectSpec,
+        out_idx: usize,
+        expected: u64,
+    ) -> Result<bool, CrnError> {
+        self.arena.reset(stride);
+        self.cur.clear();
+        self.cur.resize(stride, 0);
+        self.succ.clear();
+        self.succ.resize(stride, 0);
+        self.direct.reset();
+        self.nodes.clear();
+
+        let start_code = spec.encode(start_dense);
+        self.arena.push_unindexed(start_dense);
+        self.nodes.push(DirectNode {
+            code: start_code,
+            last_emit: u32::MAX,
+        });
+        self.direct.insert(0, &self.nodes);
+
+        let mut current = 0usize;
+        while current < self.arena.len() {
+            self.cur.copy_from_slice(self.arena.get(current));
+            let cur_code = self.nodes[current].code;
+            let mut terminal = true;
+            for r in 0..spec.offsets.len() {
+                let lo = spec.req_offsets[r] as usize;
+                let hi = spec.req_offsets[r + 1] as usize;
+                if spec.reqs[lo..hi]
+                    .iter()
+                    .any(|&(s, c)| self.cur[s as usize] < c)
+                {
+                    continue;
+                }
+                terminal = false;
+                let succ_code = cur_code.wrapping_add_signed(spec.offsets[r]);
+                // Acyclicity rules out zero-delta reactions (a one-firing
+                // cycle), so a successor never aliases its source.
+                debug_assert_ne!(succ_code, cur_code, "self-loop in certified-acyclic CRN");
+                if self.direct.lookup(succ_code, &self.nodes).is_some() {
+                    continue;
+                }
+                if self.arena.len() >= limits.max_configurations {
+                    return Err(CrnError::SearchLimitExceeded {
+                        limit: format!("{} reachable configurations", limits.max_configurations),
+                    });
+                }
+                compiled.reactions()[r].apply_into(&self.cur, &mut self.succ);
+                debug_assert_eq!(spec.encode(&self.succ), succ_code);
+                let id = self.arena.push_unindexed(&self.succ);
+                self.nodes.push(DirectNode {
+                    code: succ_code,
+                    last_emit: u32::MAX,
+                });
+                self.direct.insert(id, &self.nodes);
+            }
+            if terminal && self.cur[out_idx] != expected {
+                // A bad sink component: its closure is itself, constant on
+                // the wrong output, so it can never recover.
+                return Ok(false);
+            }
+            current += 1;
+        }
+        Ok(true)
+    }
+
+    /// Explores and decides in one fused depth-first pass: materializes the
+    /// same reachable set as [`run_direct`](ExploreState::run_direct) (in
+    /// DFS rather than BFS order — the set, and therefore the
+    /// configuration-limit error, is order-independent) while running
+    /// Tarjan's algorithm inline, evaluating the verdict engine's
+    /// `all_recover` fold at each component pop.  The graph is traversed
+    /// exactly once, instead of once to build a CSR and a second time to
+    /// condense it.
+    ///
+    /// Returns `false` as soon as a non-recovering component is emitted —
+    /// possibly before the exploration completes, and possibly pre-empting
+    /// the limit error; callers materialize every `false` with a full
+    /// BFS-order check, which reproduces the exact verdict or error.  A
+    /// `true` certifies the full reachable set was explored within `limits`
+    /// and every component recovers.
+    #[allow(clippy::too_many_arguments)] // mirrors run_direct + the verdict target
+    pub(super) fn run_decide_direct(
+        &mut self,
+        compiled: &CompiledCrn,
+        stride: usize,
+        start_dense: &[u64],
+        limits: ReachabilityLimits,
+        spec: &DirectSpec,
+        out_idx: usize,
+        expected: u64,
+    ) -> Result<bool, CrnError> {
+        self.arena.reset(stride);
+        self.cur.clear();
+        self.cur.resize(stride, 0);
+        self.succ.clear();
+        self.succ.resize(stride, 0);
+        self.direct.reset();
+        self.nodes.clear();
+        self.edges.clear();
+        self.rows.clear();
+        self.t_index.clear();
+        self.t_lowlink.clear();
+        self.t_onstack.clear();
+        self.t_comp.clear();
+        self.t_stack.clear();
+        self.t_frames.clear();
+        self.dp_max.clear();
+        self.dp_min.clear();
+        self.dp_rec.clear();
+
+        let start_code = spec.encode(start_dense);
+        self.arena.push_unindexed(start_dense);
+        self.nodes.push(DirectNode {
+            code: start_code,
+            last_emit: u32::MAX,
+        });
+        self.direct.insert(0, &self.nodes);
+        self.rows.push((0, 0));
+        self.t_index.push(UNVISITED);
+        self.t_lowlink.push(0);
+        self.t_onstack.push(false);
+        self.t_comp.push(0);
+
+        let mut next_index = 0usize;
+        let mut num_components = 0usize;
+        self.t_frames.push((0, 0));
+        while let Some(&(v, cursor)) = self.t_frames.last() {
+            if cursor == 0 {
+                // First visit: Tarjan init plus successor expansion, so the
+                // row is final before its first edge is followed.  Every
+                // vertex is expanded exactly once — the same applicability
+                // and probe work as the BFS pass, in a different order.
+                self.t_index[v] = next_index;
+                self.t_lowlink[v] = next_index;
+                next_index += 1;
+                self.t_stack.push(v);
+                self.t_onstack[v] = true;
+
+                let row_start = u32::try_from(self.edges.len()).expect("edge count fits u32");
+                self.cur.copy_from_slice(self.arena.get(v));
+                let cur_code = self.nodes[v].code;
+                let cur_stamp = u32::try_from(v).expect("ids fit u32 (index cap)");
+                for r in 0..spec.offsets.len() {
+                    let lo = spec.req_offsets[r] as usize;
+                    let hi = spec.req_offsets[r + 1] as usize;
+                    if spec.reqs[lo..hi]
+                        .iter()
+                        .any(|&(s, c)| self.cur[s as usize] < c)
+                    {
+                        continue;
+                    }
+                    let succ_code = cur_code.wrapping_add_signed(spec.offsets[r]);
+                    let id = match self.direct.lookup(succ_code, &self.nodes) {
+                        Some(id) => id,
+                        None => {
+                            if self.arena.len() >= limits.max_configurations {
+                                return Err(CrnError::SearchLimitExceeded {
+                                    limit: format!(
+                                        "{} reachable configurations",
+                                        limits.max_configurations
+                                    ),
+                                });
+                            }
+                            compiled.reactions()[r].apply_into(&self.cur, &mut self.succ);
+                            debug_assert_eq!(spec.encode(&self.succ), succ_code);
+                            let id = self.arena.push_unindexed(&self.succ);
+                            self.nodes.push(DirectNode {
+                                code: succ_code,
+                                last_emit: u32::MAX,
+                            });
+                            self.direct.insert(id, &self.nodes);
+                            self.rows.push((0, 0));
+                            self.t_index.push(UNVISITED);
+                            self.t_lowlink.push(0);
+                            self.t_onstack.push(false);
+                            self.t_comp.push(0);
+                            id
+                        }
+                    };
+                    if self.nodes[id].last_emit != cur_stamp {
+                        self.nodes[id].last_emit = cur_stamp;
+                        self.edges
+                            .push(u32::try_from(id).expect("ids fit u32 (index cap)"));
+                    }
+                }
+                let row_end = u32::try_from(self.edges.len()).expect("edge count fits u32");
+                self.rows[v] = (row_start, row_end);
+            }
+            let (rs, re) = self.rows[v];
+            let pos = rs as usize + cursor;
+            if pos < re as usize {
+                self.t_frames.last_mut().expect("frame exists").1 += 1;
+                let w = self.edges[pos] as usize;
+                if self.t_index[w] == UNVISITED {
+                    self.t_frames.push((w, 0));
+                } else if self.t_onstack[w] {
+                    self.t_lowlink[v] = self.t_lowlink[v].min(self.t_index[w]);
+                }
+                continue;
+            }
+            self.t_frames.pop();
+            if self.t_lowlink[v] == self.t_index[v] {
+                // The component is the stack suffix of Tarjan indices at
+                // least `index[v]`; every edge out of it lands in an
+                // already-emitted (hence final) component, so the closure
+                // max/min/recovers folds complete in this one member walk.
+                let mut base = self.t_stack.len();
+                while base > 0 && self.t_index[self.t_stack[base - 1]] >= self.t_index[v] {
+                    base -= 1;
+                }
+                let c = num_components;
+                num_components += 1;
+                for &w in &self.t_stack[base..] {
+                    self.t_onstack[w] = false;
+                    self.t_comp[w] = c;
+                }
+                let mut mx = u64::MIN;
+                let mut mn = u64::MAX;
+                let mut rec = false;
+                for i in base..self.t_stack.len() {
+                    let m = self.t_stack[i];
+                    let val = self.arena.get(m)[out_idx];
+                    mx = mx.max(val);
+                    mn = mn.min(val);
+                    let (ms, me) = self.rows[m];
+                    for &w in &self.edges[ms as usize..me as usize] {
+                        let cw = self.t_comp[w as usize];
+                        if cw != c {
+                            mx = mx.max(self.dp_max[cw]);
+                            mn = mn.min(self.dp_min[cw]);
+                            rec = rec || self.dp_rec[cw];
+                        }
+                    }
+                }
+                rec = rec || (mx == mn && mx == expected);
+                if !rec {
+                    // A non-recovering component decides the answer.
+                    return Ok(false);
+                }
+                self.dp_max.push(mx);
+                self.dp_min.push(mn);
+                self.dp_rec.push(rec);
+                self.t_stack.truncate(base);
+            }
+            if let Some(parent) = self.t_frames.last() {
+                self.t_lowlink[parent.0] = self.t_lowlink[parent.0].min(self.t_lowlink[v]);
+            }
+        }
+        Ok(true)
+    }
 }
 
 /// A conservation-law refutation oracle: answers "is `target` provably
@@ -149,25 +752,92 @@ impl InvariantOracle {
     }
 }
 
+/// The outcome of a purely static look at one box point: the interval
+/// abstraction either proves the point passes, proves it cannot pass, or
+/// abstains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum StaticOutcome {
+    /// Every reachable configuration carries the expected output count and
+    /// the reachable space provably fits the search limit: the full check
+    /// would return a correct verdict without erroring.
+    Pass,
+    /// The expected output count lies outside the reachable interval of the
+    /// output species: the full check would fail or error, never pass.
+    Fail,
+}
+
 /// A reusable stable-computation checker for one CRN: reactions are compiled
 /// once, and the exploration state, condensation scratch and component arrays
 /// are recycled across [`check`](VerdictEngine::check) calls.  The parallel
 /// box driver gives each worker thread one engine.
+///
+/// A *pruned* engine ([`new`](VerdictEngine::new)) additionally carries the
+/// static-analysis artifacts — monotone-potential [`SpeciesBounds`] and the
+/// signed conservation-law basis — and uses them to (a) answer
+/// [`static_verdict`](VerdictEngine::static_verdict) queries without building
+/// an arena and (b) explore through the mixed-radix code index whenever the
+/// proven interval box is finite.  A *reference* engine
+/// ([`reference`](VerdictEngine::reference)) skips all of it and always runs
+/// the hash-interned BFS; both produce bit-identical verdicts.
 pub(super) struct VerdictEngine<'c> {
     crn: &'c FunctionCrn,
     compiled: CompiledCrn,
     stride: usize,
+    /// Static-analysis artifacts; `None` on a reference engine.  Behind an
+    /// `Arc` because they depend only on the CRN: the box driver computes
+    /// them once and every worker engine shares the result.
+    analysis: Option<Arc<BoxAnalysis>>,
+    /// The interval analysis of the last analyzed start configuration, so a
+    /// [`static_verdict`](VerdictEngine::static_verdict) followed by a
+    /// [`check`](VerdictEngine::check) on the same point pays for liveness
+    /// and bound propagation once, not twice.
+    cached_intervals: Option<(Vec<u64>, CountIntervals)>,
     state: ExploreState,
     cond: Condensation,
     start_dense: Vec<u64>,
+    start_support: Vec<usize>,
     comp_max: Vec<u64>,
     comp_min: Vec<u64>,
     comp_recovers: Vec<bool>,
 }
 
 impl<'c> VerdictEngine<'c> {
-    /// Compiles `crn`'s reactions and readies the scratch.
+    /// Compiles `crn`'s reactions, computes the pruning analysis (bounds and
+    /// laws) and readies the scratch.
     pub(super) fn new(crn: &'c FunctionCrn) -> Self {
+        let analysis = Self::analyze(crn);
+        Self::with_analysis(crn, Some(analysis))
+    }
+
+    /// The per-CRN static analysis the pruned engine runs on: monotone
+    /// potential bounds plus the signed conservation-law basis.  Point
+    /// independent, so a box driver computes it once and hands clones of the
+    /// `Arc` to every worker via
+    /// [`with_analysis`](VerdictEngine::with_analysis).
+    pub(super) fn analyze(crn: &FunctionCrn) -> Arc<BoxAnalysis> {
+        let compiled = CompiledCrn::compile(crn.crn());
+        let stoich = Stoichiometry::of(&compiled);
+        let acyclic = t_invariant_basis(&stoich).is_empty() || {
+            let flows = nonnegative_t_semiflows(&stoich, FARKAS_ROW_CAP);
+            !flows.truncated && flows.semiflows.is_empty()
+        };
+        Arc::new(BoxAnalysis {
+            bounds: SpeciesBounds::of(&compiled),
+            laws: conservation_basis(&stoich),
+            acyclic,
+        })
+    }
+
+    /// The analysis-free engine: plain hash-interned BFS on every point,
+    /// exactly the pre-analysis behaviour.  Kept as the differential baseline
+    /// for the pruned engine and as the E18 comparison point.
+    pub(super) fn reference(crn: &'c FunctionCrn) -> Self {
+        Self::with_analysis(crn, None)
+    }
+
+    /// An engine with the given (possibly shared) analysis artifacts, or a
+    /// reference engine when `None`.
+    pub(super) fn with_analysis(crn: &'c FunctionCrn, analysis: Option<Arc<BoxAnalysis>>) -> Self {
         let compiled = CompiledCrn::compile(crn.crn());
         // The stride must cover every species the check can touch: the
         // compiled stride spans the CRN's own set plus any foreign species a
@@ -179,12 +849,159 @@ impl<'c> VerdictEngine<'c> {
             crn,
             compiled,
             stride,
+            analysis,
+            cached_intervals: None,
             state: ExploreState::new(),
             cond: Condensation::empty(),
             start_dense: Vec::new(),
+            start_support: Vec::new(),
             comp_max: Vec::new(),
             comp_min: Vec::new(),
             comp_recovers: Vec::new(),
+        }
+    }
+
+    /// Builds the initial configuration `I_x` densely into `start_dense`:
+    /// input counts plus one leader.  Roles are validated distinct, so plain
+    /// stores suffice.
+    fn build_start(&mut self, x: &NVec) {
+        self.start_dense.clear();
+        self.start_dense.resize(self.stride, 0);
+        for (i, species) in self.crn.roles().inputs.iter().enumerate() {
+            self.start_dense[species.index()] = x[i];
+        }
+        if let Some(leader) = self.crn.leader() {
+            self.start_dense[leader.index()] += 1;
+        }
+    }
+
+    /// Ensures `cached_intervals` holds the reachable-count intervals of the
+    /// current `start_dense`; returns `false` on a reference engine (no
+    /// analysis, nothing cached).
+    fn refresh_intervals(&mut self) -> bool {
+        let Some(analysis) = self.analysis.as_ref() else {
+            return false;
+        };
+        let BoxAnalysis { bounds, laws, .. } = &**analysis;
+        let stale = self
+            .cached_intervals
+            .as_ref()
+            .map_or(true, |(start, _)| *start != self.start_dense);
+        if stale {
+            self.start_support.clear();
+            self.start_support
+                .extend((0..self.stride).filter(|&s| self.start_dense[s] > 0));
+            let live = Liveness::analyze(&self.compiled, &self.start_support);
+            let intervals = bounds.intervals(&self.start_dense, &live, laws);
+            self.cached_intervals = Some((self.start_dense.clone(), intervals));
+        }
+        true
+    }
+
+    /// Classifies `x` without exploring: `Some(Pass)` and `Some(Fail)` are
+    /// proofs about what [`check`](VerdictEngine::check) would return, `None`
+    /// means the analysis abstains (always the case on a reference engine or
+    /// a dimension mismatch — the full check owns those errors).
+    pub(super) fn static_verdict(
+        &mut self,
+        x: &NVec,
+        expected_output: u64,
+        max_configurations: usize,
+    ) -> Option<StaticOutcome> {
+        if x.dim() != self.crn.dim() {
+            return None;
+        }
+        self.build_start(x);
+        if !self.refresh_intervals() {
+            return None;
+        }
+        let (_, intervals) = self.cached_intervals.as_ref().expect("just refreshed");
+        let out = self.crn.output().index();
+        if expected_output < intervals.lower(out)
+            || intervals.upper(out).is_some_and(|u| expected_output > u)
+        {
+            // No reachable configuration carries the expected count, so no
+            // stable-with-expected-output configuration exists: the full
+            // check fails (or exceeds the search limit trying).
+            return Some(StaticOutcome::Fail);
+        }
+        if intervals.pinned(out) == Some(expected_output)
+            && intervals
+                .state_space()
+                .is_some_and(|v| v <= max_configurations as u128)
+        {
+            // The output count is invariant across the whole reachable
+            // space, so every configuration is output-stable with the
+            // expected value, and the space provably fits the limit.
+            return Some(StaticOutcome::Pass);
+        }
+        None
+    }
+
+    /// Decides whether the CRN stably computes `expected_output` on `x` —
+    /// exactly the `correct` flag [`check`](VerdictEngine::check) would
+    /// report — without materializing a verdict.  On a proven interval box
+    /// the pass is picked by the analysis: a T-invariant acyclicity
+    /// certificate reduces the decision to the terminal-output scan of
+    /// [`run_decide_dag`](ExploreState::run_decide_dag); otherwise it is the
+    /// fused exploration-plus-Tarjan pass of
+    /// [`run_decide_direct`](ExploreState::run_decide_direct).  Without a
+    /// finite box it falls back to the hash-mode exploration plus
+    /// [`Condensation::all_recover`].  The box driver runs this on every
+    /// candidate point and re-checks only the winning failure in full, so
+    /// passing points skip the member grouping, the three fold traversals
+    /// and the per-verdict allocations.
+    pub(super) fn decide(
+        &mut self,
+        x: &NVec,
+        expected_output: u64,
+        max_configurations: usize,
+    ) -> Result<bool, CrnError> {
+        if x.dim() != self.crn.dim() {
+            return Err(CrnError::DimensionMismatch {
+                expected: self.crn.dim(),
+                actual: x.dim(),
+            });
+        }
+        self.build_start(x);
+        let spec = if self.refresh_intervals() {
+            let (_, intervals) = self.cached_intervals.as_ref().expect("just refreshed");
+            DirectSpec::build(intervals, &self.compiled, DIRECT_INDEX_CAP)
+        } else {
+            None
+        };
+        let limits = ReachabilityLimits { max_configurations };
+        let out_idx = self.crn.output().index();
+        let acyclic = self.analysis.as_ref().is_some_and(|a| a.acyclic);
+        match &spec {
+            Some(spec) if acyclic => self.state.run_decide_dag(
+                &self.compiled,
+                self.stride,
+                &self.start_dense,
+                limits,
+                spec,
+                out_idx,
+                expected_output,
+            ),
+            Some(spec) => self.state.run_decide_direct(
+                &self.compiled,
+                self.stride,
+                &self.start_dense,
+                limits,
+                spec,
+                out_idx,
+                expected_output,
+            ),
+            None => {
+                self.state
+                    .run(&self.compiled, self.stride, &self.start_dense, limits)?;
+                let arena = &self.state.arena;
+                Ok(self.cond.all_recover(
+                    &self.state.csr,
+                    |v| arena.get(v)[out_idx],
+                    expected_output,
+                ))
+            }
         }
     }
 
@@ -203,23 +1020,30 @@ impl<'c> VerdictEngine<'c> {
                 actual: x.dim(),
             });
         }
-        // The initial configuration `I_x`, built densely: input counts plus
-        // one leader.  Roles are validated distinct, so plain stores suffice.
-        self.start_dense.clear();
-        self.start_dense.resize(self.stride, 0);
-        for (i, species) in self.crn.roles().inputs.iter().enumerate() {
-            self.start_dense[species.index()] = x[i];
-        }
-        if let Some(leader) = self.crn.leader() {
-            self.start_dense[leader.index()] += 1;
-        }
+        self.build_start(x);
 
-        self.state.run(
-            &self.compiled,
-            self.stride,
-            &self.start_dense,
-            ReachabilityLimits { max_configurations },
-        )?;
+        let spec = if self.refresh_intervals() {
+            let (_, intervals) = self.cached_intervals.as_ref().expect("just refreshed");
+            DirectSpec::build(intervals, &self.compiled, DIRECT_INDEX_CAP)
+        } else {
+            None
+        };
+        let limits = ReachabilityLimits { max_configurations };
+        match &spec {
+            Some(spec) => {
+                self.state.run_direct(
+                    &self.compiled,
+                    self.stride,
+                    &self.start_dense,
+                    limits,
+                    spec,
+                )?;
+            }
+            None => {
+                self.state
+                    .run(&self.compiled, self.stride, &self.start_dense, limits)?;
+            }
+        }
         self.cond.rebuild(&self.state.csr);
 
         let arena = &self.state.arena;

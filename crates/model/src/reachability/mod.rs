@@ -231,9 +231,13 @@ pub fn check_stable_computation(
 /// sharding the inputs across worker threads (up to one per available core,
 /// with each worker granted enough inputs to amortize its spawn cost).
 ///
-/// Returns the first failing verdict in lexicographic input order — the same
-/// verdict a sequential scan would return, regardless of scheduling — or
-/// `Ok(None)` if all inputs pass.
+/// The scan is *analysis-pruned*: per-species reachable-count intervals
+/// (see [`crate::analysis::SpeciesBounds`]) statically prove some inputs
+/// passing or failing without building an arena, and small proven boxes are
+/// explored through a perfect mixed-radix index instead of hash interning.
+/// The result is nonetheless bit-identical to [`check_on_box_reference`] —
+/// the first failing verdict in lexicographic input order, the same one a
+/// sequential unpruned scan would return — or `Ok(None)` if all inputs pass.
 ///
 /// # Errors
 ///
@@ -245,13 +249,8 @@ pub fn check_on_box(
     bound: u64,
     max_configurations: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
-    let points = bound
-        .saturating_add(1)
-        .saturating_pow(u32::try_from(crn.dim()).unwrap_or(u32::MAX));
-    let workers = parallel::default_workers()
-        .min(usize::try_from(points / parallel::MIN_POINTS_PER_WORKER).unwrap_or(usize::MAX))
-        .max(1);
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers)
+    let workers = default_box_workers(crn.dim(), bound);
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, true)
 }
 
 /// [`check_on_box`] with an explicit worker-thread count (mainly for tests
@@ -268,7 +267,55 @@ pub fn check_on_box_with_workers(
     max_configurations: usize,
     workers: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers)
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, true)
+}
+
+/// [`check_on_box`] without any static analysis: every input runs the plain
+/// hash-interned exploration, exactly the pre-analysis engine.  Kept as the
+/// differential-testing baseline for the pruned scan (the two must agree
+/// bit-for-bit, errors included) and as the E18 comparison point.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`] exactly as
+/// [`check_on_box`] does.
+pub fn check_on_box_reference(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    let workers = default_box_workers(crn.dim(), bound);
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, false)
+}
+
+/// [`check_on_box_reference`] with an explicit worker-thread count, so the
+/// E18 benchmark can pin both engines to one worker and measure the purely
+/// algorithmic speedup.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`] exactly as
+/// [`check_on_box`] does.
+pub fn check_on_box_reference_with_workers(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+    workers: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, false)
+}
+
+/// One worker per available core, capped so every worker gets at least
+/// [`parallel::MIN_POINTS_PER_WORKER`] box points.
+fn default_box_workers(dim: usize, bound: u64) -> usize {
+    let points = bound
+        .saturating_add(1)
+        .saturating_pow(u32::try_from(dim).unwrap_or(u32::MAX));
+    parallel::default_workers()
+        .min(usize::try_from(points / parallel::MIN_POINTS_PER_WORKER).unwrap_or(usize::MAX))
+        .max(1)
 }
 
 /// The maximum count of the output species over every configuration reachable
@@ -481,6 +528,73 @@ mod tests {
         let sequential = check_on_box_with_workers(&double, |x| 2 * x[0], 8, 4, 1).unwrap_err();
         let sharded = check_on_box_with_workers(&double, |x| 2 * x[0], 8, 4, 4).unwrap_err();
         assert_eq!(sharded, sequential);
+    }
+
+    #[test]
+    fn pruned_box_check_matches_reference_on_figure_examples() {
+        // Passing box (max overshoots transiently but recovers everywhere).
+        let max = examples::max_crn();
+        assert_eq!(
+            check_on_box(&max, |x| x[0].max(x[1]), 3, 100_000).unwrap(),
+            check_on_box_reference(&max, |x| x[0].max(x[1]), 3, 100_000).unwrap()
+        );
+        // Wrong function: 2x+1 is statically refuted at every point (the law
+        // 2X + Y caps the output at 2x), so the parallel scan only ever
+        // materializes the winner — which must be bit-identical to the
+        // reference scan's lexicographically-first failure.
+        let double = examples::double_crn();
+        let pruned = check_on_box(&double, |x| 2 * x[0] + 1, 4, 10_000).unwrap();
+        let reference = check_on_box_reference(&double, |x| 2 * x[0] + 1, 4, 10_000).unwrap();
+        assert_eq!(pruned, reference);
+        assert_eq!(pruned.unwrap().input, NVec::from(vec![0]));
+        // Failing box with the failure mid-box.
+        let min = examples::min_crn();
+        assert_eq!(
+            check_on_box(&min, |x| x[0].max(x[1]), 3, 10_000).unwrap(),
+            check_on_box_reference(&min, |x| x[0].max(x[1]), 3, 10_000).unwrap()
+        );
+    }
+
+    #[test]
+    fn pruned_box_check_matches_reference_on_errors() {
+        // The search limit blows mid-box; pruned and reference scans must
+        // surface the identical (lexicographically-first) error.
+        let double = examples::double_crn();
+        let pruned = check_on_box_with_workers(&double, |x| 2 * x[0], 8, 4, 4).unwrap_err();
+        let reference = check_on_box_reference(&double, |x| 2 * x[0], 8, 4).unwrap_err();
+        assert_eq!(pruned, reference);
+    }
+
+    #[test]
+    fn pruned_box_check_matches_reference_on_cyclic_crns() {
+        // `X -> Y; Y -> X` cycles forever, so no positive input ever
+        // stabilizes: the T-invariant acyclicity certificate does not apply
+        // and the pruned scan takes the fused exploration-plus-Tarjan
+        // decision path.  Both the failing box and the passing one (the
+        // identity-on-zero slice) must match the reference bit for bit.
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y").unwrap();
+        crn.parse_reaction("Y -> X").unwrap();
+        let flip = FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles");
+        let pruned = check_on_box(&flip, |x| x[0], 3, 10_000).unwrap();
+        let reference = check_on_box_reference(&flip, |x| x[0], 3, 10_000).unwrap();
+        assert_eq!(pruned, reference);
+        assert_eq!(
+            pruned.expect("x = 1 never stabilizes").input,
+            NVec::from(vec![1])
+        );
+        // A cyclic CRN where every box point passes: X converts to Y once
+        // and the A/B flip-flop is debris that never touches the output —
+        // every sink component is reachable and output-stable.
+        let mut crn = Crn::new();
+        crn.parse_reaction("X -> Y + A").unwrap();
+        crn.parse_reaction("A -> B").unwrap();
+        crn.parse_reaction("B -> A").unwrap();
+        let id = FunctionCrn::with_named_roles(crn, &["X"], "Y", None).expect("valid roles");
+        let pruned = check_on_box(&id, |x| x[0], 3, 10_000).unwrap();
+        let reference = check_on_box_reference(&id, |x| x[0], 3, 10_000).unwrap();
+        assert_eq!(pruned, reference);
+        assert!(pruned.is_none());
     }
 
     #[test]
@@ -768,6 +882,27 @@ mod tests {
             for b in &reach {
                 prop_assert!(reach_plus.contains(&b.plus(&addition)));
             }
+        }
+
+        /// The tentpole determinism contract: the analysis-pruned box scan
+        /// (static pass/fail verdicts plus direct-indexed exploration) and
+        /// the unpruned reference scan return bit-identical outcomes on
+        /// arbitrary small CRNs — same verdict fields, same
+        /// lexicographically-first failure, same errors.
+        #[test]
+        fn pruned_box_check_matches_reference(
+            stoich in proptest::collection::vec(proptest::collection::vec(0u64..3, 6), 1..4),
+            a in 0u64..3,
+            b in 0u64..2,
+            bound in 0u64..4,
+        ) {
+            let crn = random_crn(&stoich);
+            let f = |x: &NVec| a * x[0] + b;
+            let reference = check_on_box_reference(&crn, f, bound, 300);
+            let sequential = check_on_box_with_workers(&crn, f, bound, 300, 1);
+            prop_assert_eq!(&sequential, &reference);
+            let sharded = check_on_box_with_workers(&crn, f, bound, 300, 3);
+            prop_assert_eq!(&sharded, &reference);
         }
 
         /// Differential check: on arbitrary small CRNs the SCC engine and the

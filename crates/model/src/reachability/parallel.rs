@@ -10,18 +10,27 @@
 //! sequential loop would have produced.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crn_numeric::NVec;
 
 use crate::error::CrnError;
 use crate::function::FunctionCrn;
 
-use super::engine::VerdictEngine;
+use super::engine::{StaticOutcome, VerdictEngine};
 use super::StableComputationVerdict;
 
 /// One input's outcome: the check failed, or the search errored out.
 type BoxOutcome = Result<StableComputationVerdict, CrnError>;
+
+/// A worker's record of one non-passing input: the full outcome, or a bad
+/// point left unmaterialized (statically refuted, or rejected by the fused
+/// decision pass) — only the lexicographically smallest bad input is ever
+/// expanded into a real verdict.
+enum BadPoint {
+    Full(BoxOutcome),
+    Deferred,
+}
 
 /// The default shard grants each worker at least this many inputs, so a box
 /// never spawns threads whose startup cost dwarfs their microsecond-scale
@@ -31,35 +40,71 @@ pub(super) const MIN_POINTS_PER_WORKER: u64 = 8;
 
 /// Checks every input of the box on `workers` threads, returning the verdict
 /// (or error) of the lexicographically-first input that does not pass.
+///
+/// With `pruned` set, each worker consults the engine's static verdict
+/// first: statically-passing inputs are skipped without building an arena,
+/// and statically-refuted inputs only record their index.  Points the
+/// analysis abstains on run the engine's fused *decision* pass — the same
+/// exploration, but a single Tarjan-fused traversal instead of the full
+/// verdict construction — and likewise record only their index when bad.
+/// The one bad index that wins the race is re-checked in full, so the
+/// returned outcome is bit-identical to the unpruned scan.
 pub(super) fn check_on_box_sharded(
     crn: &FunctionCrn,
     f: &(impl Fn(&NVec) -> u64 + Sync),
     bound: u64,
     max_configurations: usize,
     workers: usize,
+    pruned: bool,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
+    // The static analysis depends only on the CRN: run it once for the whole
+    // box and hand every worker engine a shared handle.
+    let shared_analysis = pruned.then(|| VerdictEngine::analyze(crn));
+    let make_engine = || match &shared_analysis {
+        Some(analysis) => VerdictEngine::with_analysis(crn, Some(Arc::clone(analysis))),
+        None => VerdictEngine::reference(crn),
+    };
     let points = NVec::enumerate_box(crn.dim(), bound);
     let workers = workers.clamp(1, points.len().max(1));
     if workers == 1 {
         // Degenerate shard: the plain sequential loop on one reused engine.
-        let mut engine = VerdictEngine::new(crn);
+        // The first input that does not pass is necessarily the scan's
+        // answer, so the full check it falls through to is the
+        // materialization.
+        let mut engine = make_engine();
         for x in &points {
-            let verdict = engine.check(x, f(x), max_configurations)?;
+            let expected = f(x);
+            if pruned {
+                match engine.static_verdict(x, expected, max_configurations) {
+                    Some(StaticOutcome::Pass) => continue,
+                    Some(StaticOutcome::Fail) => {}
+                    None => {
+                        if engine.decide(x, expected, max_configurations)? {
+                            continue;
+                        }
+                    }
+                }
+            }
+            let verdict = engine.check(x, expected, max_configurations)?;
             if !verdict.is_correct() {
                 return Ok(Some(verdict));
             }
+            debug_assert!(
+                !pruned,
+                "an input rejected by the decision pass passed in full"
+            );
         }
         return Ok(None);
     }
 
     let next = AtomicUsize::new(0);
     let first_bad = AtomicUsize::new(usize::MAX);
-    let found: Mutex<Vec<(usize, BoxOutcome)>> = Mutex::new(Vec::new());
+    let found: Mutex<Vec<(usize, BadPoint)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
-                let mut engine = VerdictEngine::new(crn);
+                let mut engine = make_engine();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     // Inputs beyond the best known failure cannot change the
@@ -68,14 +113,34 @@ pub(super) fn check_on_box_sharded(
                         break;
                     }
                     let x = &points[i];
-                    let outcome = engine.check(x, f(x), max_configurations);
+                    let expected = f(x);
+                    if pruned {
+                        let passes = match engine.static_verdict(x, expected, max_configurations) {
+                            Some(StaticOutcome::Pass) => true,
+                            Some(StaticOutcome::Fail) => false,
+                            // An error (it would recur identically at
+                            // materialization) counts as not passing.
+                            None => engine
+                                .decide(x, expected, max_configurations)
+                                .unwrap_or(false),
+                        };
+                        if !passes {
+                            first_bad.fetch_min(i, Ordering::AcqRel);
+                            found
+                                .lock()
+                                .expect("no panics hold the lock")
+                                .push((i, BadPoint::Deferred));
+                        }
+                        continue;
+                    }
+                    let outcome = engine.check(x, expected, max_configurations);
                     let passes = matches!(&outcome, Ok(v) if v.is_correct());
                     if !passes {
                         first_bad.fetch_min(i, Ordering::AcqRel);
                         found
                             .lock()
                             .expect("no panics hold the lock")
-                            .push((i, outcome));
+                            .push((i, BadPoint::Full(outcome)));
                     }
                 }
             });
@@ -84,10 +149,24 @@ pub(super) fn check_on_box_sharded(
 
     let mut found = found.into_inner().expect("no panics hold the lock");
     found.sort_by_key(|&(i, _)| i);
-    match found.into_iter().next() {
-        None => Ok(None),
-        Some((_, Ok(verdict))) => Ok(Some(verdict)),
-        Some((_, Err(e))) => Err(e),
+    let outcome = match found.into_iter().next() {
+        None => return Ok(None),
+        Some((_, BadPoint::Full(outcome))) => outcome,
+        Some((i, BadPoint::Deferred)) => {
+            // Materialize the winning bad point into the exact outcome the
+            // unpruned scan would have produced at this input.
+            let x = &points[i];
+            let outcome = make_engine().check(x, f(x), max_configurations);
+            debug_assert!(
+                !matches!(&outcome, Ok(v) if v.is_correct()),
+                "a deferred bad input passed the full check"
+            );
+            outcome
+        }
+    };
+    match outcome {
+        Ok(verdict) => Ok(Some(verdict)),
+        Err(e) => Err(e),
     }
 }
 
