@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the incremental box-reachability engine
+//! (experiment E19 of DESIGN.md): box-check verdicts/sec on the `max` CRN
+//! sweep — symmetry-orbit skipping, cross-point memoization and packed
+//! exploration versus the E18 analysis-pruned baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn incremental_box_throughput(c: &mut Criterion) {
+    let (incremental_vps, baseline_vps, speedup, identical) = crn_bench::e19_box_check(16, 3);
+    eprintln!("\n[E19] incremental vs analysis-pruned box check (max CRN, bound 16, 1 worker)");
+    eprintln!(
+        "  {incremental_vps:.1} verdicts/s incremental vs {baseline_vps:.1} baseline, \
+         speedup {speedup:.1}x, bit-identical={identical}"
+    );
+    assert!(
+        identical,
+        "the incremental layers must not change any verdict"
+    );
+    assert!(
+        speedup >= 5.0,
+        "E19 acceptance: incremental engine must be at least 5x the baseline, got {speedup:.1}x"
+    );
+
+    let mut group = c.benchmark_group("E19_box_check_max_bound16");
+    group.bench_function("incremental", |b| {
+        b.iter(|| crn_bench::e19_box_incremental(16));
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| crn_bench::e18_box_pruned(16));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = e19_incremental_box;
+    config = configured();
+    targets = incremental_box_throughput
+}
+criterion_main!(e19_incremental_box);

@@ -491,9 +491,12 @@ pub fn e17_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
 /// interval verdicts plus direct-indexed exploration) of the `max` CRN
 /// against `max(x1, x2)` on `[0, bound]^2`.  Pinned to one worker so the
 /// measured speedup over the reference engine is purely algorithmic.
+/// Runs the *baseline* engine — the analysis-pruned scan without the
+/// incremental layers — so the E18 measurement keeps comparing exactly the
+/// engines it always did; the incremental engine on top of it is E19.
 #[must_use]
 pub fn e18_box_pruned(bound: u64) -> Option<crn_model::StableComputationVerdict> {
-    crn_model::check_on_box_with_workers(
+    crn_model::check_on_box_baseline_with_workers(
         &examples::max_crn(),
         |x| x[0].max(x[1]),
         bound,
@@ -545,6 +548,54 @@ pub fn e18_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
         verdicts / reference_secs,
         reference_secs / pruned_secs,
         pruned_result == reference_result,
+    )
+}
+
+/// The E19 headline workload: the incremental box check (symmetry orbits,
+/// cross-point memoization, packed exploration) of the `max` CRN against
+/// `max(x1, x2)` on `[0, bound]^2`.  Pinned to one worker so the measured
+/// speedup over the E18 baseline is purely algorithmic.
+#[must_use]
+pub fn e19_box_incremental(bound: u64) -> Option<crn_model::StableComputationVerdict> {
+    crn_model::check_on_box_with_workers(
+        &examples::max_crn(),
+        |x| x[0].max(x[1]),
+        bound,
+        1_000_000,
+        1,
+    )
+    .expect("fits")
+}
+
+/// E19 headline measurement: verdicts/sec for the `max` CRN box check on the
+/// incremental engine versus the E18 analysis-pruned baseline.  Returns
+/// `(incremental_verdicts_per_sec, baseline_verdicts_per_sec, speedup,
+/// results_identical)`.  As in E18, the verdict count assumes the full
+/// `(bound + 1)^2` box is scanned, which holds because the `max` CRN passes
+/// everywhere.
+///
+/// # Panics
+///
+/// Panics if the `max` CRN unexpectedly fails somewhere in the box.
+#[must_use]
+pub fn e19_box_check(bound: u64, repeats: u32) -> (f64, f64, f64, bool) {
+    let verdicts = f64::from(repeats) * ((bound + 1) * (bound + 1)) as f64;
+    // One unmeasured pass each, so first-call page faults and lazy buffer
+    // growth are not billed to either engine.
+    let _ = e19_box_incremental(bound);
+    let _ = e18_box_pruned(bound);
+    let (incremental_secs, incremental_result) =
+        time_repeats(repeats, || e19_box_incremental(bound));
+    let (baseline_secs, baseline_result) = time_repeats(repeats, || e18_box_pruned(bound));
+    assert!(
+        incremental_result.is_none(),
+        "the max CRN must pass the whole box for the verdict count to be exact"
+    );
+    (
+        verdicts / incremental_secs,
+        verdicts / baseline_secs,
+        baseline_secs / incremental_secs,
+        incremental_result == baseline_result,
     )
 }
 
@@ -977,6 +1028,23 @@ mod tests {
             crn_model::check_on_box_reference_with_workers(&min, |x| x[0].max(x[1]), 2, 100_000, 1)
                 .unwrap();
         assert_eq!(pruned, reference);
+    }
+
+    #[test]
+    fn e19_box_check_engines_are_bit_identical() {
+        let (incremental_vps, baseline_vps, speedup, identical) = e19_box_check(2, 1);
+        assert!(identical, "incremental and baseline box verdicts diverged");
+        assert!(incremental_vps > 0.0 && baseline_vps > 0.0 && speedup > 0.0);
+        // And on a failing box the incremental scan picks the same first
+        // failure, byte for byte — through the symmetry-replay path (min is
+        // input-symmetric, so the box is orbit-reduced).
+        let min = examples::min_crn();
+        let incremental =
+            crn_model::check_on_box_with_workers(&min, |x| x[0].max(x[1]), 2, 100_000, 1).unwrap();
+        let baseline =
+            crn_model::check_on_box_baseline_with_workers(&min, |x| x[0].max(x[1]), 2, 100_000, 1)
+                .unwrap();
+        assert_eq!(incremental, baseline);
     }
 
     #[test]

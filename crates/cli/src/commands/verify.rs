@@ -1,7 +1,9 @@
 //! `crn verify`: reachability-based verification of `computes` claims.
 
 use crn_model::reachability::oracle::check_on_box_naive;
-use crn_model::{check_on_box, check_on_box_reference};
+use crn_model::{
+    check_on_box, check_on_box_baseline, check_on_box_reference, check_on_box_stats, BoxCheckStats,
+};
 use crn_sim::runner::spot_check_on_box;
 
 use crate::args::Args;
@@ -9,8 +11,8 @@ use crate::commands::{load_or_usage, resolve_target, usage_error, EXIT_OK, EXIT_
 use crate::json::Json;
 
 /// Runs `crn verify <file> [--item NAME] [--bound N] [--max-configs N]
-/// [--engine pruned|reference|seed] [--spot] [--max-steps N] [--seed S]
-/// [--json] [--deny-warnings]`.
+/// [--engine incremental|baseline|reference|seed] [--stats] [--spot]
+/// [--max-steps N] [--seed S] [--json] [--deny-warnings]`.
 ///
 /// For each `crn` item with a `computes` link (or the named one), checks
 /// stable computation of the linked function on every input of
@@ -18,11 +20,19 @@ use crate::json::Json;
 /// seeded stochastic spot checks with `--spot` (for CRNs whose reachable
 /// space outgrows `--max-configs`).
 ///
-/// `--engine` selects the exhaustive backend: `pruned` (default) runs the
-/// analysis-pruned engine, `reference` the unpruned hash-interned engine and
-/// `seed` the naive fixpoint oracle — all three must produce identical
-/// verdicts, which the CI corpus smoke step cross-checks.  `--engine` is
-/// meaningless under `--spot` and refused there.
+/// `--engine` selects the exhaustive backend: `incremental` (default) runs
+/// the incremental box engine (symmetry orbits, cross-point memoization),
+/// `baseline` (alias `pruned`) the analysis-pruned engine without the
+/// incremental layers, `reference` the unpruned hash-interned engine and
+/// `seed` the naive fixpoint oracle — all must produce identical verdicts,
+/// which the CI corpus smoke step cross-checks.  `--engine` is meaningless
+/// under `--spot` and refused there.
+///
+/// `--stats` (incremental engine only) prints one line of engine counters
+/// per verified item to stderr as JSON — points checked versus statically
+/// decided, cache-served or symmetry-replayed, cache hit rate, explored
+/// configurations — and, with `--json`, attaches the same object to the
+/// item's report.
 ///
 /// Structural lint findings on the verified items are echoed to stderr in
 /// short form (stdout carries the verdicts); with `--deny-warnings` any
@@ -40,7 +50,7 @@ pub fn run(raw: &[String]) -> i32 {
             "seed",
             "engine",
         ],
-        &["spot", "json", "deny-warnings"],
+        &["spot", "json", "deny-warnings", "stats"],
     ) {
         Ok(args) => args,
         Err(message) => return usage_error(&message),
@@ -59,14 +69,20 @@ pub fn run(raw: &[String]) -> i32 {
             return usage_error(&m)
         }
     };
-    let engine = args.value("engine").unwrap_or("pruned");
-    if !matches!(engine, "pruned" | "reference" | "seed") {
+    let engine = args.value("engine").unwrap_or("incremental");
+    if !matches!(
+        engine,
+        "incremental" | "baseline" | "pruned" | "reference" | "seed"
+    ) {
         return usage_error(&format!(
-            "unknown engine `{engine}`; expected `pruned`, `reference` or `seed`"
+            "unknown engine `{engine}`; expected `incremental`, `baseline`, `reference` or `seed`"
         ));
     }
     if args.value("engine").is_some() && args.switch("spot") {
         return usage_error("`--engine` selects the exhaustive backend; drop it or drop `--spot`");
+    }
+    if args.switch("stats") && (args.switch("spot") || engine != "incremental") {
+        return usage_error("`--stats` reports the incremental engine's counters; it needs the default `--engine incremental` and no `--spot`");
     }
     let ws = match load_or_usage(path) {
         Ok(ws) => ws,
@@ -155,6 +171,7 @@ pub fn run(raw: &[String]) -> i32 {
             }
         };
         let eval = |x: &crn_numeric::NVec| target.eval(x);
+        let mut stats: Option<BoxCheckStats> = None;
         if args.switch("spot") {
             match spot_check_on_box(&lowered.crn, eval, bound, max_steps, seed) {
                 Ok(0) => {}
@@ -171,14 +188,34 @@ pub fn run(raw: &[String]) -> i32 {
                 }
             }
         } else {
-            // All three backends share one verdict contract; the stdout
-            // success line is engine-independent on purpose, so CI can diff
-            // the pruned run against the seed oracle byte for byte.
+            // All backends share one verdict contract; the stdout success
+            // line is engine-independent on purpose, so CI can diff the
+            // incremental run against the other engines byte for byte.
             let outcome = match engine {
                 "reference" => check_on_box_reference(&lowered.crn, eval, bound, max_configs),
                 "seed" => check_on_box_naive(&lowered.crn, eval, bound, max_configs),
+                "baseline" | "pruned" => {
+                    check_on_box_baseline(&lowered.crn, eval, bound, max_configs)
+                }
+                _ if args.switch("stats") => {
+                    let (outcome, sweep_stats) =
+                        check_on_box_stats(&lowered.crn, eval, bound, max_configs);
+                    stats = Some(sweep_stats);
+                    outcome
+                }
                 _ => check_on_box(&lowered.crn, eval, bound, max_configs),
             };
+            if let Some(sweep_stats) = &stats {
+                // One self-contained JSON line per item on stderr, so stdout
+                // stays byte-comparable across engines.
+                eprintln!(
+                    "{}",
+                    Json::obj(vec![
+                        ("item", Json::str(name.as_str())),
+                        ("stats", stats_object(sweep_stats)),
+                    ])
+                );
+            }
             match outcome {
                 Ok(None) => {}
                 Ok(Some(verdict)) => {
@@ -210,13 +247,17 @@ pub fn run(raw: &[String]) -> i32 {
             "exhaustive"
         };
         if json {
-            reports.push(Json::obj(vec![
+            let mut fields = vec![
                 ("item", Json::str(name.as_str())),
                 ("computes", Json::str(computes)),
                 ("method", Json::str(method)),
                 ("bound", Json::UInt(bound)),
                 ("ok", Json::Bool(true)),
-            ]));
+            ];
+            if let Some(sweep_stats) = &stats {
+                fields.push(("stats", stats_object(sweep_stats)));
+            }
+            reports.push(Json::obj(fields));
         } else {
             println!(
                 "{path}: crn {name} vs {computes} on [0, {bound}]^{}: ok ({method})",
@@ -235,4 +276,22 @@ pub fn run(raw: &[String]) -> i32 {
         );
     }
     exit
+}
+
+/// The `--stats` engine counters as a JSON object.
+fn stats_object(stats: &BoxCheckStats) -> Json {
+    Json::obj(vec![
+        ("points", Json::UInt(stats.points)),
+        ("evaluated", Json::UInt(stats.evaluated)),
+        ("symmetry_skipped", Json::UInt(stats.symmetry_skipped)),
+        ("static_pass", Json::UInt(stats.static_pass)),
+        ("static_fail", Json::UInt(stats.static_fail)),
+        ("decided", Json::UInt(stats.decided)),
+        ("cache_served", Json::UInt(stats.cache_served)),
+        ("configs_explored", Json::UInt(stats.configs_explored)),
+        ("cache_lookups", Json::UInt(stats.cache_lookups)),
+        ("cache_hits", Json::UInt(stats.cache_hits)),
+        ("cache_entries", Json::UInt(stats.cache_entries)),
+        ("cache_hit_rate", Json::Float(stats.cache_hit_rate())),
+    ])
 }

@@ -262,17 +262,18 @@ crn max {
 fn verify_engines_agree_and_honor_deny_warnings() {
     let path = scratch("engines.crn", WARNING_DOC);
     let path = path.to_str().unwrap();
-    // All three exhaustive backends pass with byte-identical stdout, and the
+    // Every exhaustive backend passes with byte-identical stdout, and the
     // C003 finding lands on stderr without touching the exit code.
     let mut stdouts = Vec::new();
-    for engine in ["pruned", "reference", "seed"] {
+    for engine in ["incremental", "baseline", "pruned", "reference", "seed"] {
         let (code, stdout, stderr) = run_crn(&["verify", path, "--bound", "3", "--engine", engine]);
         assert_eq!(code, 0, "--engine {engine}\n{stdout}\n{stderr}");
         assert!(stderr.contains("warning[C003]"), "{stderr}");
         stdouts.push(stdout);
     }
-    assert_eq!(stdouts[0], stdouts[1], "pruned vs reference stdout");
-    assert_eq!(stdouts[0], stdouts[2], "pruned vs seed stdout");
+    for (i, stdout) in stdouts.iter().enumerate().skip(1) {
+        assert_eq!(stdout, &stdouts[0], "engine #{i} stdout diverged");
+    }
     // --deny-warnings promotes the finding to exit 1 even though every
     // verdict passes; the verdicts themselves still print.
     let (code, stdout, stderr) = run_crn(&["verify", path, "--bound", "3", "--deny-warnings"]);
@@ -282,6 +283,33 @@ fn verify_engines_agree_and_honor_deny_warnings() {
     let (code, _, _) = run_crn(&["verify", path, "--engine", "frobnicate"]);
     assert_eq!(code, 2);
     let (code, _, _) = run_crn(&["verify", path, "--spot", "--engine", "seed"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn verify_stats_reports_engine_counters() {
+    let path = scratch("stats.crn", WARNING_DOC);
+    let path = path.to_str().unwrap();
+    // One JSON line of counters per item on stderr; the max-style CRN is
+    // input-symmetric, so the strict lower triangle of [0,3]^2 is replayed.
+    let (code, stdout, stderr) = run_crn(&["verify", path, "--bound", "3", "--stats"]);
+    assert_eq!(code, 0, "{stdout}\n{stderr}");
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("{\"item\":\"max\""))
+        .unwrap_or_else(|| panic!("no stats line in stderr:\n{stderr}"));
+    assert!(line.contains("\"points\":16"), "{line}");
+    assert!(line.contains("\"symmetry_skipped\":6"), "{line}");
+    assert!(line.contains("\"cache_hit_rate\":"), "{line}");
+    // --json attaches the same counters to the item's report on stdout.
+    let (code, stdout, _) = run_crn(&["verify", path, "--bound", "3", "--stats", "--json"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"stats\":{\"points\":16"), "{stdout}");
+    // --stats only describes the incremental engine: any other backend (or
+    // --spot) is a usage error.
+    let (code, _, _) = run_crn(&["verify", path, "--stats", "--engine", "reference"]);
+    assert_eq!(code, 2);
+    let (code, _, _) = run_crn(&["verify", path, "--stats", "--spot"]);
     assert_eq!(code, 2);
 }
 

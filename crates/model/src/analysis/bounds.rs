@@ -199,6 +199,53 @@ impl SpeciesBounds {
         debug_assert!(intervals.admits(start), "the start lies in its own box");
         intervals
     }
+
+    /// Sound per-species count intervals covering every configuration
+    /// reachable from *any* start `≤ top` componentwise — the hull of a whole
+    /// input box rather than one point.  `live` must be the liveness fixpoint
+    /// seeded with `top`'s support.
+    ///
+    /// Soundness: decreasing-potential bounds are monotone in the start
+    /// (weights are nonnegative, so `v·c₀ ≤ v·top`), producibility is
+    /// monotone in the seed support (a species dead from `top`'s full support
+    /// is dead from every sub-support), and every lower bound is relaxed to
+    /// zero (law refinement and increasing potentials are per-point values
+    /// and do not transfer across the box).
+    #[must_use]
+    pub fn box_hull(&self, top: &[u64], live: &Liveness) -> CountIntervals {
+        let n = top.len();
+        let lower = vec![0u64; n];
+        let mut upper: Vec<Option<u64>> = vec![None; n];
+        // Untouched species can never move, so the top value bounds them
+        // across the whole box.
+        for (s, u) in upper.iter_mut().enumerate().take(n).skip(self.stride) {
+            *u = Some(top[s]);
+        }
+        for v in &self.decreasing {
+            let value = weigh(v, top);
+            for (s, &w) in v.iter().enumerate().take(n) {
+                if w > 0 {
+                    let bound = clamp_u64(value / w);
+                    if upper[s].map_or(true, |u| bound < u) {
+                        upper[s] = Some(bound);
+                    }
+                }
+            }
+        }
+        for (s, u) in upper.iter_mut().enumerate().take(self.stride.min(n)) {
+            if !live.producible(s) {
+                // Dead species stay at their start count, which is at most
+                // the top's.
+                let cap = top[s];
+                if u.map_or(true, |b| cap < b) {
+                    *u = Some(cap);
+                }
+            }
+        }
+        let intervals = CountIntervals { lower, upper };
+        debug_assert!(intervals.admits(top), "the top corner lies in the hull");
+        intervals
+    }
 }
 
 impl CountIntervals {

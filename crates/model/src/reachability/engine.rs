@@ -9,6 +9,7 @@
 //!
 //! [`ReachabilityGraph::explore`]: super::ReachabilityGraph::explore
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crn_numeric::NVec;
@@ -23,8 +24,10 @@ use crate::function::FunctionCrn;
 
 use super::arena::ConfigArena;
 use super::csr::CsrGraph;
+use super::memo::{MemoCache, SetId, SharedLog, Summary, EMPTY_SET};
 use super::scc::Condensation;
-use super::{ReachabilityLimits, StableComputationVerdict};
+use super::symmetry;
+use super::{BoxCheckStats, ReachabilityLimits, StableComputationVerdict};
 
 /// Largest interval-box volume for which the engine switches from hash
 /// interning to the mixed-radix code index.  The only hard requirement is
@@ -124,6 +127,192 @@ impl DirectSpec {
     }
 }
 
+/// Per-lane high bits of the packed byte encoding, the borrow sentinels of
+/// the SWAR applicability test.
+const LANE_HIGH: u64 = 0x8080_8080_8080_8080;
+
+/// A whole-configuration byte packing for certified-acyclic CRNs on small
+/// hulls: species `s` is byte lane `s` of one `u64`, so firing a reaction is
+/// a single wrapping addition and the applicability test is branch-free SWAR
+/// over all species at once.  Eligible when the box-wide interval hull keeps
+/// every count at or below 127 across at most 8 species — every reachable
+/// lane then stays in `[0, 127]`, additions never carry between lanes, and
+/// the packed value *is* a perfect mixed-radix code (radix 256, lower bound
+/// zero), so discovery order, deduplication and the configuration-limit
+/// error are bit-identical to the spec-coded passes.
+pub(super) struct PackedSpec {
+    /// Per-reaction packed reactant requirements; lanes are clamped to 128,
+    /// which the test below reads as "never applicable" — correct, since no
+    /// reachable lane exceeds 127.
+    reqs: Vec<u64>,
+    /// Per-reaction packed deltas in two's complement (mod 2^64).
+    deltas: Vec<u64>,
+    /// Bit shift of the output species' lane.
+    out_shift: u32,
+    /// Mixed-radix place values of the *dense* hull code (radix
+    /// `upper + 1` per species), when the hull volume fits
+    /// [`DENSE_VISITED_CAP`]; empty otherwise.  With a dense code every
+    /// dedup probe is a single epoch-stamped array load instead of a hash
+    /// chain, and the code itself is maintained incrementally.
+    dense_place: Vec<u64>,
+    /// Per-reaction dense-code deltas in two's complement — firing reaction
+    /// `r` moves the dense code by one `wrapping_add`.
+    dense_deltas: Vec<u64>,
+    /// Hull volume (the dense-code range); `0` disables the dense path.
+    dense_volume: usize,
+}
+
+/// Largest hull volume the packed pass tracks with a dense visited-stamp
+/// table (u32 stamps, so 8 MiB of reusable scratch at the cap); bigger
+/// hulls fall back to the hashed [`CodeIndex`].
+const DENSE_VISITED_CAP: usize = 1 << 21;
+
+/// Marks one species per independent conservation law — the pivot columns
+/// of the law basis in row-echelon form.  Within a single exploration every
+/// law's value is fixed by the start configuration, and pivot columns of an
+/// echelon form are linearly independent, so any two configurations on the
+/// same law coset that agree on every *non*-pivot species are equal: the
+/// dense dedup code may drop the pivot species and stay injective on each
+/// reachable set.  Overflow of the fraction-free elimination conservatively
+/// returns the empty mark set (no projection).
+fn law_pivot_species(laws: &[ConservationLaw], stride: usize) -> Vec<bool> {
+    let mut rows: Vec<Vec<i128>> = laws
+        .iter()
+        .map(|law| (0..stride).map(|s| law.weight(s)).collect())
+        .collect();
+    let mut pivot = vec![false; stride];
+    let mut rank = 0usize;
+    for col in 0..stride {
+        let Some(p) = (rank..rows.len()).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(rank, p);
+        let (head, rest) = rows.split_at_mut(rank + 1);
+        let pivot_row = &head[rank];
+        for row in rest.iter_mut() {
+            if row[col] == 0 {
+                continue;
+            }
+            let (pv, q) = (pivot_row[col], row[col]);
+            for j in 0..stride {
+                let (Some(scaled), Some(elim)) =
+                    (row[j].checked_mul(pv), pivot_row[j].checked_mul(q))
+                else {
+                    return vec![false; stride];
+                };
+                let Some(diff) = scaled.checked_sub(elim) else {
+                    return vec![false; stride];
+                };
+                row[j] = diff;
+            }
+        }
+        pivot[col] = true;
+        rank += 1;
+    }
+    pivot
+}
+
+impl PackedSpec {
+    /// Builds the packing when every hull count of the `stride` species fits
+    /// a 7-bit lane; `None` otherwise.
+    fn build(
+        hull: &CountIntervals,
+        compiled: &CompiledCrn,
+        laws: &[ConservationLaw],
+        stride: usize,
+        out_idx: usize,
+    ) -> Option<PackedSpec> {
+        if stride > 8 {
+            return None;
+        }
+        for s in 0..stride {
+            if hull.upper(s).map_or(true, |u| u > 127) {
+                return None;
+            }
+        }
+        // Dense hull code: place values over radix `upper + 1` for the
+        // non-pivot species (law pivots are determined by the rest within
+        // one exploration), kept only when the total volume fits the stamp
+        // table.
+        let dropped = law_pivot_species(laws, stride);
+        let mut dense_place = vec![0u64; stride];
+        let mut volume = 1usize;
+        for s in 0..stride {
+            if dropped[s] {
+                continue;
+            }
+            dense_place[s] = volume as u64;
+            let radix = usize::try_from(hull.upper(s).expect("uppers checked above") + 1)
+                .expect("radix at most 128");
+            volume = match volume.checked_mul(radix) {
+                Some(v) if v <= DENSE_VISITED_CAP => v,
+                _ => {
+                    volume = 0;
+                    break;
+                }
+            };
+        }
+        if volume == 0 {
+            dense_place.clear();
+        }
+        let mut reqs = Vec::with_capacity(compiled.reaction_count());
+        let mut deltas = Vec::with_capacity(compiled.reaction_count());
+        let mut dense_deltas = Vec::with_capacity(compiled.reaction_count());
+        for reaction in compiled.reactions() {
+            let mut req = 0u64;
+            for &(s, c) in reaction.reactants() {
+                req |= c.min(128) << (8 * s);
+            }
+            let mut delta = 0u64;
+            let mut dense_delta = 0u64;
+            for &(s, d) in reaction.delta() {
+                // Wrapping mod-2^64 arithmetic: oversized deltas only occur
+                // on reactions the clamped requirement already rules out.
+                delta = delta.wrapping_add((d as u64).wrapping_mul(1u64 << (8 * s)));
+                if let Some(&place) = dense_place.get(s) {
+                    dense_delta = dense_delta.wrapping_add((d as u64).wrapping_mul(place));
+                }
+            }
+            reqs.push(req);
+            deltas.push(delta);
+            dense_deltas.push(dense_delta);
+        }
+        if dense_place.is_empty() {
+            dense_deltas.clear();
+        }
+        Some(PackedSpec {
+            reqs,
+            deltas,
+            out_shift: u32::try_from(8 * out_idx).expect("output lane within 8 species"),
+            dense_place,
+            dense_deltas,
+            dense_volume: volume,
+        })
+    }
+
+    /// The dense hull code of a byte-packed configuration; meaningful only
+    /// when `dense_volume > 0`.
+    fn dense_code(&self, packed: u64) -> u64 {
+        self.dense_place
+            .iter()
+            .enumerate()
+            .map(|(s, &p)| ((packed >> (8 * s)) & 0xff) * p)
+            .sum()
+    }
+
+    /// Packs a count vector (all lanes at most 127) into its byte code.
+    fn pack(&self, counts: &[u64]) -> u64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| {
+                debug_assert!(c <= 127, "hull admits every packed configuration");
+                c << (8 * s)
+            })
+            .sum()
+    }
+}
+
 /// The SplitMix64 finalizer: a full-avalanche mix of one word, so
 /// lexicographically adjacent codes spread across the slot table.
 fn mix_code(code: u64) -> u64 {
@@ -195,41 +384,56 @@ impl CodeIndex {
     /// The arena id of `code`, if present; `nodes` is the per-id record
     /// store.
     fn lookup(&self, code: u64, nodes: &[DirectNode]) -> Option<usize> {
-        let mask = self.slots.len() - 1;
-        let mut slot = (mix_code(code) as usize) & mask;
-        loop {
-            match self.occupant(slot) {
-                None => return None,
-                Some(id) if nodes[id].code == code => return Some(id),
-                Some(_) => slot = (slot + 1) & mask,
-            }
-        }
+        self.lookup_by(code, |id| nodes[id].code)
     }
 
     /// Inserts `id` for its code (which the caller has established is absent
     /// and already pushed as the last entry of `nodes`).
     fn insert(&mut self, id: usize, nodes: &[DirectNode]) {
-        // Grow at 1/2 load: probes run on the seen-successor fast path, so
-        // short chains are worth the memory.
-        if nodes.len() * 2 > self.slots.len() {
-            self.grow(nodes);
-        } else {
-            self.place(id, nodes);
+        self.insert_by(id, nodes.len(), |id| nodes[id].code);
+    }
+
+    /// [`lookup`](CodeIndex::lookup) generalized over the id → code mapping,
+    /// so passes that store codes outside a [`DirectNode`] array (the packed
+    /// exploration keeps whole configurations as bare `u64`s) share the same
+    /// probe sequence.
+    fn lookup_by(&self, code: u64, code_of: impl Fn(usize) -> u64) -> Option<usize> {
+        let mask = self.slots.len() - 1;
+        let mut slot = (mix_code(code) as usize) & mask;
+        loop {
+            match self.occupant(slot) {
+                None => return None,
+                Some(id) if code_of(id) == code => return Some(id),
+                Some(_) => slot = (slot + 1) & mask,
+            }
         }
     }
 
-    fn grow(&mut self, nodes: &[DirectNode]) {
+    /// [`insert`](CodeIndex::insert) generalized like
+    /// [`lookup_by`](CodeIndex::lookup_by); `len` is the number of live ids
+    /// (`id` being the newest).
+    fn insert_by(&mut self, id: usize, len: usize, code_of: impl Fn(usize) -> u64) {
+        // Grow at 1/2 load: probes run on the seen-successor fast path, so
+        // short chains are worth the memory.
+        if len * 2 > self.slots.len() {
+            self.grow_by(len, &code_of);
+        } else {
+            self.place_by(id, &code_of);
+        }
+    }
+
+    fn grow_by(&mut self, len: usize, code_of: &impl Fn(usize) -> u64) {
         let new_len = self.slots.len() * 2;
         self.slots.clear();
         self.slots.resize(new_len, 0);
-        for id in 0..nodes.len() {
-            self.place(id, nodes);
+        for id in 0..len {
+            self.place_by(id, code_of);
         }
     }
 
-    fn place(&mut self, id: usize, nodes: &[DirectNode]) {
+    fn place_by(&mut self, id: usize, code_of: &impl Fn(usize) -> u64) {
         let mask = self.slots.len() - 1;
-        let mut slot = (mix_code(nodes[id].code) as usize) & mask;
+        let mut slot = (mix_code(code_of(id)) as usize) & mask;
         while self.occupant(slot).is_some() {
             slot = (slot + 1) & mask;
         }
@@ -263,10 +467,40 @@ pub(super) struct ExploreState {
     dp_max: Vec<u64>,
     dp_min: Vec<u64>,
     dp_rec: Vec<bool>,
+    // Packed-mode state (`run_decide_packed_dag`): whole configurations as
+    // byte-packed words, indexed by the same code table — or, on small
+    // hulls, by the epoch-stamped dense visited table below.
+    pk: Vec<u64>,
+    pk_code: Vec<u64>,
+    visited: Vec<u32>,
+    visited_epoch: u32,
+    // Memo-mode scratch (`run_decide_memo`): per-component interned output
+    // sets and closure-size bounds, plus the per-run cache-hit table virtual
+    // edges point into.
+    dp_so: Vec<SetId>,
+    dp_rset: Vec<SetId>,
+    dp_size: Vec<u64>,
+    hit_list: Vec<Summary>,
+    hit_emit: Vec<u32>,
+    hit_ids: HashMap<u64, u32>,
 }
 
 /// Marker for a vertex the fused decision pass has not visited yet.
 const UNVISITED: usize = usize::MAX;
+
+/// High bit of a memo-mode edge: set when the edge points into the per-run
+/// cache-hit table instead of at a materialized vertex.
+const VIRTUAL_EDGE: u32 = 1 << 31;
+
+/// A materialized vertex id as a memo-mode edge word.
+fn real_edge(id: usize) -> u32 {
+    let id = u32::try_from(id).expect("ids fit u32 (index cap)");
+    assert!(
+        id & VIRTUAL_EDGE == 0,
+        "memo explorations stay below 2^31 configurations"
+    );
+    id
+}
 
 impl ExploreState {
     /// Creates empty state; every buffer grows on first use.
@@ -290,6 +524,16 @@ impl ExploreState {
             dp_max: Vec::new(),
             dp_min: Vec::new(),
             dp_rec: Vec::new(),
+            pk: Vec::new(),
+            pk_code: Vec::new(),
+            visited: Vec::new(),
+            visited_epoch: 0,
+            dp_so: Vec::new(),
+            dp_rset: Vec::new(),
+            dp_size: Vec::new(),
+            hit_list: Vec::new(),
+            hit_emit: Vec::new(),
+            hit_ids: HashMap::new(),
         }
     }
 
@@ -707,6 +951,399 @@ impl ExploreState {
         }
         Ok(true)
     }
+
+    /// [`run_decide_dag`](ExploreState::run_decide_dag) with whole
+    /// configurations packed into one `u64` each: the BFS loop touches no
+    /// count vectors at all — successor identity is a wrapping addition, the
+    /// applicability test is one SWAR subtraction over every species at
+    /// once, and the terminal output is a byte extract.  The packed value is
+    /// a perfect mixed-radix code of the (7-bit) hull, so discovery order,
+    /// deduplication, the decision and the configuration-limit error are all
+    /// bit-identical to the spec-coded DAG pass.
+    pub(super) fn run_decide_packed_dag(
+        &mut self,
+        packed: &PackedSpec,
+        start: u64,
+        limits: ReachabilityLimits,
+        expected: u64,
+    ) -> Result<bool, CrnError> {
+        if packed.dense_volume > 0 {
+            return self.run_decide_packed_dense(packed, start, limits, expected);
+        }
+        self.direct.reset();
+        self.pk.clear();
+        self.pk.push(start);
+        {
+            let pk = &self.pk;
+            self.direct.insert_by(0, pk.len(), |i| pk[i]);
+        }
+        let mut current = 0usize;
+        while current < self.pk.len() {
+            let cur = self.pk[current];
+            let mut terminal = true;
+            for r in 0..packed.deltas.len() {
+                // Lane-wise `cur >= req`: with every count lane in [0, 127]
+                // and requirement lanes clamped to 128, `(cur | HIGH) - req`
+                // never borrows across lanes, and a lane's high bit survives
+                // exactly when its count meets the requirement.
+                let gap = (cur | LANE_HIGH).wrapping_sub(packed.reqs[r]);
+                if !gap & LANE_HIGH != 0 {
+                    continue;
+                }
+                terminal = false;
+                let succ = cur.wrapping_add(packed.deltas[r]);
+                debug_assert_ne!(succ, cur, "self-loop in certified-acyclic CRN");
+                let pk = &self.pk;
+                if self.direct.lookup_by(succ, |i| pk[i]).is_some() {
+                    continue;
+                }
+                if self.pk.len() >= limits.max_configurations {
+                    return Err(CrnError::SearchLimitExceeded {
+                        limit: format!("{} reachable configurations", limits.max_configurations),
+                    });
+                }
+                let id = self.pk.len();
+                self.pk.push(succ);
+                let pk = &self.pk;
+                self.direct.insert_by(id, pk.len(), |i| pk[i]);
+            }
+            if terminal && (cur >> packed.out_shift) & 0xff != expected {
+                return Ok(false);
+            }
+            current += 1;
+        }
+        Ok(true)
+    }
+
+    /// The small-hull variant of
+    /// [`run_decide_packed_dag`](ExploreState::run_decide_packed_dag):
+    /// deduplication via an epoch-stamped dense visited table indexed by
+    /// the hull's mixed-radix code, which is maintained *incrementally* —
+    /// firing a reaction moves the code by one precomputed `wrapping_add`.
+    /// Discovery order, the verdict and the configuration-limit error are
+    /// identical to the hashed pass: membership is membership either way.
+    fn run_decide_packed_dense(
+        &mut self,
+        packed: &PackedSpec,
+        start: u64,
+        limits: ReachabilityLimits,
+        expected: u64,
+    ) -> Result<bool, CrnError> {
+        if self.visited.len() < packed.dense_volume {
+            self.visited.resize(packed.dense_volume, 0);
+        }
+        self.visited_epoch = match self.visited_epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.visited.fill(0);
+                1
+            }
+        };
+        let epoch = self.visited_epoch;
+        self.pk.clear();
+        self.pk_code.clear();
+        let start_code = packed.dense_code(start);
+        self.pk.push(start);
+        self.pk_code.push(start_code);
+        self.visited[usize::try_from(start_code).expect("dense code below the cap")] = epoch;
+        let mut current = 0usize;
+        while current < self.pk.len() {
+            let cur = self.pk[current];
+            let cur_code = self.pk_code[current];
+            let mut terminal = true;
+            for r in 0..packed.deltas.len() {
+                let gap = (cur | LANE_HIGH).wrapping_sub(packed.reqs[r]);
+                if !gap & LANE_HIGH != 0 {
+                    continue;
+                }
+                terminal = false;
+                let succ_code = cur_code.wrapping_add(packed.dense_deltas[r]);
+                let slot = usize::try_from(succ_code).expect("dense code below the cap");
+                debug_assert!(slot < packed.dense_volume, "hull admits every successor");
+                if self.visited[slot] == epoch {
+                    continue;
+                }
+                if self.pk.len() >= limits.max_configurations {
+                    return Err(CrnError::SearchLimitExceeded {
+                        limit: format!("{} reachable configurations", limits.max_configurations),
+                    });
+                }
+                self.visited[slot] = epoch;
+                self.pk.push(cur.wrapping_add(packed.deltas[r]));
+                self.pk_code.push(succ_code);
+            }
+            if terminal && (cur >> packed.out_shift) & 0xff != expected {
+                return Ok(false);
+            }
+            current += 1;
+        }
+        Ok(true)
+    }
+
+    /// The memoizing decision pass:
+    /// [`run_decide_direct`](ExploreState::run_decide_direct) coded over the
+    /// box-wide *hull* (so codes mean the same thing at every point of the
+    /// sweep), consulting `cache` at the frontier.  A successor whose hull
+    /// code carries a cached [`Summary`] becomes a *virtual* child — its
+    /// subtree is never expanded; the component folds consume the summary's
+    /// output sets instead.  Every finished component's members are appended
+    /// to `pending` with their shared summary; the caller publishes them
+    /// only when the run returns `Ok` — a truncated exploration never
+    /// populates the cache.
+    ///
+    /// Returns `Ok(Some(decision))` when the verdict is certified,
+    /// `Ok(Some(false))` possibly early (the full check then fails or
+    /// errors, never passes), and `Ok(None)` when every component recovers
+    /// but the run cannot certify that the reference exploration would have
+    /// stayed within `limits` — the caller must then fall back to an exact
+    /// per-point pass.
+    #[allow(clippy::too_many_arguments)] // mirrors run_decide_direct + the cache
+    pub(super) fn run_decide_memo(
+        &mut self,
+        compiled: &CompiledCrn,
+        stride: usize,
+        start_dense: &[u64],
+        limits: ReachabilityLimits,
+        spec: &DirectSpec,
+        out_idx: usize,
+        expected: u64,
+        limit_certified: bool,
+        cache: &mut MemoCache,
+        pending: &mut Vec<(u64, Summary)>,
+    ) -> Result<Option<bool>, CrnError> {
+        self.arena.reset(stride);
+        self.cur.clear();
+        self.cur.resize(stride, 0);
+        self.succ.clear();
+        self.succ.resize(stride, 0);
+        self.direct.reset();
+        self.nodes.clear();
+        self.edges.clear();
+        self.rows.clear();
+        self.t_index.clear();
+        self.t_lowlink.clear();
+        self.t_onstack.clear();
+        self.t_comp.clear();
+        self.t_stack.clear();
+        self.t_frames.clear();
+        self.dp_max.clear();
+        self.dp_min.clear();
+        self.dp_so.clear();
+        self.dp_rset.clear();
+        self.dp_size.clear();
+        self.hit_list.clear();
+        self.hit_emit.clear();
+        self.hit_ids.clear();
+        pending.clear();
+
+        let start_code = spec.encode(start_dense);
+        self.arena.push_unindexed(start_dense);
+        self.nodes.push(DirectNode {
+            code: start_code,
+            last_emit: u32::MAX,
+        });
+        self.direct.insert(0, &self.nodes);
+        self.rows.push((0, 0));
+        self.t_index.push(UNVISITED);
+        self.t_lowlink.push(0);
+        self.t_onstack.push(false);
+        self.t_comp.push(0);
+
+        let mut next_index = 0usize;
+        let mut num_components = 0usize;
+        self.t_frames.push((0, 0));
+        while let Some(&(v, cursor)) = self.t_frames.last() {
+            if cursor == 0 {
+                self.t_index[v] = next_index;
+                self.t_lowlink[v] = next_index;
+                next_index += 1;
+                self.t_stack.push(v);
+                self.t_onstack[v] = true;
+
+                let row_start = u32::try_from(self.edges.len()).expect("edge count fits u32");
+                self.cur.copy_from_slice(self.arena.get(v));
+                let cur_code = self.nodes[v].code;
+                let cur_stamp = u32::try_from(v).expect("ids fit u32 (index cap)");
+                for r in 0..spec.offsets.len() {
+                    let lo = spec.req_offsets[r] as usize;
+                    let hi = spec.req_offsets[r + 1] as usize;
+                    if spec.reqs[lo..hi]
+                        .iter()
+                        .any(|&(s, c)| self.cur[s as usize] < c)
+                    {
+                        continue;
+                    }
+                    let succ_code = cur_code.wrapping_add_signed(spec.offsets[r]);
+                    // Materialized vertices win over cache entries, so a
+                    // configuration is never both a vertex and a virtual
+                    // child of the same run.
+                    if let Some(id) = self.direct.lookup(succ_code, &self.nodes) {
+                        if self.nodes[id].last_emit != cur_stamp {
+                            self.nodes[id].last_emit = cur_stamp;
+                            self.edges.push(real_edge(id));
+                        }
+                        continue;
+                    }
+                    if let Some(summary) = cache.lookup(succ_code) {
+                        let hit_list = &mut self.hit_list;
+                        let hit_emit = &mut self.hit_emit;
+                        let hid = *self.hit_ids.entry(succ_code).or_insert_with(|| {
+                            let hid = u32::try_from(hit_list.len()).expect("hit count fits u32");
+                            hit_list.push(summary);
+                            hit_emit.push(u32::MAX);
+                            hid
+                        });
+                        if self.hit_emit[hid as usize] != cur_stamp {
+                            self.hit_emit[hid as usize] = cur_stamp;
+                            self.edges.push(VIRTUAL_EDGE | hid);
+                        }
+                        continue;
+                    }
+                    if self.arena.len() >= limits.max_configurations {
+                        return Err(CrnError::SearchLimitExceeded {
+                            limit: format!(
+                                "{} reachable configurations",
+                                limits.max_configurations
+                            ),
+                        });
+                    }
+                    compiled.reactions()[r].apply_into(&self.cur, &mut self.succ);
+                    debug_assert_eq!(spec.encode(&self.succ), succ_code);
+                    let id = self.arena.push_unindexed(&self.succ);
+                    self.nodes.push(DirectNode {
+                        code: succ_code,
+                        last_emit: cur_stamp,
+                    });
+                    self.direct.insert(id, &self.nodes);
+                    self.rows.push((0, 0));
+                    self.t_index.push(UNVISITED);
+                    self.t_lowlink.push(0);
+                    self.t_onstack.push(false);
+                    self.t_comp.push(0);
+                    self.edges.push(real_edge(id));
+                }
+                let row_end = u32::try_from(self.edges.len()).expect("edge count fits u32");
+                self.rows[v] = (row_start, row_end);
+            }
+            let (rs, re) = self.rows[v];
+            let pos = rs as usize + cursor;
+            if pos < re as usize {
+                self.t_frames.last_mut().expect("frame exists").1 += 1;
+                let e = self.edges[pos];
+                if e & VIRTUAL_EDGE != 0 {
+                    // A summarized subtree: folded at the pop, never
+                    // traversed.
+                    continue;
+                }
+                let w = e as usize;
+                if self.t_index[w] == UNVISITED {
+                    self.t_frames.push((w, 0));
+                } else if self.t_onstack[w] {
+                    self.t_lowlink[v] = self.t_lowlink[v].min(self.t_index[w]);
+                }
+                continue;
+            }
+            self.t_frames.pop();
+            if self.t_lowlink[v] == self.t_index[v] {
+                let mut base = self.t_stack.len();
+                while base > 0 && self.t_index[self.t_stack[base - 1]] >= self.t_index[v] {
+                    base -= 1;
+                }
+                let c = num_components;
+                num_components += 1;
+                for &w in &self.t_stack[base..] {
+                    self.t_onstack[w] = false;
+                    self.t_comp[w] = c;
+                }
+                // Fold the closure's output extrema, stable-output set `so`
+                // (values some closure configuration is output-stable at)
+                // and recoverable set `rset` (values *every* closure
+                // configuration can still reach stably), plus a size bound.
+                let mut mx = u64::MIN;
+                let mut mn = u64::MAX;
+                let mut so = EMPTY_SET;
+                let mut rset: Option<SetId> = None;
+                let mut size =
+                    u64::try_from(self.t_stack.len() - base).expect("member count fits u64");
+                for i in base..self.t_stack.len() {
+                    let m = self.t_stack[i];
+                    let val = self.arena.get(m)[out_idx];
+                    mx = mx.max(val);
+                    mn = mn.min(val);
+                    let (ms, me) = self.rows[m];
+                    for &e in &self.edges[ms as usize..me as usize] {
+                        let (c_mx, c_mn, c_so, c_rset, c_size) = if e & VIRTUAL_EDGE != 0 {
+                            let h = &self.hit_list[(e & !VIRTUAL_EDGE) as usize];
+                            (h.mx, h.mn, h.so, h.rset, h.size_bound)
+                        } else {
+                            let cw = self.t_comp[e as usize];
+                            if cw == c {
+                                continue;
+                            }
+                            (
+                                self.dp_max[cw],
+                                self.dp_min[cw],
+                                self.dp_so[cw],
+                                self.dp_rset[cw],
+                                self.dp_size[cw],
+                            )
+                        };
+                        mx = mx.max(c_mx);
+                        mn = mn.min(c_mn);
+                        so = cache.pool.union(so, c_so);
+                        rset = Some(match rset {
+                            None => c_rset,
+                            Some(r) => cache.pool.intersect(r, c_rset),
+                        });
+                        size = size.saturating_add(c_size);
+                    }
+                }
+                if mx == mn {
+                    // One output value across the whole closure: every
+                    // member is output-stable with it.
+                    let single = cache.pool.singleton(mx);
+                    so = cache.pool.union(so, single);
+                }
+                let rset = rset.unwrap_or(so);
+                if !cache.pool.contains(rset, expected) {
+                    // Some configuration in this reachable component's
+                    // closure can never recover the expected output: the
+                    // full check fails or errors, never passes.
+                    return Ok(Some(false));
+                }
+                let summary = Summary {
+                    mx,
+                    mn,
+                    so,
+                    rset,
+                    size_bound: size,
+                };
+                for &m in &self.t_stack[base..] {
+                    pending.push((self.nodes[m].code, summary));
+                }
+                self.dp_max.push(mx);
+                self.dp_min.push(mn);
+                self.dp_so.push(so);
+                self.dp_rset.push(rset);
+                self.dp_size.push(size);
+                self.t_stack.truncate(base);
+            }
+            if let Some(parent) = self.t_frames.last() {
+                self.t_lowlink[parent.0] = self.t_lowlink[parent.0].min(self.t_lowlink[v]);
+            }
+        }
+        // Every component recovers.  The run may have finished early through
+        // cache hits, so "the reference exploration fits the limit" needs a
+        // certificate: the sweep-wide one, or the root closure's size bound.
+        let root_size = *self.dp_size.last().expect("the root component was popped");
+        if limit_certified
+            || root_size <= u64::try_from(limits.max_configurations).unwrap_or(u64::MAX)
+        {
+            Ok(Some(true))
+        } else {
+            Ok(None)
+        }
+    }
 }
 
 /// A conservation-law refutation oracle: answers "is `target` provably
@@ -764,6 +1401,131 @@ pub(super) enum StaticOutcome {
     /// The expected output count lies outside the reachable interval of the
     /// output species: the full check would fail or error, never pass.
     Fail,
+}
+
+/// Everything the incremental box engine precomputes once per sweep:
+/// analysis artifacts, the box-wide hull code space, the packed byte
+/// encoding, the symmetry group, and the cross-worker summary exchange.  All
+/// of it depends only on the CRN, the bound and the configuration limit, so
+/// the driver builds one plan and every worker shares it by reference.
+pub(super) struct SweepPlan {
+    /// The mixed-radix code over the box-wide interval hull — a
+    /// point-independent key space shared by every sweep point, used to key
+    /// the cross-point cache.
+    hull_spec: Option<DirectSpec>,
+    /// The byte packing for certified-acyclic CRNs whose hull fits 7-bit
+    /// lanes.
+    packed: Option<PackedSpec>,
+    /// Whether the hull provably fits the configuration limit: then no point
+    /// of the sweep can error on it, and memo runs skip the per-summary size
+    /// certificates.
+    limit_certified: bool,
+    /// Whether cross-point memoization can ever pay off: a hull code space
+    /// exists and the conservation laws do not already separate every pair
+    /// of box points into disjoint reachable sets.
+    pub(super) cache_enabled: bool,
+    /// Input permutations extending to CRN automorphisms, in skip
+    /// orientation (see [`symmetry::input_automorphisms`]).
+    pub(super) perms: Vec<Vec<usize>>,
+    /// The cross-worker summary exchange.
+    pub(super) shared: SharedLog,
+}
+
+impl SweepPlan {
+    pub(super) fn build(
+        crn: &FunctionCrn,
+        analysis: &Arc<BoxAnalysis>,
+        bound: u64,
+        max_configurations: usize,
+    ) -> SweepPlan {
+        let compiled = CompiledCrn::compile(crn.crn());
+        let stride = compiled.stride().max(crn.role_stride());
+        // The hull is the interval analysis seeded at the box's top corner:
+        // the monotone potentials and the liveness closure both grow with
+        // the start, so the resulting box contains every configuration
+        // reachable from *any* point of the sweep.
+        let mut top = vec![0u64; stride];
+        for species in &crn.roles().inputs {
+            top[species.index()] = bound;
+        }
+        if let Some(leader) = crn.leader() {
+            top[leader.index()] += 1;
+        }
+        let support: Vec<usize> = (0..stride).filter(|&s| top[s] > 0).collect();
+        let live = Liveness::analyze(&compiled, &support);
+        let hull = analysis.bounds.box_hull(&top, &live);
+        let hull_spec = DirectSpec::build(&hull, &compiled, DIRECT_INDEX_CAP);
+        let packed = if analysis.acyclic {
+            PackedSpec::build(
+                &hull,
+                &compiled,
+                &analysis.laws,
+                stride,
+                crn.output().index(),
+            )
+        } else {
+            None
+        };
+        let limit_certified = hull
+            .state_space()
+            .is_some_and(|v| v <= max_configurations as u128);
+        let inputs: Vec<usize> = crn.roles().inputs.iter().map(|s| s.index()).collect();
+        let cache_enabled = hull_spec.is_some()
+            && !inputs.is_empty()
+            && input_law_rank(&analysis.laws, &inputs) < inputs.len();
+        let perms = symmetry::input_automorphisms(crn, &compiled);
+        SweepPlan {
+            hull_spec,
+            packed,
+            limit_certified,
+            cache_enabled,
+            perms,
+            shared: SharedLog::new(),
+        }
+    }
+}
+
+/// The rank (over ℚ) of the conservation-law matrix restricted to the input
+/// species.  At full rank the laws' values separate every pair of box points
+/// — reachable sets of distinct points are disjoint and a cross-point cache
+/// can never hit, so the driver leaves it off.  Overflow during elimination
+/// conservatively reports rank 0 (the gate is a performance heuristic, never
+/// a soundness requirement).
+fn input_law_rank(laws: &[ConservationLaw], inputs: &[usize]) -> usize {
+    let mut rows: Vec<Vec<i128>> = laws
+        .iter()
+        .map(|law| inputs.iter().map(|&s| law.weight(s)).collect())
+        .collect();
+    let cols = inputs.len();
+    let mut rank = 0usize;
+    for col in 0..cols {
+        let Some(pivot) = (rank..rows.len()).find(|&r| rows[r][col] != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let (head, rest) = rows.split_at_mut(rank + 1);
+        let pivot_row = &head[rank];
+        for row in rest.iter_mut() {
+            if row[col] == 0 {
+                continue;
+            }
+            let (p, q) = (pivot_row[col], row[col]);
+            for j in 0..cols {
+                let Some(scaled) = row[j].checked_mul(p) else {
+                    return 0;
+                };
+                let Some(elim) = pivot_row[j].checked_mul(q) else {
+                    return 0;
+                };
+                let Some(diff) = scaled.checked_sub(elim) else {
+                    return 0;
+                };
+                row[j] = diff;
+            }
+        }
+        rank += 1;
+    }
+    rank
 }
 
 /// A reusable stable-computation checker for one CRN: reactions are compiled
@@ -1003,6 +1765,113 @@ impl<'c> VerdictEngine<'c> {
                 ))
             }
         }
+    }
+
+    /// The incremental sweep's decision pass: semantically identical to
+    /// [`decide`](VerdictEngine::decide) — `Ok(true)` certifies the point
+    /// passes within the limit, `Ok(false)` certifies the full check would
+    /// fail or error — but routed through the sweep plan's cross-point
+    /// layers.  With a cache, the memoizing hull-coded pass runs (falling
+    /// back to the exact per-point pass when it cannot certify the limit);
+    /// otherwise a certified-acyclic CRN on a 7-bit hull takes the packed
+    /// byte pass, which needs no per-point interval analysis at all; plain
+    /// [`decide`](VerdictEngine::decide) covers the rest.
+    #[allow(clippy::too_many_arguments)] // mirrors decide + the sweep plan's layers
+    pub(super) fn decide_incremental(
+        &mut self,
+        x: &NVec,
+        expected_output: u64,
+        max_configurations: usize,
+        plan: &SweepPlan,
+        cache: Option<&mut MemoCache>,
+        pending: &mut Vec<(u64, Summary)>,
+        stats: &mut BoxCheckStats,
+    ) -> Result<bool, CrnError> {
+        if x.dim() != self.crn.dim() {
+            return Err(CrnError::DimensionMismatch {
+                expected: self.crn.dim(),
+                actual: x.dim(),
+            });
+        }
+        if let Some(cache) = cache {
+            let hull_spec = plan
+                .hull_spec
+                .as_ref()
+                .expect("an enabled cache implies a hull code space");
+            self.build_start(x);
+            cache.import(&plan.shared);
+            let root_code = hull_spec.encode(&self.start_dense);
+            if let Some(summary) = cache.lookup(root_code) {
+                stats.cache_served += 1;
+                if !cache.pool.contains(summary.rset, expected_output) {
+                    return Ok(false);
+                }
+                if plan.limit_certified
+                    || summary.size_bound <= u64::try_from(max_configurations).unwrap_or(u64::MAX)
+                {
+                    return Ok(true);
+                }
+                // The verdict is "pass" but the reference exploration might
+                // exceed its limit: fall through to the exact pass.
+            } else {
+                let hits_before = cache.hits;
+                let limits = ReachabilityLimits { max_configurations };
+                let out_idx = self.crn.output().index();
+                let result = self.state.run_decide_memo(
+                    &self.compiled,
+                    self.stride,
+                    &self.start_dense,
+                    limits,
+                    hull_spec,
+                    out_idx,
+                    expected_output,
+                    plan.limit_certified,
+                    cache,
+                    pending,
+                );
+                stats.configs_explored +=
+                    u64::try_from(self.state.arena.len()).expect("usize fits u64");
+                match result {
+                    Ok(decision) => {
+                        // Publish the finished components — their closures
+                        // were fully summarized even if the decision came
+                        // early.
+                        for &(code, summary) in pending.iter() {
+                            cache.insert(code, summary);
+                        }
+                        cache.export(&plan.shared, pending);
+                        pending.clear();
+                        if cache.hits > hits_before {
+                            stats.cache_served += 1;
+                        }
+                        if let Some(decision) = decision {
+                            stats.decided += 1;
+                            return Ok(decision);
+                        }
+                        // Undecided: a pass the run cannot certify against
+                        // the limit; rerun exactly below.
+                    }
+                    Err(e) => {
+                        pending.clear();
+                        return Err(e);
+                    }
+                }
+            }
+        } else if let Some(packed) = plan.packed.as_ref() {
+            self.build_start(x);
+            let limits = ReachabilityLimits { max_configurations };
+            let start = packed.pack(&self.start_dense);
+            let result = self
+                .state
+                .run_decide_packed_dag(packed, start, limits, expected_output);
+            stats.configs_explored += u64::try_from(self.state.pk.len()).expect("usize fits u64");
+            stats.decided += 1;
+            return result;
+        }
+        stats.decided += 1;
+        let result = self.decide(x, expected_output, max_configurations);
+        stats.configs_explored += u64::try_from(self.state.arena.len()).expect("usize fits u64");
+        result
     }
 
     /// Checks whether the CRN stably computes `expected_output` on `x`.

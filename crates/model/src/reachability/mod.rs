@@ -30,9 +30,11 @@
 mod arena;
 mod csr;
 mod engine;
+mod memo;
 pub mod oracle;
 mod parallel;
 mod scc;
+mod symmetry;
 
 use std::sync::OnceLock;
 
@@ -65,6 +67,76 @@ impl Default for ReachabilityLimits {
         ReachabilityLimits {
             max_configurations: 200_000,
         }
+    }
+}
+
+/// Observability counters for one box sweep: how many points the engine
+/// actually explored versus decided statically, served from the cross-point
+/// cache, or skipped as symmetry replays.  Returned by
+/// [`check_on_box_with_stats`] and surfaced by `crn verify --stats`.
+///
+/// The counters never influence verdicts; they exist so the effect of each
+/// incremental layer is measurable on real sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BoxCheckStats {
+    /// Total number of points in the box.
+    pub points: u64,
+    /// Points that reached an engine pass (everything except symmetry skips).
+    pub evaluated: u64,
+    /// Points skipped because an input automorphism maps them to a
+    /// lexicographically smaller point with the same expected output.
+    pub symmetry_skipped: u64,
+    /// Points decided `Pass` by the static interval analysis alone.
+    pub static_pass: u64,
+    /// Points decided `Fail` by the static interval analysis alone.
+    pub static_fail: u64,
+    /// Points settled by a decision pass (fused exploration, packed, or
+    /// memoizing — including runs that populated or consulted the cache).
+    pub decided: u64,
+    /// Points whose decision came at least partly from cached summaries (a
+    /// root-level cache hit, or a frontier that hit summarized territory).
+    pub cache_served: u64,
+    /// Configurations materialized across every exploration of the sweep.
+    pub configs_explored: u64,
+    /// Lookups into the cross-point summary cache.
+    pub cache_lookups: u64,
+    /// Lookups that found a summary.
+    pub cache_hits: u64,
+    /// Distinct summaries held by the largest per-worker cache at the end of
+    /// the sweep.
+    pub cache_entries: u64,
+}
+
+impl BoxCheckStats {
+    /// The fraction of cache lookups that hit, or 0.0 for a sweep that never
+    /// looked (cache disabled or no decision pass ran).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / self.cache_lookups as f64
+            }
+        }
+    }
+
+    /// Folds one worker's counters into the sweep totals.  `points` is set
+    /// once by the driver, and `cache_entries` reports the largest per-worker
+    /// cache (entries are duplicated across workers by the shared log, so
+    /// summing would double-count).
+    fn merge(&mut self, other: &BoxCheckStats) {
+        self.evaluated += other.evaluated;
+        self.symmetry_skipped += other.symmetry_skipped;
+        self.static_pass += other.static_pass;
+        self.static_fail += other.static_fail;
+        self.decided += other.decided;
+        self.cache_served += other.cache_served;
+        self.configs_explored += other.configs_explored;
+        self.cache_lookups += other.cache_lookups;
+        self.cache_hits += other.cache_hits;
+        self.cache_entries = self.cache_entries.max(other.cache_entries);
     }
 }
 
@@ -231,13 +303,19 @@ pub fn check_stable_computation(
 /// sharding the inputs across worker threads (up to one per available core,
 /// with each worker granted enough inputs to amortize its spawn cost).
 ///
-/// The scan is *analysis-pruned*: per-species reachable-count intervals
-/// (see [`crate::analysis::SpeciesBounds`]) statically prove some inputs
-/// passing or failing without building an arena, and small proven boxes are
-/// explored through a perfect mixed-radix index instead of hash interning.
-/// The result is nonetheless bit-identical to [`check_on_box_reference`] —
-/// the first failing verdict in lexicographic input order, the same one a
-/// sequential unpruned scan would return — or `Ok(None)` if all inputs pass.
+/// The scan runs the *incremental* box engine: on top of the static interval
+/// pruning and direct-indexed exploration of the analysis-pruned engine, it
+/// skips inputs whose symmetry orbit already contains a checked
+/// representative, memoizes per-component output-set summaries across box
+/// points (keyed by the box-wide hull code, shared across workers), and for
+/// certified-acyclic CRNs on small hulls explores through a packed byte
+/// encoding — one `u64` per configuration.  Box points are decoded from a
+/// mixed-radix index on demand, so the sweep allocates `O(1)` memory in the
+/// box size.  The result is nonetheless bit-identical to
+/// [`check_on_box_reference`] — the first failing verdict in lexicographic
+/// input order, the same one a sequential unpruned scan would return, byte
+/// identical failure messages and errors included — or `Ok(None)` if all
+/// inputs pass.
 ///
 /// # Errors
 ///
@@ -250,7 +328,15 @@ pub fn check_on_box(
     max_configurations: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
     let workers = default_box_workers(crn.dim(), bound);
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, true)
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Incremental,
+    )
+    .0
 }
 
 /// [`check_on_box`] with an explicit worker-thread count (mainly for tests
@@ -267,13 +353,60 @@ pub fn check_on_box_with_workers(
     max_configurations: usize,
     workers: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, true)
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Incremental,
+    )
+    .0
+}
+
+/// [`check_on_box`] returning the sweep's [`BoxCheckStats`] alongside the
+/// outcome, with the default worker count.
+pub fn check_on_box_stats(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    BoxCheckStats,
+) {
+    let workers = default_box_workers(crn.dim(), bound);
+    check_on_box_with_stats(crn, f, bound, max_configurations, workers)
+}
+
+/// [`check_on_box`] returning the sweep's [`BoxCheckStats`] alongside the
+/// outcome: how many points the engine evaluated, decided statically, served
+/// from the cross-point cache, or skipped as symmetry replays.  The outcome
+/// is exactly that of [`check_on_box_with_workers`] with the same arguments.
+pub fn check_on_box_with_stats(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+    workers: usize,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    BoxCheckStats,
+) {
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Incremental,
+    )
 }
 
 /// [`check_on_box`] without any static analysis: every input runs the plain
 /// hash-interned exploration, exactly the pre-analysis engine.  Kept as the
-/// differential-testing baseline for the pruned scan (the two must agree
-/// bit-for-bit, errors included) and as the E18 comparison point.
+/// differential-testing baseline for the pruned and incremental scans (all
+/// must agree bit-for-bit, errors included).
 ///
 /// # Errors
 ///
@@ -286,11 +419,19 @@ pub fn check_on_box_reference(
     max_configurations: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
     let workers = default_box_workers(crn.dim(), bound);
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, false)
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Reference,
+    )
+    .0
 }
 
-/// [`check_on_box_reference`] with an explicit worker-thread count, so the
-/// E18 benchmark can pin both engines to one worker and measure the purely
+/// [`check_on_box_reference`] with an explicit worker-thread count, so
+/// benchmarks can pin every engine to one worker and measure the purely
 /// algorithmic speedup.
 ///
 /// # Errors
@@ -304,7 +445,59 @@ pub fn check_on_box_reference_with_workers(
     max_configurations: usize,
     workers: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
-    parallel::check_on_box_sharded(crn, &f, bound, max_configurations, workers, false)
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Reference,
+    )
+    .0
+}
+
+/// The analysis-pruned box scan *without* the incremental layers: static
+/// interval pruning plus the per-point fused decision pass, exactly the
+/// engine that preceded the incremental one.  Kept as the E18 benchmark
+/// subject and the E19 comparison point; verdicts are bit-identical to both
+/// other engines.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`] exactly as
+/// [`check_on_box`] does.
+pub fn check_on_box_baseline(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    let workers = default_box_workers(crn.dim(), bound);
+    check_on_box_baseline_with_workers(crn, f, bound, max_configurations, workers)
+}
+
+/// [`check_on_box_baseline`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// Propagates the errors of [`check_stable_computation`] exactly as
+/// [`check_on_box`] does.
+pub fn check_on_box_baseline_with_workers(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+    workers: usize,
+) -> Result<Option<StableComputationVerdict>, CrnError> {
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Baseline,
+    )
+    .0
 }
 
 /// One worker per available core, capped so every worker gets at least
@@ -597,6 +790,93 @@ mod tests {
         assert!(pruned.is_none());
     }
 
+    /// The two-reaction sum gadget `X1 -> Y; X2 -> Y`: symmetric in its
+    /// inputs, acyclic, and conserving `X1 + X2 + Y` — which leaves the
+    /// input-law rank at 1 < 2, so the cross-point cache stays enabled.
+    fn sum_crn() -> FunctionCrn {
+        let mut crn = Crn::new();
+        crn.parse_reaction("X1 -> Y").unwrap();
+        crn.parse_reaction("X2 -> Y").unwrap();
+        FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).expect("valid roles")
+    }
+
+    #[test]
+    fn box_stats_count_symmetry_cache_and_static_work() {
+        let sum = sum_crn();
+        let f = |x: &NVec| x[0] + x[1];
+        let (result, stats) = check_on_box_with_stats(&sum, f, 2, 10_000, 1);
+        assert_eq!(result.unwrap(), None, "the sum CRN computes the sum");
+        assert_eq!(stats.points, 9);
+        // The input swap is detected, so the strict lower triangle of the
+        // box — (1,0), (2,0), (2,1) — replays the verdicts of its mirror
+        // images.
+        assert_eq!(stats.symmetry_skipped, 3);
+        assert_eq!(stats.evaluated + stats.symmetry_skipped, stats.points);
+        // Later points stop their expansions on summaries cached by earlier
+        // ones (e.g. (1,1) hits territory summarized under (0,1) and (0,2)).
+        assert!(stats.cache_hits > 0, "no cache hits: {stats:?}");
+        assert!(stats.cache_entries > 0);
+        assert!(stats.cache_lookups >= stats.cache_hits);
+        assert!(stats.cache_hit_rate() > 0.0);
+        // Every evaluated point is accounted to exactly one engine pass.
+        assert_eq!(
+            stats.static_pass + stats.static_fail + stats.decided,
+            stats.evaluated
+        );
+        // The sharded sweep agrees with the sequential one.
+        let (sharded, _) = check_on_box_with_stats(&sum, f, 2, 10_000, 3);
+        assert_eq!(sharded.unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_explorations_never_populate_the_cache() {
+        // With a limit of 2 configurations: (0,0) passes statically, (0,1)
+        // explores exactly 2 configurations and publishes their summaries,
+        // (1,0) is a symmetry replay of (0,1), and (1,1) — 4 reachable
+        // configurations — blows the limit mid-exploration.  The truncated
+        // run must discard its partial summaries, leaving exactly the two
+        // entries (0,1) published, and the sweep must surface the identical
+        // (lexicographically-first) error the reference scan produces.
+        let sum = sum_crn();
+        let f = |x: &NVec| x[0] + x[1];
+        let (result, stats) = check_on_box_with_stats(&sum, f, 1, 2, 1);
+        let reference = check_on_box_reference(&sum, f, 1, 2);
+        assert_eq!(result, reference);
+        result.unwrap_err();
+        assert_eq!(stats.symmetry_skipped, 1);
+        assert_eq!(
+            stats.cache_entries, 2,
+            "the truncated run at (1,1) must not leak summaries: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn symmetry_replay_failures_are_byte_identical() {
+        // The max CRN with the *wrong* expected function: failures must
+        // surface with byte-identical messages through the orbit-reduced
+        // scan, at every worker count.
+        let max = examples::max_crn();
+        let symmetric = |x: &NVec| x[0].min(x[1]);
+        let asymmetric = |x: &NVec| x[0];
+        let reference_sym = check_on_box_reference(&max, symmetric, 3, 100_000);
+        let reference_asym = check_on_box_reference(&max, asymmetric, 3, 100_000);
+        for workers in 1..=4 {
+            assert_eq!(
+                check_on_box_with_workers(&max, symmetric, 3, 100_000, workers),
+                reference_sym,
+                "workers={workers}"
+            );
+            assert_eq!(
+                check_on_box_with_workers(&max, asymmetric, 3, 100_000, workers),
+                reference_asym,
+                "workers={workers}"
+            );
+        }
+        let verdict = reference_sym.unwrap().expect("min is not max");
+        assert_eq!(verdict.input, NVec::from(vec![0, 1]));
+        assert!(verdict.failure.is_some());
+    }
+
     #[test]
     fn max_output_reachable_detects_overshoot() {
         let max = examples::max_crn();
@@ -819,7 +1099,67 @@ mod tests {
         assert!(!target_reachable(double.crn(), &start, &target, 1).unwrap());
     }
 
+    /// Builds a CRN over `{X1, X2, Y, Z}` that is symmetric in its inputs by
+    /// construction: each sampled reaction is added twice, once as drawn and
+    /// once with X1 and X2 swapped, so the input swap is always an
+    /// automorphism of the union.
+    fn symmetric_random_crn(stoich: &[Vec<u64>]) -> FunctionCrn {
+        let mut crn = Crn::new();
+        let x1 = crn.add_species("X1");
+        let x2 = crn.add_species("X2");
+        let y = crn.add_species("Y");
+        let z = crn.add_species("Z");
+        for row in stoich {
+            for species in [[x1, x2, y, z], [x2, x1, y, z]] {
+                let reactants: Vec<(Species, u64)> = species
+                    .iter()
+                    .zip(&row[0..4])
+                    .map(|(&s, &c)| (s, c))
+                    .collect();
+                let products: Vec<(Species, u64)> = species
+                    .iter()
+                    .zip(&row[4..8])
+                    .map(|(&s, &c)| (s, c))
+                    .collect();
+                crn.add_reaction(Reaction::new(reactants, products));
+            }
+        }
+        FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).expect("valid roles")
+    }
+
     proptest! {
+        /// Orbit-reduced sweeps on CRNs with forced input symmetry return
+        /// outcomes bit-identical to the reference scan — for symmetric
+        /// *and* asymmetric expected functions (the latter disables most
+        /// replays through the `f(y) == f(x)` guard), sequential and
+        /// sharded.  On an all-pass box the swap must actually have been
+        /// detected: exactly the strict lower triangle is replayed.
+        #[test]
+        fn symmetric_box_check_matches_reference(
+            stoich in proptest::collection::vec(proptest::collection::vec(0u64..3, 8), 1..3),
+            a in 0u64..3,
+            b in 0u64..2,
+            bound in 0u64..3,
+        ) {
+            let crn = symmetric_random_crn(&stoich);
+            let symmetric = |x: &NVec| a * (x[0] + x[1]) + b;
+            let reference = check_on_box_reference(&crn, symmetric, bound, 300);
+            let (sequential, stats) = check_on_box_with_stats(&crn, symmetric, bound, 300, 1);
+            prop_assert_eq!(&sequential, &reference);
+            let sharded = check_on_box_with_workers(&crn, symmetric, bound, 300, 3);
+            prop_assert_eq!(&sharded, &reference);
+            if matches!(&sequential, Ok(None)) {
+                prop_assert_eq!(stats.symmetry_skipped, bound * (bound + 1) / 2);
+                prop_assert_eq!(stats.evaluated + stats.symmetry_skipped, stats.points);
+            }
+            let asymmetric = |x: &NVec| a * x[0] + b;
+            let reference = check_on_box_reference(&crn, asymmetric, bound, 300);
+            let sequential = check_on_box_with_workers(&crn, asymmetric, bound, 300, 1);
+            prop_assert_eq!(&sequential, &reference);
+            let sharded = check_on_box_with_workers(&crn, asymmetric, bound, 300, 3);
+            prop_assert_eq!(&sharded, &reference);
+        }
+
         /// Differential soundness of the invariant oracle: whenever it
         /// refutes a start/target pair of a random CRN, the exhaustive
         /// engine must agree the target is unreachable — and with or

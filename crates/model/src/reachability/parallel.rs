@@ -1,35 +1,58 @@
 //! Parallel box checking.
 //!
-//! `check_on_box` enumerates the inputs of `[0, bound]^d` in lexicographic
-//! order and shards them across scoped worker threads (the vendored stubs
-//! have no rayon, so the pool is a plain `std::thread::scope` with an atomic
-//! work-stealing cursor).  The result is deterministic regardless of thread
-//! interleaving: every worker records the index of any failing (or erroring)
-//! input it sees, indices past the best-known failure are skipped, and the
-//! verdict returned is the one at the smallest index — exactly what the
-//! sequential loop would have produced.
+//! `check_on_box` walks the inputs of `[0, bound]^d` in lexicographic order
+//! and shards them across scoped worker threads (the vendored stubs have no
+//! rayon, so the pool is a plain `std::thread::scope` with an atomic
+//! work-stealing cursor).  Box points are never materialized up front: each
+//! worker decodes its drawn index into one reused count vector through the
+//! mixed-radix place values of the box, so the sweep takes `O(1)` memory in
+//! the box size.  The result is deterministic regardless of thread
+//! interleaving: every worker records the index of the first failing (or
+//! erroring) input it sees, indices past the best-known failure are skipped,
+//! and the verdict returned is the one at the smallest index — exactly what
+//! the sequential loop would have produced.
+//!
+//! Three engine modes share the driver (see [`EngineMode`]): the unpruned
+//! reference scan, the analysis-pruned baseline, and the incremental engine
+//! layering symmetry-orbit skipping and the cross-point memo cache on top of
+//! the baseline's static pruning.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crn_numeric::NVec;
 
 use crate::error::CrnError;
 use crate::function::FunctionCrn;
 
-use super::engine::{StaticOutcome, VerdictEngine};
-use super::StableComputationVerdict;
+use super::engine::{StaticOutcome, SweepPlan, VerdictEngine};
+use super::memo::{MemoCache, Summary};
+use super::{BoxCheckStats, StableComputationVerdict};
 
 /// One input's outcome: the check failed, or the search errored out.
 type BoxOutcome = Result<StableComputationVerdict, CrnError>;
 
 /// A worker's record of one non-passing input: the full outcome, or a bad
-/// point left unmaterialized (statically refuted, or rejected by the fused
-/// decision pass) — only the lexicographically smallest bad input is ever
-/// expanded into a real verdict.
+/// point left unmaterialized (statically refuted, or rejected by a decision
+/// pass) — only the lexicographically smallest bad input is ever expanded
+/// into a real verdict.
 enum BadPoint {
     Full(BoxOutcome),
     Deferred,
+}
+
+/// How the sharded driver evaluates each box point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum EngineMode {
+    /// Full verdict construction at every point, no static analysis.  The
+    /// differential baseline every other mode must match bit for bit.
+    Reference,
+    /// Static interval pruning plus the per-point fused decision pass — the
+    /// pre-incremental engine, kept as the E19 comparison point.
+    Baseline,
+    /// The incremental engine: symmetry-orbit skipping, adaptive static
+    /// pruning, and cross-point memoization / packed exploration.
+    Incremental,
 }
 
 /// The default shard grants each worker at least this many inputs, so a box
@@ -38,125 +61,252 @@ enum BadPoint {
 /// [`super::check_on_box_with_workers`] overrides this.
 pub(super) const MIN_POINTS_PER_WORKER: u64 = 8;
 
+/// After this many consecutive static abstentions a worker stops consulting
+/// the static verdict and goes straight to the decision pass.  Purely a
+/// performance valve: the decision pass subsumes the static answer, so
+/// verdicts are unaffected.  Any static answer re-arms the counter.
+const STATIC_ABSTAIN_CUTOFF: u32 = 16;
+
+/// The number of points in `[0, bound]^d`, saturating at `u64::MAX` (a box
+/// that large cannot be swept anyway).
+fn box_point_count(dim: usize, bound: u64) -> u64 {
+    let radix = bound.saturating_add(1);
+    let mut total = 1u64;
+    for _ in 0..dim {
+        total = match total.checked_mul(radix) {
+            Some(t) => t,
+            None => return u64::MAX,
+        };
+    }
+    total
+}
+
+/// Decodes a lexicographic box index into the point it names, writing into a
+/// reused vector: the last coordinate is the least significant digit, exactly
+/// the order of [`NVec::box_iter`].
+fn decode_point(mut index: u64, radix: u64, x: &mut NVec) {
+    for j in (0..x.dim()).rev() {
+        x[j] = index % radix;
+        index /= radix;
+    }
+    debug_assert_eq!(index, 0, "index lies inside the box");
+}
+
 /// Checks every input of the box on `workers` threads, returning the verdict
-/// (or error) of the lexicographically-first input that does not pass.
+/// (or error) of the lexicographically-first input that does not pass, plus
+/// the sweep's observability counters.
 ///
-/// With `pruned` set, each worker consults the engine's static verdict
-/// first: statically-passing inputs are skipped without building an arena,
-/// and statically-refuted inputs only record their index.  Points the
-/// analysis abstains on run the engine's fused *decision* pass — the same
-/// exploration, but a single Tarjan-fused traversal instead of the full
-/// verdict construction — and likewise record only their index when bad.
-/// The one bad index that wins the race is re-checked in full, so the
-/// returned outcome is bit-identical to the unpruned scan.
+/// All three modes return bit-identical outcomes; they differ only in how
+/// much work each point costs.  Non-reference modes record only the *index*
+/// of a bad point during the scan; the one bad index that wins the race is
+/// re-checked in full, so the returned outcome is byte-identical to the
+/// reference scan — failure messages and errors included.
 pub(super) fn check_on_box_sharded(
     crn: &FunctionCrn,
     f: &(impl Fn(&NVec) -> u64 + Sync),
     bound: u64,
     max_configurations: usize,
     workers: usize,
-    pruned: bool,
-) -> Result<Option<StableComputationVerdict>, CrnError> {
-    // The static analysis depends only on the CRN: run it once for the whole
-    // box and hand every worker engine a shared handle.
-    let shared_analysis = pruned.then(|| VerdictEngine::analyze(crn));
+    mode: EngineMode,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    BoxCheckStats,
+) {
+    let dim = crn.dim();
+    let radix = bound.saturating_add(1);
+    let total = box_point_count(dim, bound);
+    let workers = workers.clamp(1, usize::try_from(total).unwrap_or(usize::MAX).max(1));
+
+    // Everything point-independent is computed once for the whole sweep: the
+    // static analysis (baseline and incremental) and the incremental plan
+    // (hull code space, packed spec, input automorphisms, shared cache log).
+    let shared_analysis = match mode {
+        EngineMode::Reference => None,
+        EngineMode::Baseline | EngineMode::Incremental => Some(VerdictEngine::analyze(crn)),
+    };
+    let plan = (mode == EngineMode::Incremental).then(|| {
+        SweepPlan::build(
+            crn,
+            shared_analysis.as_ref().expect("incremental analyzes"),
+            bound,
+            max_configurations,
+        )
+    });
     let make_engine = || match &shared_analysis {
         Some(analysis) => VerdictEngine::with_analysis(crn, Some(Arc::clone(analysis))),
         None => VerdictEngine::reference(crn),
     };
-    let points = NVec::enumerate_box(crn.dim(), bound);
-    let workers = workers.clamp(1, points.len().max(1));
-    if workers == 1 {
-        // Degenerate shard: the plain sequential loop on one reused engine.
-        // The first input that does not pass is necessarily the scan's
-        // answer, so the full check it falls through to is the
-        // materialization.
+
+    let next = AtomicU64::new(0);
+    let first_bad = AtomicU64::new(u64::MAX);
+
+    // One worker's scan: draw indices from the shared cursor until the box
+    // (or the best-known bad prefix) is exhausted.  Returns its first bad
+    // index — its draws strictly increase, so it may stop at the first — and
+    // its statistics.
+    let run_worker = || -> (Option<(u64, BadPoint)>, BoxCheckStats) {
         let mut engine = make_engine();
-        for x in &points {
-            let expected = f(x);
-            if pruned {
-                match engine.static_verdict(x, expected, max_configurations) {
-                    Some(StaticOutcome::Pass) => continue,
-                    Some(StaticOutcome::Fail) => {}
-                    None => {
-                        if engine.decide(x, expected, max_configurations)? {
-                            continue;
-                        }
+        let mut cache = plan
+            .as_ref()
+            .is_some_and(|p| p.cache_enabled)
+            .then(MemoCache::new);
+        let mut pending: Vec<(u64, Summary)> = Vec::new();
+        let mut x = NVec::zeros(dim);
+        let mut y = NVec::zeros(dim);
+        let mut stats = BoxCheckStats::default();
+        let mut best: Option<(u64, BadPoint)> = None;
+        let mut abstains = 0u32;
+        let mut static_armed = true;
+        'scan: loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            // Inputs beyond the best known failure cannot change the answer;
+            // the cursor only grows, so this worker is done.
+            if i >= total || i > first_bad.load(Ordering::Acquire) {
+                break;
+            }
+            decode_point(i, radix, &mut x);
+            let expected = f(&x);
+
+            if let Some(plan) = &plan {
+                // Symmetry-orbit reduction: skip `x` whenever some detected
+                // automorphism maps it to a lexicographically smaller point
+                // with the same expected output — that point's verdict (at
+                // a smaller index, so inside the scanned prefix) is `x`'s
+                // verdict.  The lexicographically-first bad point maps only
+                // to larger-or-equal bad points, so it is never skipped and
+                // the winner is unchanged.
+                for p in &plan.perms {
+                    for k in 0..dim {
+                        y[k] = x[p[k]];
+                    }
+                    if y.as_slice() < x.as_slice() && f(&y) == expected {
+                        stats.symmetry_skipped += 1;
+                        continue 'scan;
                     }
                 }
             }
-            let verdict = engine.check(x, expected, max_configurations)?;
-            if !verdict.is_correct() {
-                return Ok(Some(verdict));
-            }
-            debug_assert!(
-                !pruned,
-                "an input rejected by the decision pass passed in full"
-            );
-        }
-        return Ok(None);
-    }
+            stats.evaluated += 1;
 
-    let next = AtomicUsize::new(0);
-    let first_bad = AtomicUsize::new(usize::MAX);
-    let found: Mutex<Vec<(usize, BadPoint)>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut engine = make_engine();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    // Inputs beyond the best known failure cannot change the
-                    // answer; the cursor only grows, so this worker is done.
-                    if i >= points.len() || i > first_bad.load(Ordering::Acquire) {
+            let passes = match mode {
+                EngineMode::Reference => {
+                    let outcome = engine.check(&x, expected, max_configurations);
+                    if matches!(&outcome, Ok(v) if v.is_correct()) {
+                        true
+                    } else {
+                        best = Some((i, BadPoint::Full(outcome)));
+                        first_bad.fetch_min(i, Ordering::AcqRel);
                         break;
                     }
-                    let x = &points[i];
-                    let expected = f(x);
-                    if pruned {
-                        let passes = match engine.static_verdict(x, expected, max_configurations) {
-                            Some(StaticOutcome::Pass) => true,
-                            Some(StaticOutcome::Fail) => false,
+                }
+                EngineMode::Baseline => {
+                    match engine.static_verdict(&x, expected, max_configurations) {
+                        Some(StaticOutcome::Pass) => {
+                            stats.static_pass += 1;
+                            true
+                        }
+                        Some(StaticOutcome::Fail) => {
+                            stats.static_fail += 1;
+                            false
+                        }
+                        None => {
+                            stats.decided += 1;
                             // An error (it would recur identically at
                             // materialization) counts as not passing.
-                            None => engine
-                                .decide(x, expected, max_configurations)
-                                .unwrap_or(false),
-                        };
-                        if !passes {
-                            first_bad.fetch_min(i, Ordering::AcqRel);
-                            found
-                                .lock()
-                                .expect("no panics hold the lock")
-                                .push((i, BadPoint::Deferred));
+                            engine
+                                .decide(&x, expected, max_configurations)
+                                .unwrap_or(false)
                         }
-                        continue;
-                    }
-                    let outcome = engine.check(x, expected, max_configurations);
-                    let passes = matches!(&outcome, Ok(v) if v.is_correct());
-                    if !passes {
-                        first_bad.fetch_min(i, Ordering::AcqRel);
-                        found
-                            .lock()
-                            .expect("no panics hold the lock")
-                            .push((i, BadPoint::Full(outcome)));
                     }
                 }
-            });
+                EngineMode::Incremental => {
+                    let static_outcome = if static_armed {
+                        engine.static_verdict(&x, expected, max_configurations)
+                    } else {
+                        None
+                    };
+                    match static_outcome {
+                        Some(StaticOutcome::Pass) => {
+                            stats.static_pass += 1;
+                            abstains = 0;
+                            true
+                        }
+                        Some(StaticOutcome::Fail) => {
+                            stats.static_fail += 1;
+                            abstains = 0;
+                            false
+                        }
+                        None => {
+                            if static_armed {
+                                abstains += 1;
+                                if abstains >= STATIC_ABSTAIN_CUTOFF {
+                                    static_armed = false;
+                                }
+                            }
+                            let plan = plan.as_ref().expect("incremental builds a plan");
+                            engine
+                                .decide_incremental(
+                                    &x,
+                                    expected,
+                                    max_configurations,
+                                    plan,
+                                    cache.as_mut(),
+                                    &mut pending,
+                                    &mut stats,
+                                )
+                                .unwrap_or(false)
+                        }
+                    }
+                }
+            };
+            if !passes {
+                best = Some((i, BadPoint::Deferred));
+                first_bad.fetch_min(i, Ordering::AcqRel);
+                break;
+            }
         }
-    });
+        if let Some(cache) = &cache {
+            stats.cache_lookups = cache.lookups;
+            stats.cache_hits = cache.hits;
+            stats.cache_entries = u64::try_from(cache.len()).expect("usize fits u64");
+        }
+        (best, stats)
+    };
 
-    let mut found = found.into_inner().expect("no panics hold the lock");
-    found.sort_by_key(|&(i, _)| i);
-    let outcome = match found.into_iter().next() {
-        None => return Ok(None),
+    let mut results: Vec<(Option<(u64, BadPoint)>, BoxCheckStats)> = if workers == 1 {
+        vec![run_worker()]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect()
+        })
+    };
+
+    let mut stats = BoxCheckStats {
+        points: total,
+        ..BoxCheckStats::default()
+    };
+    let mut winner: Option<(u64, BadPoint)> = None;
+    for (best, worker_stats) in results.drain(..) {
+        stats.merge(&worker_stats);
+        if let Some((i, bad)) = best {
+            if winner.as_ref().map_or(true, |&(w, _)| i < w) {
+                winner = Some((i, bad));
+            }
+        }
+    }
+
+    let outcome = match winner {
+        None => return (Ok(None), stats),
         Some((_, BadPoint::Full(outcome))) => outcome,
         Some((i, BadPoint::Deferred)) => {
             // Materialize the winning bad point into the exact outcome the
-            // unpruned scan would have produced at this input.
-            let x = &points[i];
-            let outcome = make_engine().check(x, f(x), max_configurations);
+            // reference scan would have produced at this input.
+            let mut x = NVec::zeros(dim);
+            decode_point(i, radix, &mut x);
+            let outcome = make_engine().check(&x, f(&x), max_configurations);
             debug_assert!(
                 !matches!(&outcome, Ok(v) if v.is_correct()),
                 "a deferred bad input passed the full check"
@@ -164,10 +314,11 @@ pub(super) fn check_on_box_sharded(
             outcome
         }
     };
-    match outcome {
+    let result = match outcome {
         Ok(verdict) => Ok(Some(verdict)),
         Err(e) => Err(e),
-    }
+    };
+    (result, stats)
 }
 
 /// The default shard width: one worker per available core, capped by the
@@ -176,4 +327,32 @@ pub(super) fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_matches_box_iter() {
+        for (dim, bound) in [(1usize, 5u64), (2, 3), (3, 2), (2, 0)] {
+            let radix = bound + 1;
+            let mut x = NVec::zeros(dim);
+            for (i, point) in NVec::box_iter(dim, bound).enumerate() {
+                decode_point(u64::try_from(i).unwrap(), radix, &mut x);
+                assert_eq!(x, point, "index {i} of [0,{bound}]^{dim}");
+            }
+            assert_eq!(
+                box_point_count(dim, bound),
+                u64::try_from(NVec::box_iter(dim, bound).count()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn box_point_count_saturates() {
+        assert_eq!(box_point_count(0, 7), 1);
+        assert_eq!(box_point_count(4, u64::MAX), u64::MAX);
+        assert_eq!(box_point_count(64, 2), u64::MAX);
+    }
 }

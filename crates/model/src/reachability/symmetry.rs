@@ -1,0 +1,313 @@
+//! Input-permutation automorphism detection for symmetry-orbit reduction.
+//!
+//! A species permutation `σ` that maps the reaction multiset to itself and
+//! fixes the output (and leader) species is an automorphism of the whole
+//! transition system: it carries the reachability graph of `I_x` onto the
+//! graph of the permuted input, preserving terminality, strong connectivity,
+//! output counts and the reachable-set size.  Verifying the box therefore
+//! only needs one representative per input orbit — the driver skips a point
+//! `x` whenever some detected permutation produces a lexicographically
+//! smaller equivalent point with the same expected output.
+//!
+//! Detection enumerates candidate bijections of the input species (capped at
+//! [`MAX_SYMMETRY_DIM`] inputs) and extends each to a full species
+//! permutation by backtracking over the species that occur in reactions,
+//! pruned by a permutation-invariant per-species signature and a global node
+//! budget.  The search is sound but deliberately incomplete: a missed
+//! automorphism only costs redundant work, never a wrong verdict.
+
+use std::collections::BTreeMap;
+
+use crate::compiled::CompiledCrn;
+use crate::function::FunctionCrn;
+
+/// Largest input dimension the detector enumerates candidate permutations
+/// for (`d!` candidates).
+const MAX_SYMMETRY_DIM: usize = 6;
+
+/// Backtracking-node budget per candidate input bijection; exhausting it
+/// abandons the candidate (sound — the orbit is simply not reduced).
+const EXTENSION_BUDGET: usize = 10_000;
+
+/// A reaction in σ-comparable canonical form: sorted reactant and delta
+/// lists.
+type CanonicalReaction = (Vec<(usize, u64)>, Vec<(usize, i64)>);
+
+/// The permutation-invariant signature of one species: the sorted multiset,
+/// over all reactions, of its (reactant coefficient, product coefficient)
+/// pairs, omitting reactions that do not mention it.
+fn species_signature(compiled: &CompiledCrn, s: usize) -> Vec<(u64, u64)> {
+    let mut sig = Vec::new();
+    for reaction in compiled.reactions() {
+        let rc = reaction
+            .reactants()
+            .iter()
+            .find(|&&(t, _)| t == s)
+            .map_or(0, |&(_, c)| c);
+        let delta = reaction
+            .delta()
+            .iter()
+            .find(|&&(t, _)| t == s)
+            .map_or(0, |&(_, d)| d);
+        let pc = u64::try_from(i64::try_from(rc).expect("coefficient fits i64") + delta)
+            .expect("product coefficients are nonnegative");
+        if (rc, pc) != (0, 0) {
+            sig.push((rc, pc));
+        }
+    }
+    sig.sort_unstable();
+    sig
+}
+
+/// Applies `sigma` to one reaction and returns its canonical form.
+fn map_reaction(
+    reaction: &crate::compiled::CompiledReaction,
+    sigma: &[usize],
+) -> CanonicalReaction {
+    let mut reactants: Vec<(usize, u64)> = reaction
+        .reactants()
+        .iter()
+        .map(|&(s, c)| (sigma[s], c))
+        .collect();
+    reactants.sort_unstable();
+    let mut delta: Vec<(usize, i64)> = reaction
+        .delta()
+        .iter()
+        .map(|&(s, d)| (sigma[s], d))
+        .collect();
+    delta.sort_unstable();
+    (reactants, delta)
+}
+
+/// Whether `sigma` (a full species permutation) maps the reaction multiset
+/// onto itself.
+fn preserves_reactions(
+    compiled: &CompiledCrn,
+    canon: &[CanonicalReaction],
+    sigma: &[usize],
+) -> bool {
+    let mut mapped: Vec<CanonicalReaction> = compiled
+        .reactions()
+        .iter()
+        .map(|r| map_reaction(r, sigma))
+        .collect();
+    mapped.sort_unstable();
+    mapped == canon
+}
+
+/// Extends the partial permutation `sigma` over the remaining `assign` list
+/// by backtracking; candidate targets range over all of `targets` through
+/// the shared `used` mask.  Every completion is verified with
+/// `preserves_reactions`; the first success sets `found`.
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    compiled: &CompiledCrn,
+    canon: &[CanonicalReaction],
+    signatures: &BTreeMap<usize, Vec<(u64, u64)>>,
+    sigma: &mut [usize],
+    assign: &[usize],
+    targets: &[usize],
+    used: &mut [bool],
+    budget: &mut usize,
+    found: &mut bool,
+) {
+    if *found || *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    let Some((&s, rest)) = assign.split_first() else {
+        if preserves_reactions(compiled, canon, sigma) {
+            *found = true;
+        }
+        return;
+    };
+    for (slot, &t) in targets.iter().enumerate() {
+        if used[slot] || signatures[&s] != signatures[&t] {
+            continue;
+        }
+        used[slot] = true;
+        sigma[s] = t;
+        extend(
+            compiled, canon, signatures, sigma, rest, targets, used, budget, found,
+        );
+        used[slot] = false;
+        sigma[s] = s;
+        if *found {
+            return;
+        }
+    }
+}
+
+/// Detects non-identity input permutations that extend to CRN automorphisms
+/// fixing the output and leader species.
+///
+/// Each returned array `p` (of length `dim`) encodes one permutation in
+/// *skip orientation*: the point `y` with `y[k] = x[p[k]]` is equivalent to
+/// `x` — some automorphism maps `I_x` onto `I_y` — so the box driver may
+/// skip `x` whenever `y` is lexicographically smaller and carries the same
+/// expected output.
+pub(super) fn input_automorphisms(crn: &FunctionCrn, compiled: &CompiledCrn) -> Vec<Vec<usize>> {
+    let d = crn.dim();
+    if !(2..=MAX_SYMMETRY_DIM).contains(&d) {
+        return Vec::new();
+    }
+    let stride = compiled.stride().max(crn.role_stride());
+    let inputs: Vec<usize> = crn.roles().inputs.iter().map(|s| s.index()).collect();
+    if inputs.iter().any(|&s| s >= stride) {
+        return Vec::new();
+    }
+    let out = crn.output().index();
+    let leader = crn.leader().map(|l| l.index());
+
+    // Movable species: everything a reaction mentions.  Species outside this
+    // set (and outside the roles) are untouched by the dynamics, so fixing
+    // them loses no automorphism that matters for reachability.
+    let mut movable = vec![false; stride];
+    for reaction in compiled.reactions() {
+        for &(s, _) in reaction.reactants() {
+            movable[s] = true;
+        }
+        for &(s, _) in reaction.delta() {
+            movable[s] = true;
+        }
+    }
+
+    let signatures: BTreeMap<usize, Vec<(u64, u64)>> = (0..stride)
+        .filter(|&s| movable[s])
+        .map(|s| (s, species_signature(compiled, s)))
+        .collect();
+    let mut canon: Vec<CanonicalReaction> = {
+        let identity: Vec<usize> = (0..stride).collect();
+        compiled
+            .reactions()
+            .iter()
+            .map(|r| map_reaction(r, &identity))
+            .collect()
+    };
+    canon.sort_unstable();
+
+    // The species the backtracker assigns: movable, not an input, not a
+    // pinned role.
+    let free: Vec<usize> = (0..stride)
+        .filter(|&s| movable[s] && !inputs.contains(&s) && Some(s) != leader && s != out)
+        .collect();
+
+    let mut results: Vec<Vec<usize>> = Vec::new();
+    let mut pi: Vec<usize> = (0..d).collect();
+    permute_all(&mut pi, 0, &mut |pi| {
+        if pi.iter().enumerate().all(|(j, &t)| j == t) {
+            return; // identity
+        }
+        // Candidate: σ(input_j) = input_{pi[j]}.  Signatures must agree
+        // pairwise, and a role pinned to itself must be fixed by pi (inputs
+        // are validated distinct from output and leader, so no clash).
+        let compatible = pi.iter().enumerate().all(|(j, &t)| {
+            let (a, b) = (inputs[j], inputs[t]);
+            match (movable[a], movable[b]) {
+                (true, true) => signatures[&a] == signatures[&b],
+                (false, false) => true,
+                _ => false,
+            }
+        });
+        if !compatible {
+            return;
+        }
+        let mut sigma: Vec<usize> = (0..stride).collect();
+        for (j, &t) in pi.iter().enumerate() {
+            sigma[inputs[j]] = inputs[t];
+        }
+        let mut used = vec![false; free.len()];
+        let mut budget = EXTENSION_BUDGET;
+        let mut found = false;
+        extend(
+            compiled,
+            &canon,
+            &signatures,
+            &mut sigma,
+            &free,
+            &free,
+            &mut used,
+            &mut budget,
+            &mut found,
+        );
+        if found {
+            // Skip orientation: σ(I_x) = I_y with y[pi[j]] = x[j], i.e.
+            // y[k] = x[pi⁻¹(k)].
+            let mut p = vec![0usize; d];
+            for (j, &t) in pi.iter().enumerate() {
+                p[t] = j;
+            }
+            if !results.contains(&p) {
+                results.push(p);
+            }
+        }
+    });
+    results
+}
+
+/// Calls `visit` on every permutation of `items` (Heap's algorithm, the
+/// recursive form).
+fn permute_all(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute_all(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn max_crn_has_the_input_swap() {
+        let max = examples::max_crn();
+        let compiled = CompiledCrn::compile(max.crn());
+        let perms = input_automorphisms(&max, &compiled);
+        assert_eq!(perms, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn min_crn_has_the_input_swap() {
+        let min = examples::min_crn();
+        let compiled = CompiledCrn::compile(min.crn());
+        let perms = input_automorphisms(&min, &compiled);
+        assert_eq!(perms, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn single_input_crns_have_no_orbits() {
+        let double = examples::double_crn();
+        let compiled = CompiledCrn::compile(double.crn());
+        assert!(input_automorphisms(&double, &compiled).is_empty());
+    }
+
+    #[test]
+    fn asymmetric_reactions_defeat_the_swap() {
+        // X1 -> Y but X2 -> 2Y: swapping the inputs changes the reaction
+        // multiset, so no automorphism exists.
+        let mut crn = crate::crn::Crn::new();
+        crn.parse_reaction("X1 -> Y").unwrap();
+        crn.parse_reaction("X2 -> 2Y").unwrap();
+        let f = FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).unwrap();
+        let compiled = CompiledCrn::compile(f.crn());
+        assert!(input_automorphisms(&f, &compiled).is_empty());
+    }
+
+    #[test]
+    fn symmetric_reactions_without_coupling_species_still_detect() {
+        // X1 -> Y and X2 -> Y: the swap is an automorphism with no further
+        // species to extend over.
+        let mut crn = crate::crn::Crn::new();
+        crn.parse_reaction("X1 -> Y").unwrap();
+        crn.parse_reaction("X2 -> Y").unwrap();
+        let f = FunctionCrn::with_named_roles(crn, &["X1", "X2"], "Y", None).unwrap();
+        let compiled = CompiledCrn::compile(f.crn());
+        assert_eq!(input_automorphisms(&f, &compiled), vec![vec![1, 0]]);
+    }
+}
