@@ -886,6 +886,60 @@ pub fn e16_composition_scaling(sizes: &[usize], repeats: u32) -> Vec<Composition
         .collect()
 }
 
+/// One E20 Gillespie ensemble run: the `double` CRN at `x = 200`, 16 trials,
+/// one worker, fixed seed.  Small enough to repeat, large enough that the
+/// per-step instrumentation (a handful of local `u64` increments) would show
+/// up if it cost anything.
+#[must_use]
+pub fn e20_ensemble_run() -> crn_sim::TrialSummary {
+    crn_sim::Ensemble::new(&examples::double_crn())
+        .with_max_steps(1_000_000)
+        .with_workers(1)
+        .run(&NVec::from(vec![200]), 16, 7)
+        .expect("the double CRN ensemble runs")
+}
+
+/// E20: relative cost of the `crn_obs` registry being *enabled* (as under
+/// `--profile`, but with nothing rendered) versus the disabled default, on
+/// the incremental box check and on a Gillespie ensemble.  Returns
+/// `(box_overhead, sim_overhead)` as fractions (`0.02` = 2% slower enabled);
+/// negative values mean the enabled runs happened to be faster (noise).
+///
+/// The two configurations are interleaved round-robin for `rounds` rounds so
+/// slow clock drift (thermal throttling, a noisy co-tenant) cancels instead
+/// of being billed to whichever configuration ran second.  Restores the
+/// registry to disabled-and-empty before returning, so the measurement never
+/// leaks into later benchmarks.
+#[must_use]
+pub fn e20_obs_overhead(bound: u64, rounds: u32) -> (f64, f64) {
+    crn_obs::set_enabled(false);
+    crn_obs::reset();
+    // One unmeasured pass each, so first-call page faults and lazy buffer
+    // growth are not billed to either configuration.
+    let _ = e19_box_incremental(bound);
+    let _ = e20_ensemble_run();
+    let (mut box_off, mut box_on, mut sim_off, mut sim_on) = (0.0, 0.0, 0.0, 0.0);
+    for _ in 0..rounds.max(1) {
+        crn_obs::set_enabled(false);
+        let (t, _) = time_repeats(3, || e19_box_incremental(bound));
+        box_off += t;
+        let (t, _) = time_repeats(10, e20_ensemble_run);
+        sim_off += t;
+        crn_obs::set_enabled(true);
+        let (t, _) = time_repeats(3, || e19_box_incremental(bound));
+        box_on += t;
+        let (t, _) = time_repeats(10, e20_ensemble_run);
+        sim_on += t;
+        // Reset per round so the enabled registry stays small: the steady
+        // state under `--profile` is a bounded set of names, not unbounded
+        // accumulation.
+        crn_obs::reset();
+    }
+    crn_obs::set_enabled(false);
+    crn_obs::reset();
+    (box_on / box_off - 1.0, sim_on / sim_off - 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

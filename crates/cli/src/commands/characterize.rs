@@ -130,15 +130,14 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
     if args.switch("json") {
-        println!(
-            "{}",
-            Json::obj(vec![
-                ("command", Json::str("characterize")),
-                ("file", Json::str(path.as_str())),
-                ("bound", Json::UInt(bound)),
-                ("results", Json::Arr(reports)),
-            ])
-        );
+        let mut fields = vec![
+            ("command", Json::str("characterize")),
+            ("file", Json::str(path.as_str())),
+            ("bound", Json::UInt(bound)),
+            ("results", Json::Arr(reports)),
+        ];
+        crate::commands::push_metrics(&mut fields);
+        println!("{}", Json::obj(fields));
     }
     exit
 }

@@ -153,44 +153,43 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
     if args.switch("json") {
-        println!(
-            "{}",
-            Json::obj(vec![
-                ("command", Json::str("compose")),
-                ("file", Json::str(path.as_str())),
-                ("item", Json::str(name)),
-                ("stages", Json::UInt(info.stage_count as u64)),
-                ("species", Json::UInt(lowered.crn.species_count() as u64)),
-                ("reactions", Json::UInt(lowered.crn.reaction_count() as u64)),
-                (
-                    "output_oblivious",
-                    Json::Bool(lowered.crn.is_output_oblivious()),
+        let mut fields = vec![
+            ("command", Json::str("compose")),
+            ("file", Json::str(path.as_str())),
+            ("item", Json::str(name)),
+            ("stages", Json::UInt(info.stage_count as u64)),
+            ("species", Json::UInt(lowered.crn.species_count() as u64)),
+            ("reactions", Json::UInt(lowered.crn.reaction_count() as u64)),
+            (
+                "output_oblivious",
+                Json::Bool(lowered.crn.is_output_oblivious()),
+            ),
+            (
+                "non_oblivious_stages",
+                Json::Arr(
+                    info.non_oblivious_feeders
+                        .iter()
+                        .map(|s| Json::str(s.as_str()))
+                        .collect(),
                 ),
-                (
-                    "non_oblivious_stages",
-                    Json::Arr(
-                        info.non_oblivious_feeders
-                            .iter()
-                            .map(|s| Json::str(s.as_str()))
-                            .collect(),
-                    ),
+            ),
+            (
+                "warnings",
+                Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
+            ),
+            (
+                "notes",
+                Json::Arr(
+                    notes
+                        .iter()
+                        .map(crate::commands::lint::LintNote::to_json)
+                        .collect(),
                 ),
-                (
-                    "warnings",
-                    Json::Arr(warnings.iter().map(LintReport::to_json).collect()),
-                ),
-                (
-                    "notes",
-                    Json::Arr(
-                        notes
-                            .iter()
-                            .map(crate::commands::lint::LintNote::to_json)
-                            .collect(),
-                    ),
-                ),
-                ("document", Json::str(text.as_str())),
-            ])
-        );
+            ),
+            ("document", Json::str(text.as_str())),
+        ];
+        crate::commands::push_metrics(&mut fields);
+        println!("{}", Json::obj(fields));
         return exit;
     }
     match args.value("o") {

@@ -224,13 +224,12 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
     if args.switch("json") {
-        println!(
-            "{}",
-            Json::obj(vec![
-                ("command", Json::str("lint")),
-                ("files", Json::Arr(reports)),
-            ])
-        );
+        let mut fields = vec![
+            ("command", Json::str("lint")),
+            ("files", Json::Arr(reports)),
+        ];
+        crate::commands::push_metrics(&mut fields);
+        println!("{}", Json::obj(fields));
     }
     exit
 }

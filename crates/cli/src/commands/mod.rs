@@ -16,10 +16,12 @@ pub mod check;
 pub mod compose;
 pub mod fmt;
 pub mod lint;
+pub mod profile;
 pub mod sim;
 pub mod synthesize;
 pub mod verify;
 
+use crate::json::Json;
 use crate::workspace::{Target, Workspace};
 
 /// Success.
@@ -86,6 +88,16 @@ pub(crate) fn resolve_target<'a>(
         .validate_on_box(bound)
         .map_err(|e| format!("`{computes}` {e}"))?;
     Ok(target)
+}
+
+/// Appends the versioned `metrics` object (see [`crn_report::metrics_json`])
+/// to a `--json` report's top-level fields when profiling is enabled.  The
+/// field is absent without `--profile`, so stdout stays byte-identical for
+/// unprofiled runs.
+pub(crate) fn push_metrics(fields: &mut Vec<(&str, Json)>) {
+    if crn_obs::enabled() {
+        fields.push(("metrics", crn_report::metrics_json(&crn_obs::snapshot())));
+    }
 }
 
 /// Parses a comma-separated input vector such as `3,5`.

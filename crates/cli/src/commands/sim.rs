@@ -204,14 +204,13 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
     if args.switch("json") {
-        println!(
-            "{}",
-            Json::obj(vec![
-                ("command", Json::str("sim")),
-                ("file", Json::str(path.as_str())),
-                ("results", Json::Arr(reports)),
-            ])
-        );
+        let mut fields = vec![
+            ("command", Json::str("sim")),
+            ("file", Json::str(path.as_str())),
+            ("results", Json::Arr(reports)),
+        ];
+        crate::commands::push_metrics(&mut fields);
+        println!("{}", Json::obj(fields));
     }
     exit
 }

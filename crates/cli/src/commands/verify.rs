@@ -1,8 +1,9 @@
 //! `crn verify`: reachability-based verification of `computes` claims.
 
-use crn_model::reachability::oracle::check_on_box_naive;
+use crn_model::reachability::oracle::{check_on_box_naive, check_on_box_naive_stats};
 use crn_model::{
-    check_on_box, check_on_box_baseline, check_on_box_reference, check_on_box_stats, BoxCheckStats,
+    check_on_box, check_on_box_baseline, check_on_box_baseline_stats, check_on_box_reference,
+    check_on_box_reference_stats, check_on_box_stats, BoxCheckStats,
 };
 use crn_sim::runner::spot_check_on_box;
 
@@ -28,11 +29,13 @@ use crate::json::Json;
 /// which the CI corpus smoke step cross-checks.  `--engine` is meaningless
 /// under `--spot` and refused there.
 ///
-/// `--stats` (incremental engine only) prints one line of engine counters
-/// per verified item to stderr as JSON — points checked versus statically
-/// decided, cache-served or symmetry-replayed, cache hit rate, explored
-/// configurations — and, with `--json`, attaches the same object to the
-/// item's report.
+/// `--stats` prints one line of engine counters per verified item to stderr
+/// as JSON — points checked versus statically decided, cache-served or
+/// symmetry-replayed, cache hit rate, explored configurations — and, with
+/// `--json`, attaches the same object to the item's report.  Every exhaustive
+/// engine supports it; counters a backend does not track (e.g. the seed
+/// oracle's cache fields) simply stay zero.  It is refused under `--spot`,
+/// which never runs a box sweep.
 ///
 /// Structural lint findings on the verified items are echoed to stderr in
 /// short form (stdout carries the verdicts); with `--deny-warnings` any
@@ -81,8 +84,10 @@ pub fn run(raw: &[String]) -> i32 {
     if args.value("engine").is_some() && args.switch("spot") {
         return usage_error("`--engine` selects the exhaustive backend; drop it or drop `--spot`");
     }
-    if args.switch("stats") && (args.switch("spot") || engine != "incremental") {
-        return usage_error("`--stats` reports the incremental engine's counters; it needs the default `--engine incremental` and no `--spot`");
+    if args.switch("stats") && args.switch("spot") {
+        return usage_error(
+            "`--stats` reports the exhaustive engines' box-sweep counters; drop `--spot`",
+        );
     }
     let ws = match load_or_usage(path) {
         Ok(ws) => ws,
@@ -191,19 +196,28 @@ pub fn run(raw: &[String]) -> i32 {
             // All backends share one verdict contract; the stdout success
             // line is engine-independent on purpose, so CI can diff the
             // incremental run against the other engines byte for byte.
-            let outcome = match engine {
-                "reference" => check_on_box_reference(&lowered.crn, eval, bound, max_configs),
-                "seed" => check_on_box_naive(&lowered.crn, eval, bound, max_configs),
-                "baseline" | "pruned" => {
-                    check_on_box_baseline(&lowered.crn, eval, bound, max_configs)
+            let outcome = if args.switch("stats") {
+                let (outcome, sweep_stats) = match engine {
+                    "reference" => {
+                        check_on_box_reference_stats(&lowered.crn, eval, bound, max_configs)
+                    }
+                    "seed" => check_on_box_naive_stats(&lowered.crn, eval, bound, max_configs),
+                    "baseline" | "pruned" => {
+                        check_on_box_baseline_stats(&lowered.crn, eval, bound, max_configs)
+                    }
+                    _ => check_on_box_stats(&lowered.crn, eval, bound, max_configs),
+                };
+                stats = Some(sweep_stats);
+                outcome
+            } else {
+                match engine {
+                    "reference" => check_on_box_reference(&lowered.crn, eval, bound, max_configs),
+                    "seed" => check_on_box_naive(&lowered.crn, eval, bound, max_configs),
+                    "baseline" | "pruned" => {
+                        check_on_box_baseline(&lowered.crn, eval, bound, max_configs)
+                    }
+                    _ => check_on_box(&lowered.crn, eval, bound, max_configs),
                 }
-                _ if args.switch("stats") => {
-                    let (outcome, sweep_stats) =
-                        check_on_box_stats(&lowered.crn, eval, bound, max_configs);
-                    stats = Some(sweep_stats);
-                    outcome
-                }
-                _ => check_on_box(&lowered.crn, eval, bound, max_configs),
             };
             if let Some(sweep_stats) = &stats {
                 // One self-contained JSON line per item on stderr, so stdout
@@ -266,14 +280,13 @@ pub fn run(raw: &[String]) -> i32 {
         }
     }
     if args.switch("json") {
-        println!(
-            "{}",
-            Json::obj(vec![
-                ("command", Json::str("verify")),
-                ("file", Json::str(path.as_str())),
-                ("results", Json::Arr(reports)),
-            ])
-        );
+        let mut fields = vec![
+            ("command", Json::str("verify")),
+            ("file", Json::str(path.as_str())),
+            ("results", Json::Arr(reports)),
+        ];
+        crate::commands::push_metrics(&mut fields);
+        println!("{}", Json::obj(fields));
     }
     exit
 }
@@ -292,6 +305,7 @@ fn stats_object(stats: &BoxCheckStats) -> Json {
         ("cache_lookups", Json::UInt(stats.cache_lookups)),
         ("cache_hits", Json::UInt(stats.cache_hits)),
         ("cache_entries", Json::UInt(stats.cache_entries)),
+        ("publish_suppressed", Json::UInt(stats.publish_suppressed)),
         ("cache_hit_rate", Json::Float(stats.cache_hit_rate())),
     ])
 }

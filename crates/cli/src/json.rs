@@ -1,145 +1,7 @@
-//! A minimal JSON value and writer.
+//! Re-export of the shared JSON emitter.
 //!
-//! The vendored `serde` is a derive-only stub with no serialization engine,
-//! so the CLI's `--json` output is produced by this ~100-line emitter
-//! instead.  It covers exactly what the machine-readable reports need:
-//! objects, arrays, strings, integers, floats and booleans, with RFC 8259
-//! string escaping.
+//! The value type moved to the `crn_report` crate so that metrics, CLI
+//! reports, and the future `crn serve` share one emitter; this module keeps
+//! the CLI's historical `crate::json::Json` paths compiling.
 
-use std::fmt;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// An unsigned integer (species counts, trial counts, …).
-    UInt(u64),
-    /// A signed integer.
-    Int(i64),
-    /// A float, printed with Rust's shortest round-trip formatting.
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for a string value.
-    #[must_use]
-    pub fn str(value: impl Into<String>) -> Json {
-        Json::Str(value.into())
-    }
-
-    /// Convenience constructor for an object.
-    #[must_use]
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(key, value)| (key.to_owned(), value))
-                .collect(),
-        )
-    }
-
-    /// An array of unsigned integers.
-    #[must_use]
-    pub fn uints(values: impl IntoIterator<Item = u64>) -> Json {
-        Json::Arr(values.into_iter().map(Json::UInt).collect())
-    }
-}
-
-fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
-    write!(out, "\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => write!(out, "\\\"")?,
-            '\\' => write!(out, "\\\\")?,
-            '\n' => write!(out, "\\n")?,
-            '\r' => write!(out, "\\r")?,
-            '\t' => write!(out, "\\t")?,
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
-            c => write!(out, "{c}")?,
-        }
-    }
-    write!(out, "\"")
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => write!(f, "null"),
-            Json::Bool(value) => write!(f, "{value}"),
-            Json::UInt(value) => write!(f, "{value}"),
-            Json::Int(value) => write!(f, "{value}"),
-            Json::Float(value) => {
-                if value.is_finite() {
-                    write!(f, "{value}")
-                } else {
-                    write!(f, "null")
-                }
-            }
-            Json::Str(value) => escape(value, f),
-            Json::Arr(values) => {
-                write!(f, "[")?;
-                for (i, value) in values.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{value}")?;
-                }
-                write!(f, "]")
-            }
-            Json::Obj(fields) => {
-                write!(f, "{{")?;
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    escape(key, f)?;
-                    write!(f, ":{value}")?;
-                }
-                write!(f, "}}")
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_nested_values() {
-        let value = Json::obj(vec![
-            ("command", Json::str("sim")),
-            ("outputs", Json::uints([3, 4])),
-            ("silent_fraction", Json::Float(1.0)),
-            ("correct", Json::Bool(true)),
-            ("witness", Json::Null),
-        ]);
-        assert_eq!(
-            value.to_string(),
-            r#"{"command":"sim","outputs":[3,4],"silent_fraction":1,"correct":true,"witness":null}"#
-        );
-    }
-
-    #[test]
-    fn escapes_strings() {
-        assert_eq!(
-            Json::str("a\"b\\c\nd\u{1}").to_string(),
-            "\"a\\\"b\\\\c\\nd\\u0001\""
-        );
-    }
-
-    #[test]
-    fn non_finite_floats_become_null() {
-        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
-        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
-    }
-}
+pub use crn_report::Json;

@@ -16,7 +16,13 @@
 //! | `crn compose` | `pipeline` item → composed CRN via the capture-proof engine |
 //! | `crn verify` | CRN vs `computes` link on a box, exhaustive or spot |
 //! | `crn sim` | Gillespie ensemble with `--trials/--workers/--seed` |
+//! | `crn profile` | check + verify + sim back to back, per-phase breakdown |
 //! | `crn fmt` | canonical formatting (`--check` gates the corpus in CI) |
+//!
+//! The global `--profile` flag (any command, any position) turns on the
+//! [`crn_obs`] metrics layer and prints a profile table on stderr after the
+//! command finishes; stdout stays byte-identical except for the versioned
+//! `metrics` object that `--json` reports then embed.
 //!
 //! Exit codes are a contract: `0` success, `1` verdict failure, `2`
 //! usage/parse error (see [`commands`]).
@@ -35,7 +41,7 @@ const USAGE: &str = "\
 crn — characterize, synthesize, verify and simulate CRNs from .crn files
 
 USAGE:
-  crn <command> [arguments]
+  crn <command> [arguments] [--profile]
 
 COMMANDS:
   check <file>...        parse, lower and validate documents; prints
@@ -58,7 +64,7 @@ COMMANDS:
   verify <file>          check `computes` links by exhaustive reachability;
                          lint warnings go to stderr
                          [--item NAME] [--bound N=4] [--max-configs N=200000]
-                         [--engine pruned|reference|seed] [--spot]
+                         [--engine pruned|reference|seed] [--stats] [--spot]
                          [--max-steps N=1000000] [--seed S=7] [--json]
                          [--deny-warnings]
   sim <file>             Gillespie ensemble simulation; lint warnings go to
@@ -66,8 +72,21 @@ COMMANDS:
                          [--item NAME] [--input a,b,...] [--trials N=16]
                          [--workers W=auto] [--seed S=1]
                          [--max-steps N=10000000] [--json] [--deny-warnings]
+  profile <file>         run the check, verify and sim phases back to back
+                         with profiling on and report a per-phase breakdown
+                         [--item NAME] [--bound N=3] [--trials N=8]
+                         [--seed S=1] [--max-configs N=200000]
+                         [--max-steps N=1000000] [--json]
   fmt <file>...          canonical formatting [--write | --check]
   help                   print this message
+
+GLOBAL FLAGS:
+  --profile              collect metrics and spans during the command and
+                         print a deterministic profile table on stderr after
+                         it finishes; with --json the report also embeds a
+                         versioned `metrics` object.  Stdout is byte-identical
+                         with and without --profile (except that opt-in
+                         object).
 
 EXIT CODES:
   0  success             1  verdict failure        2  usage or parse error
@@ -77,12 +96,42 @@ EXIT CODES:
 
 /// Runs the CLI on `args` (without the program name) and returns the process
 /// exit code.
+///
+/// The global `--profile` switch may appear anywhere in `args`; it is
+/// stripped before dispatch, turns the [`crn_obs`] layer on for the duration
+/// of the command, and prints the collected profile table on stderr *after*
+/// the command has fully returned — so the table can never interleave with
+/// the command's own stderr output (lint warnings, `--stats` lines).
 #[must_use]
 pub fn run(args: &[String]) -> i32 {
+    let mut args: Vec<String> = args.to_vec();
+    let given = args.len();
+    args.retain(|arg| arg != "--profile");
+    let profiling = args.len() != given;
+    if profiling {
+        crn_obs::reset();
+        crn_obs::set_enabled(true);
+    }
+    let code = dispatch(&args);
+    if profiling {
+        // The `cli.<command>` span guard has dropped by now, so the snapshot
+        // includes the whole command.  Disable and reset before printing so
+        // in-process callers (tests) can run commands back to back.
+        let snapshot = crn_obs::snapshot();
+        crn_obs::set_enabled(false);
+        crn_obs::reset();
+        eprint!("{}", snapshot.render_table());
+    }
+    code
+}
+
+/// Dispatches one subcommand, timing it under a `cli.<command>` span.
+fn dispatch(args: &[String]) -> i32 {
     let Some((command, rest)) = args.split_first() else {
         eprint!("{USAGE}");
         return EXIT_USAGE;
     };
+    let _span = crn_obs::span(&format!("cli.{command}"));
     match command.as_str() {
         "check" => commands::check::run(rest),
         "lint" => commands::lint::run(rest),
@@ -91,6 +140,7 @@ pub fn run(args: &[String]) -> i32 {
         "compose" => commands::compose::run(rest),
         "verify" => commands::verify::run(rest),
         "sim" => commands::sim::run(rest),
+        "profile" => commands::profile::run(rest),
         "fmt" => commands::fmt::run(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -261,6 +261,7 @@ pub struct LoweredDocument {
 ///
 /// Propagates the first item's lowering diagnostic.
 pub fn lower_document(doc: &Document) -> Result<LoweredDocument, Diagnostic> {
+    let _span = crn_obs::span("lang.lower");
     let mut out = LoweredDocument::default();
     for item in &doc.items {
         match item {

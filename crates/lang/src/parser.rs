@@ -47,7 +47,11 @@ pub const RESERVED: &[&str] = &[
 /// Returns a [`Diagnostic`] (with a source span) on the first lexical or
 /// syntactic error.
 pub fn parse(source: &str) -> Result<Document, Diagnostic> {
-    let tokens = lex(source)?;
+    let tokens = {
+        let _span = crn_obs::span("lang.lex");
+        lex(source)?
+    };
+    let _span = crn_obs::span("lang.parse");
     let mut parser = Parser { tokens, pos: 0 };
     parser.document()
 }

@@ -19,6 +19,7 @@ use crate::ast::{
 /// Renders a document in canonical form (ends with a single newline).
 #[must_use]
 pub fn print(document: &Document) -> String {
+    let _span = crn_obs::span("lang.print");
     let mut out = String::new();
     for (i, item) in document.items.iter().enumerate() {
         if i > 0 {

@@ -50,6 +50,12 @@ pub(crate) struct ConfigArena {
     hashes: Vec<u64>,
     /// Open-addressing table of arena ids; length is a power of two.
     slots: Vec<usize>,
+    /// Probe steps past the home slot across every placement, cumulative over
+    /// the arena's lifetime (resets do not clear it): the dedup-collision
+    /// metric the observability layer reports.
+    collisions: u64,
+    /// Slot-table doublings over the arena's lifetime.
+    grows: u64,
 }
 
 impl ConfigArena {
@@ -61,6 +67,8 @@ impl ConfigArena {
             counts: Vec::new(),
             hashes: Vec::new(),
             slots: vec![EMPTY; 16],
+            collisions: 0,
+            grows: 0,
         }
     }
 
@@ -143,6 +151,7 @@ impl ConfigArena {
 
     /// Rebuilds the slot table at twice the capacity from the cached hashes.
     fn grow(&mut self) {
+        self.grows += 1;
         let new_len = self.slots.len() * 2;
         self.slots.clear();
         self.slots.resize(new_len, EMPTY);
@@ -156,9 +165,16 @@ impl ConfigArena {
         let mask = self.slots.len() - 1;
         let mut slot = (self.hashes[id] as usize) & mask;
         while self.slots[slot] != EMPTY {
+            self.collisions += 1;
             slot = (slot + 1) & mask;
         }
         self.slots[slot] = id;
+    }
+
+    /// `(collisions, grows)` accumulated over the arena's lifetime — probe
+    /// steps past the home slot on placement, and slot-table doublings.
+    pub(crate) fn metrics(&self) -> (u64, u64) {
+        (self.collisions, self.grows)
     }
 
     /// Materializes configuration `id` as a sparse [`Configuration`].

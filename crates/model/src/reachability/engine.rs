@@ -1597,6 +1597,12 @@ impl<'c> VerdictEngine<'c> {
         Self::with_analysis(crn, None)
     }
 
+    /// `(collisions, grows)` of the engine's configuration arena, cumulative
+    /// over its lifetime — the observability layer's dedup metrics.
+    pub(super) fn arena_metrics(&self) -> (u64, u64) {
+        self.state.arena.metrics()
+    }
+
     /// An engine with the given (possibly shared) analysis artifacts, or a
     /// reference engine when `None`.
     pub(super) fn with_analysis(crn: &'c FunctionCrn, analysis: Option<Arc<BoxAnalysis>>) -> Self {
@@ -1852,6 +1858,11 @@ impl<'c> VerdictEngine<'c> {
                         // the limit; rerun exactly below.
                     }
                     Err(e) => {
+                        // The summaries die with the error: publishing
+                        // partial work could make cache contents (and thus
+                        // hit counters) depend on which worker errored first.
+                        stats.publish_suppressed +=
+                            u64::try_from(pending.len()).expect("usize fits u64");
                         pending.clear();
                         return Err(e);
                     }

@@ -105,6 +105,11 @@ pub struct BoxCheckStats {
     /// Distinct summaries held by the largest per-worker cache at the end of
     /// the sweep.
     pub cache_entries: u64,
+    /// Component summaries discarded unpublished because their memoizing
+    /// exploration errored out (the error, not the summaries, is the
+    /// exploration's result; publishing partial work could differ between
+    /// worker interleavings).
+    pub publish_suppressed: u64,
 }
 
 impl BoxCheckStats {
@@ -137,6 +142,7 @@ impl BoxCheckStats {
         self.cache_lookups += other.cache_lookups;
         self.cache_hits += other.cache_hits;
         self.cache_entries = self.cache_entries.max(other.cache_entries);
+        self.publish_suppressed += other.publish_suppressed;
     }
 }
 
@@ -498,6 +504,53 @@ pub fn check_on_box_baseline_with_workers(
         parallel::EngineMode::Baseline,
     )
     .0
+}
+
+/// [`check_on_box_reference`] returning the sweep's [`BoxCheckStats`]
+/// alongside the outcome (the reference engine fills only the counters it
+/// has: points, evaluated, and symmetry skips are meaningful; the pruning
+/// and cache counters stay zero).
+pub fn check_on_box_reference_stats(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    BoxCheckStats,
+) {
+    let workers = default_box_workers(crn.dim(), bound);
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Reference,
+    )
+}
+
+/// [`check_on_box_baseline`] returning the sweep's [`BoxCheckStats`]
+/// alongside the outcome (static pruning counters are meaningful; the
+/// symmetry and cache counters stay zero).
+pub fn check_on_box_baseline_stats(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64 + Sync,
+    bound: u64,
+    max_configurations: usize,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    BoxCheckStats,
+) {
+    let workers = default_box_workers(crn.dim(), bound);
+    parallel::check_on_box_sharded(
+        crn,
+        &f,
+        bound,
+        max_configurations,
+        workers,
+        parallel::EngineMode::Baseline,
+    )
 }
 
 /// One worker per available core, capped so every worker gets at least

@@ -202,11 +202,38 @@ pub fn check_on_box_naive(
     bound: u64,
     max_configurations: usize,
 ) -> Result<Option<StableComputationVerdict>, CrnError> {
-    for x in NVec::enumerate_box(crn.dim(), bound) {
-        let verdict = check_stable_computation_naive(crn, &x, f(&x), max_configurations)?;
-        if !verdict.is_correct() {
-            return Ok(Some(verdict));
+    check_on_box_naive_stats(crn, f, bound, max_configurations).0
+}
+
+/// [`check_on_box_naive`] returning the sweep's [`super::BoxCheckStats`]
+/// alongside
+/// the outcome.  The seed engine has no pruning, symmetry, or cache layers,
+/// so only `points`, `evaluated`, and `configs_explored` are filled; on a
+/// failing (or erroring) sweep `evaluated` reports how far the sequential
+/// scan got.
+pub fn check_on_box_naive_stats(
+    crn: &FunctionCrn,
+    f: impl Fn(&NVec) -> u64,
+    bound: u64,
+    max_configurations: usize,
+) -> (
+    Result<Option<StableComputationVerdict>, CrnError>,
+    super::BoxCheckStats,
+) {
+    let mut stats = super::BoxCheckStats::default();
+    let radix = bound.saturating_add(1);
+    stats.points = (0..crn.dim()).fold(1u64, |acc, _| acc.saturating_mul(radix));
+    let result = (|| {
+        for x in NVec::enumerate_box(crn.dim(), bound) {
+            stats.evaluated += 1;
+            let verdict = check_stable_computation_naive(crn, &x, f(&x), max_configurations)?;
+            stats.configs_explored +=
+                u64::try_from(verdict.reachable_configurations).expect("usize fits u64");
+            if !verdict.is_correct() {
+                return Ok(Some(verdict));
+            }
         }
-    }
-    Ok(None)
+        Ok(None)
+    })();
+    (result, stats)
 }

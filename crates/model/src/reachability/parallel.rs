@@ -112,6 +112,7 @@ pub(super) fn check_on_box_sharded(
     Result<Option<StableComputationVerdict>, CrnError>,
     BoxCheckStats,
 ) {
+    let _sweep = crn_obs::span("model.box.sweep");
     let dim = crn.dim();
     let radix = bound.saturating_add(1);
     let total = box_point_count(dim, bound);
@@ -157,6 +158,7 @@ pub(super) fn check_on_box_sharded(
         let mut best: Option<(u64, BadPoint)> = None;
         let mut abstains = 0u32;
         let mut static_armed = true;
+        let mut draws = 0u64;
         'scan: loop {
             let i = next.fetch_add(1, Ordering::Relaxed);
             // Inputs beyond the best known failure cannot change the answer;
@@ -164,6 +166,7 @@ pub(super) fn check_on_box_sharded(
             if i >= total || i > first_bad.load(Ordering::Acquire) {
                 break;
             }
+            draws += 1;
             decode_point(i, radix, &mut x);
             let expected = f(&x);
 
@@ -269,14 +272,32 @@ pub(super) fn check_on_box_sharded(
             stats.cache_hits = cache.hits;
             stats.cache_entries = u64::try_from(cache.len()).expect("usize fits u64");
         }
+        // One registry flush per worker, after the scan: the hot loop above
+        // only touches local counters.
+        if crn_obs::enabled() {
+            let (collisions, grows) = engine.arena_metrics();
+            crn_obs::add("model.arena.collisions", collisions);
+            crn_obs::add("model.arena.grows", grows);
+            crn_obs::observe("model.box.worker_draws", draws);
+        }
         (best, stats)
     };
 
     let mut results: Vec<(Option<(u64, BadPoint)>, BoxCheckStats)> = if workers == 1 {
         vec![run_worker()]
     } else {
+        let parent = crn_obs::SpanPath::current();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(run_worker)).collect();
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let parent = parent.clone();
+                    scope.spawn(move || {
+                        let _adopted = parent.adopt();
+                        let _span = crn_obs::span("worker");
+                        run_worker()
+                    })
+                })
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker does not panic"))
@@ -297,6 +318,7 @@ pub(super) fn check_on_box_sharded(
             }
         }
     }
+    publish_sweep_metrics(&stats, workers);
 
     let outcome = match winner {
         None => return (Ok(None), stats),
@@ -319,6 +341,32 @@ pub(super) fn check_on_box_sharded(
         Err(e) => Err(e),
     };
     (result, stats)
+}
+
+/// Publishes one sweep's merged counters into the observability registry
+/// (names under `model.box.*` / `model.memo.*`); no-op unless profiling is
+/// enabled.  Counts mirror [`BoxCheckStats`] and accumulate across sweeps.
+fn publish_sweep_metrics(stats: &BoxCheckStats, workers: usize) {
+    if !crn_obs::enabled() {
+        return;
+    }
+    crn_obs::add("model.box.sweeps", 1);
+    crn_obs::add("model.box.points", stats.points);
+    crn_obs::add("model.box.evaluated", stats.evaluated);
+    crn_obs::add("model.box.symmetry_skipped", stats.symmetry_skipped);
+    crn_obs::add("model.box.static_pass", stats.static_pass);
+    crn_obs::add("model.box.static_fail", stats.static_fail);
+    crn_obs::add("model.box.decided", stats.decided);
+    crn_obs::add("model.box.cache_served", stats.cache_served);
+    crn_obs::add("model.box.configs_explored", stats.configs_explored);
+    crn_obs::add("model.memo.lookups", stats.cache_lookups);
+    crn_obs::add("model.memo.hits", stats.cache_hits);
+    crn_obs::add("model.memo.publish_suppressed", stats.publish_suppressed);
+    crn_obs::gauge_max("model.memo.entries", stats.cache_entries);
+    crn_obs::gauge_max(
+        "model.box.workers",
+        u64::try_from(workers).unwrap_or(u64::MAX),
+    );
 }
 
 /// The default shard width: one worker per available core, capped by the

@@ -1,0 +1,294 @@
+//! Log₂-bucket histograms.
+//!
+//! A histogram has 65 buckets: bucket 0 holds the value 0, and bucket `b`
+//! (1 ≤ b ≤ 64) holds the values in `[2^(b-1), 2^b)`.  The bucket of a value
+//! is one bit-scan (`64 - leading_zeros`), so recording is O(1) with no
+//! floating-point math, and merging two histograms is element-wise addition —
+//! associative and commutative, which is what makes per-worker recording
+//! deterministic under any partition of the samples (see
+//! [`LocalHistogram::merge`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// The bucket index of `value`: 0 for 0, otherwise `64 - leading_zeros`,
+/// so bucket `b ≥ 1` covers `[2^(b-1), 2^b - 1]`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive value range `[lo, hi]` covered by bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 0)
+    } else if index == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (index - 1), (1u64 << index) - 1)
+    }
+}
+
+/// A thread-safe log₂ histogram: every slot is an atomic, so concurrent
+/// recorders never lock.  Lives inside the registry; hot paths should prefer
+/// a [`LocalHistogram`] merged once per batch.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Folds a locally accumulated histogram in (one atomic add per
+    /// non-empty bucket).
+    pub fn merge_local(&self, local: &LocalHistogram) {
+        for (slot, &n) in self.buckets.iter().zip(&local.buckets) {
+            if n > 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+    }
+
+    /// A consistent copy of the histogram (consistent per slot; a snapshot
+    /// racing a recorder may miss in-flight samples, never corrupt).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    let n = slot.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every slot.
+    pub fn reset(&self) {
+        for slot in &self.buckets {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain (non-atomic) histogram for per-worker accumulation: record
+/// locally in the hot loop, then [`Histogram::merge_local`] once per batch.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// An empty local histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Adds `other`'s samples to this histogram.  Merging is associative and
+    /// commutative, so any partition of a sample set across workers merges to
+    /// the same histogram — the determinism contract the worker-count tests
+    /// rely on.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// The readable state of a histogram: non-empty `(bucket index, count)`
+/// pairs in bucket order, plus the sample count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values, accumulated with wrapping adds (the
+    /// atomics wrap anyway); diagnostic, not load-bearing.
+    pub sum: u64,
+    /// `(bucket index, sample count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The arithmetic mean of the recorded samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_range(0), (0, 0));
+        assert_eq!(bucket_range(1), (1, 1));
+        assert_eq!(bucket_range(2), (2, 3));
+        assert_eq!(bucket_range(64), (1u64 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn observe_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 7, 1024] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1037);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (2, 2), (3, 1), (11, 1)]);
+        assert!((snap.mean() - 1037.0 / 6.0).abs() < 1e-12);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn local_merge_matches_direct_recording() {
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        let mut direct = LocalHistogram::new();
+        for v in 0..100u64 {
+            if v % 3 == 0 {
+                a.observe(v * v);
+            } else {
+                b.observe(v * v);
+            }
+            direct.observe(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets, direct.buckets);
+        assert_eq!(a.count, direct.count);
+        assert_eq!(a.sum, direct.sum);
+        assert!(!a.is_empty());
+        assert_eq!(a.count(), 100);
+    }
+
+    proptest! {
+        /// Every value lands in the bucket whose range contains it, including
+        /// values shifted up to the top bits of `u64`.
+        #[test]
+        fn bucket_contains_its_values(value in 0u64..u64::MAX, shift in 0u32..64) {
+            let value = value.wrapping_shl(shift);
+            let b = bucket_index(value);
+            let (lo, hi) = bucket_range(b);
+            prop_assert!(lo <= value && value <= hi, "{value} outside bucket {b} = [{lo}, {hi}]");
+        }
+
+        /// Merging any 3-way partition of a sample set equals recording it
+        /// sequentially (the worker-count determinism contract).
+        #[test]
+        fn merge_is_partition_independent(
+            samples in collection::vec(0u64..u64::MAX, 0..200),
+            assignment in collection::vec(0usize..3, 0..200),
+        ) {
+            let mut parts = [LocalHistogram::new(), LocalHistogram::new(), LocalHistogram::new()];
+            let mut direct = LocalHistogram::new();
+            for (i, &v) in samples.iter().enumerate() {
+                let w = assignment.get(i).copied().unwrap_or(0);
+                parts[w].observe(v);
+                direct.observe(v);
+            }
+            // Merge in a different order than the recording order.
+            let mut merged = LocalHistogram::new();
+            for part in parts.iter().rev() {
+                merged.merge(part);
+            }
+            prop_assert_eq!(merged.buckets, direct.buckets);
+            prop_assert_eq!(merged.count, direct.count);
+            prop_assert_eq!(merged.sum, direct.sum);
+        }
+    }
+}

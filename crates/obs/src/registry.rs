@@ -1,0 +1,340 @@
+//! The metrics registry: named atomic counters, max-gauges, histograms, and
+//! span durations, plus a deterministic snapshot/rendering surface.
+//!
+//! All maps are guarded by plain mutexes; hot paths are expected to
+//! accumulate locally and flush coarsely (once per pass, per worker batch,
+//! or per run), so lock traffic is proportional to the number of flush
+//! points, not the number of events.
+
+use crate::histogram::{Histogram, HistogramSnapshot, LocalHistogram};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A clonable handle to one named counter: after the first lookup, updates
+/// are a single atomic add with no map access.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Accumulated duration statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total wall time across all entries, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// The registry holding every named metric.  One global instance lives
+/// behind [`crate::global`]; separate instances exist only in tests.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, SpanSnapshot>>,
+}
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned it —
+/// metrics must never turn one panic into a second one.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A handle to the counter named `name`, creating it at zero.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = lock(&self.counters);
+        let cell = counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter {
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Adds `delta` to the counter named `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Raises the gauge named `name` to at least `value` (max semantics:
+    /// concurrent updates keep the largest observed value).
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let cell = {
+            let mut gauges = lock(&self.gauges);
+            Arc::clone(
+                gauges
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        };
+        cell.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one sample into the histogram named `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// Merges a locally accumulated histogram into the one named `name`.
+    pub fn observe_many(&self, name: &str, local: &LocalHistogram) {
+        if local.is_empty() {
+            return;
+        }
+        self.histogram(name).merge_local(local);
+    }
+
+    /// Adds one entry of `nanos` to the span stats for `path`.
+    pub fn record_span(&self, path: &str, nanos: u64) {
+        let mut spans = lock(&self.spans);
+        let stat = spans.entry(path.to_string()).or_default();
+        stat.count += 1;
+        stat.total_nanos = stat.total_nanos.saturating_add(nanos);
+    }
+
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = lock(&self.histograms);
+        Arc::clone(
+            histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A deterministic (name-sorted) copy of every metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = lock(&self.counters)
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, u64)> = lock(&self.gauges)
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut spans: Vec<(String, SpanSnapshot)> = lock(&self.spans)
+            .iter()
+            .map(|(path, stat)| (path.clone(), *stat))
+            .collect();
+        spans.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Removes every metric (names included), returning the registry to its
+    /// initial state.  Counter handles from before the reset keep updating
+    /// their detached cells, which are no longer visible in snapshots.
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+        lock(&self.spans).clear();
+    }
+}
+
+/// A point-in-time, name-sorted copy of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, name-ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every max-gauge, name-ascending.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram, name-ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(path, stats)` for every span path, path-ascending.
+    pub spans: Vec<(String, SpanSnapshot)>,
+}
+
+/// Formats a nanosecond duration with a human unit (`980ns`, `1.234ms`).
+#[must_use]
+pub fn format_nanos(nanos: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let n = nanos as f64;
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3}us", n / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3}ms", n / 1e6)
+    } else {
+        format!("{:.3}s", n / 1e9)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Whether no metric of any kind was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as the `== profile ==` table: sections in a
+    /// fixed order (spans, counters, gauges, histograms), entries name-sorted
+    /// within each, empty sections omitted.  The table's *structure* is
+    /// deterministic for a given run; only the measured durations vary.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("== profile ==\n");
+        let width = self
+            .spans
+            .iter()
+            .map(|(p, _)| p.len())
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        if !self.spans.is_empty() {
+            out.push_str("-- spans (path, calls, total) --\n");
+            for (path, stat) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "  {path:<width$}  {:>8}  {:>12}",
+                    stat.count,
+                    format_nanos(stat.total_nanos),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("-- counters --\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<width$}  {value:>8}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("-- gauges (max) --\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {value:>8}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("-- histograms (name, samples, mean) --\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(out, "  {name:<width$}  {:>8}  {:>12.2}", h.count, h.mean(),);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_spans_round_trip() {
+        let reg = Registry::new();
+        reg.add("b.two", 2);
+        reg.add("a.one", 1);
+        reg.add("b.two", 3);
+        let handle = reg.counter("a.one");
+        handle.add(4);
+        assert_eq!(handle.get(), 5);
+        reg.gauge_max("g", 7);
+        reg.gauge_max("g", 3);
+        reg.observe("h", 9);
+        reg.record_span("root/child", 100);
+        reg.record_span("root/child", 50);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.one".to_string(), 5), ("b.two".to_string(), 5)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_string(), 7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(
+            snap.spans,
+            vec![(
+                "root/child".to_string(),
+                SpanSnapshot {
+                    count: 2,
+                    total_nanos: 150
+                }
+            )]
+        );
+        assert!(!snap.is_empty());
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn observe_many_merges_and_skips_empty() {
+        let reg = Registry::new();
+        let mut local = LocalHistogram::new();
+        reg.observe_many("h", &local);
+        assert!(reg.snapshot().histograms.is_empty());
+        local.observe(1);
+        local.observe(1024);
+        reg.observe_many("h", &local);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms[0].1.count, 2);
+        assert_eq!(snap.histograms[0].1.sum, 1025);
+    }
+
+    #[test]
+    fn render_table_sections_and_order() {
+        let reg = Registry::new();
+        reg.add("z.counter", 1);
+        reg.add("a.counter", 2);
+        reg.record_span("phase", 1_500_000);
+        let table = reg.snapshot().render_table();
+        assert!(table.starts_with("== profile ==\n"));
+        let spans_at = table.find("-- spans").expect("spans section");
+        let counters_at = table.find("-- counters").expect("counters section");
+        assert!(spans_at < counters_at, "spans before counters");
+        let a = table.find("a.counter").expect("a.counter row");
+        let z = table.find("z.counter").expect("z.counter row");
+        assert!(a < z, "counters sorted by name");
+        assert!(!table.contains("-- gauges"), "empty sections omitted");
+        assert!(table.contains("1.500ms"));
+    }
+
+    #[test]
+    fn format_nanos_units() {
+        assert_eq!(format_nanos(999), "999ns");
+        assert_eq!(format_nanos(1_500), "1.500us");
+        assert_eq!(format_nanos(2_000_000), "2.000ms");
+        assert_eq!(format_nanos(3_500_000_000), "3.500s");
+    }
+}

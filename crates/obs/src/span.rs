@@ -1,0 +1,137 @@
+//! Hierarchical scoped spans.
+//!
+//! A span is a named, timed region of code.  Entering one pushes its name
+//! onto a thread-local stack; dropping the guard pops it and records the
+//! elapsed wall time under the "/"-joined path of every name on the stack,
+//! so nested spans form a phase tree (`cli.verify/model.box.sweep`).
+//!
+//! Worker threads spawned under `std::thread::scope` start with an empty
+//! stack of their own.  To keep their spans parented under the phase that
+//! spawned them, capture [`SpanPath::current`] before spawning and call
+//! [`SpanPath::adopt`] inside the worker: the adopted prefix is prepended to
+//! every path the worker records until the adoption guard drops.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// The active span names on this thread, innermost last.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Joins `names` into a span path (`a/b/c`).
+fn join(names: &[String]) -> String {
+    names.join("/")
+}
+
+/// Enters a span named `name`, if profiling is enabled.  The returned guard
+/// records the elapsed time into the global registry when dropped; when
+/// profiling is disabled the guard is inert and the call costs one relaxed
+/// atomic load.
+#[must_use = "a span records its duration when the guard drops"]
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|stack| stack.borrow_mut().push(name.to_string()));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+/// Guard for an entered span; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when profiling was disabled at entry (inert guard).
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = join(&stack);
+            stack.pop();
+            path
+        });
+        if !path.is_empty() {
+            crate::global().record_span(&path, nanos);
+        }
+    }
+}
+
+/// A captured span-stack prefix, used to parent worker-thread spans under
+/// the phase that spawned them.
+#[derive(Debug, Clone, Default)]
+pub struct SpanPath {
+    names: Vec<String>,
+}
+
+impl SpanPath {
+    /// Captures the current thread's span stack.  Returns an empty path when
+    /// profiling is disabled, so adoption on the worker side is free.
+    #[must_use]
+    pub fn current() -> SpanPath {
+        if !crate::enabled() {
+            return SpanPath::default();
+        }
+        SpanPath {
+            names: STACK.with(|stack| stack.borrow().clone()),
+        }
+    }
+
+    /// Prepends this path to the calling thread's (empty) span stack until
+    /// the returned guard drops.  Spans entered meanwhile record under
+    /// `captured/.../name`.
+    #[must_use = "adoption lasts only while the guard is alive"]
+    pub fn adopt(&self) -> AdoptGuard {
+        if self.names.is_empty() {
+            return AdoptGuard { depth: 0 };
+        }
+        let depth = self.names.len();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            for name in self.names.iter().rev() {
+                stack.insert(0, name.clone());
+            }
+        });
+        AdoptGuard { depth }
+    }
+
+    /// The "/"-joined form of the captured path ("" when empty).
+    #[must_use]
+    pub fn as_str(&self) -> String {
+        join(&self.names)
+    }
+
+    /// Whether nothing was captured (profiling disabled or no open span).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Guard for an adopted span prefix; see [`SpanPath::adopt`].
+#[derive(Debug)]
+pub struct AdoptGuard {
+    depth: usize,
+}
+
+impl Drop for AdoptGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 {
+            return;
+        }
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            for _ in 0..self.depth {
+                if stack.is_empty() {
+                    break;
+                }
+                stack.remove(0);
+            }
+        });
+    }
+}

@@ -239,6 +239,7 @@ impl<'a> Ensemble<'a> {
     /// Panics if `trials == 0` (an empty batch has no statistics) or a worker
     /// thread panics.
     pub fn run(&self, x: &NVec, trials: u32, seed: u64) -> Result<TrialSummary, CrnError> {
+        let _span = crn_obs::span("sim.ensemble");
         let start = self.crn.initial_configuration(x)?;
         let trials = u64::from(trials);
         let stream = SeedStream::new(seed);
@@ -246,14 +247,37 @@ impl<'a> Ensemble<'a> {
 
         // One worker per contiguous trial range; each worker reuses a single
         // simulator (one compile, one allocation set) across its range.
+        // Observability accumulates locally and flushes once per range — the
+        // trial loop stays clean of registry traffic, and `Gillespie::run`
+        // itself is uninstrumented (a per-run flush would cost a lock per
+        // trial, well over the E20 overhead budget).
         let run_range = |lo: u64, hi: u64| -> TrialAccumulator {
+            let profiling = crn_obs::enabled();
+            let batch_start = profiling.then(std::time::Instant::now);
+            let mut trial_steps = crn_obs::LocalHistogram::new();
+            let mut batch_steps = 0u64;
             let mut acc = TrialAccumulator::new();
             let mut sim = Gillespie::new(self.crn.crn().clone(), 0);
             for t in lo..hi {
                 sim.reseed(stream.seed(t));
                 let outcome = sim.run(&start, self.max_steps);
                 let out_count = outcome.final_configuration.count(output);
+                if profiling {
+                    trial_steps.observe(outcome.steps);
+                    batch_steps += outcome.steps;
+                }
                 acc.record(&outcome, out_count);
+            }
+            if let Some(batch_start) = batch_start {
+                crn_obs::add("sim.trials", hi - lo);
+                // One firing refreshes the propensity table once; one trial
+                // rebuilds it once at its start.
+                crn_obs::add("sim.steps", batch_steps);
+                crn_obs::add("sim.propensity_refreshes", batch_steps);
+                crn_obs::add("sim.propensity_rebuilds", hi - lo);
+                crn_obs::observe_many("sim.trial_steps", &trial_steps);
+                let nanos = u64::try_from(batch_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                crn_obs::observe("sim.batch_nanos", nanos);
             }
             acc
         };
@@ -271,12 +295,18 @@ impl<'a> Ensemble<'a> {
             let bounds: Vec<u64> = (0..=workers as u64)
                 .map(|w| w * base + w.min(extra))
                 .collect();
+            let parent = crn_obs::SpanPath::current();
             let accs: Vec<TrialAccumulator> = std::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
                     .windows(2)
                     .map(|range| {
                         let (lo, hi) = (range[0], range[1]);
-                        scope.spawn(move || run_range(lo, hi))
+                        let parent = parent.clone();
+                        scope.spawn(move || {
+                            let _adopted = parent.adopt();
+                            let _span = crn_obs::span("worker");
+                            run_range(lo, hi)
+                        })
                     })
                     .collect();
                 handles
@@ -290,6 +320,7 @@ impl<'a> Ensemble<'a> {
             }
             merged
         };
+        crn_obs::gauge_max("sim.workers", u64::try_from(workers).unwrap_or(u64::MAX));
         Ok(merged.finish(x))
     }
 }

@@ -159,6 +159,11 @@ impl Gillespie {
 
     /// Runs from `start` until the CRN is silent or `max_steps` reactions have
     /// fired.
+    ///
+    /// Deliberately uninstrumented: a single run is often one iteration of a
+    /// caller's hot loop (ensemble trials, spot checks), so the
+    /// observability counters for it are accumulated by those callers and
+    /// flushed per batch, never per run.
     #[must_use]
     pub fn run(&mut self, start: &Configuration, max_steps: u64) -> GillespieOutcome {
         self.load_start(start);

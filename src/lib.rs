@@ -16,7 +16,10 @@
 //! * [`popproto`] — population protocols and pairwise-collision scheduling;
 //! * [`numeric`] — exact rationals and lattice utilities;
 //! * [`lang`] — the textual `.crn` language (parser, printer, lowering)
-//!   behind the `crn` CLI (`crates/cli`).
+//!   behind the `crn` CLI (`crates/cli`);
+//! * [`obs`] — the opt-in metrics/span registry behind `--profile`;
+//! * [`report`] — the JSON emitter and metrics-report schema shared by
+//!   the CLI and future service front ends.
 //!
 //! ```
 //! use composable_crn::model::examples;
@@ -37,7 +40,9 @@ pub use crn_geometry as geometry;
 pub use crn_lang as lang;
 pub use crn_model as model;
 pub use crn_numeric as numeric;
+pub use crn_obs as obs;
 pub use crn_popproto as popproto;
+pub use crn_report as report;
 pub use crn_semilinear as semilinear;
 pub use crn_sim as sim;
 
