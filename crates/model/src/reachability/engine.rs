@@ -9,8 +9,8 @@
 //!
 //! [`ReachabilityGraph::explore`]: super::ReachabilityGraph::explore
 
+use crn_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use crn_numeric::NVec;
 

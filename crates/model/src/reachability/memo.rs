@@ -23,8 +23,8 @@
 //! a run that aborts on the configuration limit discards everything it had
 //! pending — a truncated exploration never populates the cache.
 
+use crn_sync::{lock_recover, Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Handle of an interned output set in a [`SetPool`].  Id 0 is always the
 /// empty set.
@@ -282,7 +282,12 @@ impl MemoCache {
                 )
             })
             .collect();
-        let mut entries = log.entries.lock().expect("no panics hold the log");
+        // Poisoning: `lock_recover` per the workspace policy (crn_sync crate
+        // docs) — the log is append-only, so a torn critical section can at
+        // worst lose the panicking thread's batch, never corrupt an entry.
+        // The publish-only-complete-summaries invariant is model-checked by
+        // `memo_truncation_never_publishes` (crn-sync tests/model.rs).
+        let mut entries = lock_recover(&log.entries);
         if self.cursor == entries.len() {
             self.cursor += shared.len();
         }
@@ -293,7 +298,7 @@ impl MemoCache {
     /// re-interning their sets into this worker's pool.
     pub(super) fn import(&mut self, log: &SharedLog) {
         let fresh: Vec<(u64, SharedSummary)> = {
-            let entries = log.entries.lock().expect("no panics hold the log");
+            let entries = lock_recover(&log.entries);
             if self.cursor >= entries.len() {
                 return;
             }

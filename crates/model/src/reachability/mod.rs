@@ -36,7 +36,7 @@ mod parallel;
 mod scc;
 mod symmetry;
 
-use std::sync::OnceLock;
+use crn_sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 

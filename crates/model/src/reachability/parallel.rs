@@ -2,7 +2,7 @@
 //!
 //! `check_on_box` walks the inputs of `[0, bound]^d` in lexicographic order
 //! and shards them across scoped worker threads (the vendored stubs have no
-//! rayon, so the pool is a plain `std::thread::scope` with an atomic
+//! rayon, so the pool is a plain `crn_sync::thread::scope` with an atomic
 //! work-stealing cursor).  Box points are never materialized up front: each
 //! worker decodes its drawn index into one reused count vector through the
 //! mixed-radix place values of the box, so the sweep takes `O(1)` memory in
@@ -17,8 +17,8 @@
 //! layering symmetry-orbit skipping and the cross-point memo cache on top of
 //! the baseline's static pruning.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crn_sync::atomic::{AtomicU64, Ordering};
+use crn_sync::Arc;
 
 use crn_numeric::NVec;
 
@@ -138,6 +138,20 @@ pub(super) fn check_on_box_sharded(
         None => VerdictEngine::reference(crn),
     };
 
+    // Ordering audit (model-checked in crn-sync tests/model.rs; see
+    // DESIGN.md § Concurrency model).  Correctness of this driver does NOT
+    // depend on memory ordering at all: `fetch_add`/`fetch_min` atomicity
+    // gives each index to exactly one worker and makes `first_bad`
+    // monotonically non-increasing, and a stale `first_bad` read can only
+    // *overestimate* the bound — a worker then evaluates a point it could
+    // have skipped, never skips one it must evaluate.  Determinism comes
+    // from the per-worker local `best` records merged after the scope join,
+    // not from the atomics.  `first_bad_reduction_never_loses_lex_first`
+    // checks the protocol exhaustively as written;
+    // `first_bad_reduction_tolerates_relaxed` checks the all-Relaxed
+    // downgrade also passes, confirming the orderings below are a
+    // documentation choice (Acquire/AcqRel marks the load/reduction pair as
+    // a cross-thread protocol), not a correctness requirement.
     let next = AtomicU64::new(0);
     let first_bad = AtomicU64::new(u64::MAX);
 
@@ -160,9 +174,19 @@ pub(super) fn check_on_box_sharded(
         let mut static_armed = true;
         let mut draws = 0u64;
         'scan: loop {
+            // Ordering: Relaxed — the cursor is a pure ticket dispenser; the
+            // RMW's atomicity (each index drawn exactly once) is the whole
+            // invariant, and no data is published through it.
             let i = next.fetch_add(1, Ordering::Relaxed);
             // Inputs beyond the best known failure cannot change the answer;
             // the cursor only grows, so this worker is done.
+            //
+            // Ordering: Acquire — pairs with the AcqRel `fetch_min` below.
+            // A stale read is still sound (it only widens the scanned
+            // prefix; see the audit note at the declarations), so this is
+            // protocol documentation, not a correctness dependency —
+            // `first_bad_reduction_tolerates_relaxed` proves the downgrade
+            // safe.
             if i >= total || i > first_bad.load(Ordering::Acquire) {
                 break;
             }
@@ -197,6 +221,10 @@ pub(super) fn check_on_box_sharded(
                         true
                     } else {
                         best = Some((i, BadPoint::Full(outcome)));
+                        // Ordering: AcqRel — see the audit note at the
+                        // declarations: fetch_min atomicity keeps the bound
+                        // monotone; the release half is protocol
+                        // documentation for the Acquire load above.
                         first_bad.fetch_min(i, Ordering::AcqRel);
                         break;
                     }
@@ -263,6 +291,8 @@ pub(super) fn check_on_box_sharded(
             };
             if !passes {
                 best = Some((i, BadPoint::Deferred));
+                // Ordering: AcqRel — same audit note as the Reference-mode
+                // reduction above.
                 first_bad.fetch_min(i, Ordering::AcqRel);
                 break;
             }
@@ -287,7 +317,7 @@ pub(super) fn check_on_box_sharded(
         vec![run_worker()]
     } else {
         let parent = crn_obs::SpanPath::current();
-        std::thread::scope(|scope| {
+        crn_sync::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let parent = parent.clone();
@@ -372,7 +402,7 @@ fn publish_sweep_metrics(stats: &BoxCheckStats, workers: usize) {
 /// The default shard width: one worker per available core, capped by the
 /// number of inputs.
 pub(super) fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    crn_sync::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
 }

@@ -8,7 +8,7 @@
 //! deterministic under any partition of the samples (see
 //! [`LocalHistogram::merge`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crn_sync::atomic::{AtomicU64, Ordering};
 
 /// The number of buckets: one for zero plus one per bit of a `u64`.
 pub const BUCKETS: usize = 65;

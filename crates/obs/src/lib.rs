@@ -1,4 +1,5 @@
-//! `crn_obs` — the workspace's zero-dependency observability layer.
+//! `crn_obs` — the workspace's observability layer (depending only on the
+//! `crn_sync` concurrency facade).
 //!
 //! One global [`Registry`] holds named atomic counters, max-gauges,
 //! log₂-bucket [`Histogram`]s, and accumulated [`span`] durations.  The
@@ -51,8 +52,8 @@ pub use histogram::{
 pub use registry::{format_nanos, Counter, MetricsSnapshot, Registry, SpanSnapshot};
 pub use span::{span, AdoptGuard, SpanGuard, SpanPath};
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::OnceLock;
+use crn_sync::atomic::{AtomicBool, Ordering};
+use crn_sync::OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -64,12 +65,18 @@ pub fn global() -> &'static Registry {
 
 /// Turns profiling on or off for the whole process.
 pub fn set_enabled(enabled: bool) {
+    // Ordering: Relaxed — the flag is set once at startup before any worker
+    // threads exist (CLI flag parsing), so spawn edges publish it; a racing
+    // toggle could only make some events miss the window, never corrupt
+    // state.
     ENABLED.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether profiling is currently enabled.
 #[must_use]
 pub fn enabled() -> bool {
+    // Ordering: Relaxed — see `set_enabled`; this is the single-load fast
+    // path every instrumented call site pays when profiling is off.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -122,16 +129,14 @@ pub fn reset() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
+    use crn_sync::{lock_recover, Mutex, MutexGuard};
 
     /// Tests below mutate the process-global registry and enabled flag, so
     /// they serialize on this lock (the test harness runs them in parallel).
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
-    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
-        let guard = TEST_LOCK
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    fn exclusive() -> MutexGuard<'static, ()> {
+        let guard = lock_recover(&TEST_LOCK);
         set_enabled(true);
         reset();
         guard
@@ -184,7 +189,7 @@ mod tests {
             let _sweep = span("sweep");
             let here = SpanPath::current();
             assert_eq!(here.as_str(), "sweep");
-            std::thread::scope(|scope| {
+            crn_sync::thread::scope(|scope| {
                 for _ in 0..3 {
                     let path = here.clone();
                     scope.spawn(move || {
@@ -207,7 +212,7 @@ mod tests {
             let _outer = span("outer");
             SpanPath::current()
         };
-        std::thread::scope(|scope| {
+        crn_sync::thread::scope(|scope| {
             scope.spawn(|| {
                 {
                     let adopted = captured.adopt();
@@ -231,7 +236,7 @@ mod tests {
         let mut reference = None;
         for workers in [1usize, 2, 4] {
             reset();
-            std::thread::scope(|scope| {
+            crn_sync::thread::scope(|scope| {
                 for w in 0..workers {
                     scope.spawn(move || {
                         let mut local = 0u64;

@@ -5,12 +5,19 @@
 //! accumulate locally and flush coarsely (once per pass, per worker batch,
 //! or per run), so lock traffic is proportional to the number of flush
 //! points, not the number of events.
+//!
+//! Poisoned-lock policy: every map lock is taken through
+//! [`crn_sync::lock_recover`] — metrics must never turn one panic into a
+//! second one, and each map is valid after any prefix of a critical section
+//! (an insert either happened or it didn't), so recovering the guard is
+//! always safe.  See the `crn_sync` crate docs for the workspace-wide
+//! argument.
 
 use crate::histogram::{Histogram, HistogramSnapshot, LocalHistogram};
+use crn_sync::atomic::{AtomicU64, Ordering};
+use crn_sync::{lock_recover, Arc, Mutex};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 
 /// A clonable handle to one named counter: after the first lookup, updates
 /// are a single atomic add with no map access.
@@ -22,12 +29,22 @@ pub struct Counter {
 impl Counter {
     /// Adds `delta` to the counter.
     pub fn add(&self, delta: u64) {
+        // Ordering: Relaxed suffices.  The invariant is only that no
+        // increment is lost, which the RMW's atomicity guarantees at any
+        // ordering; readers that need a *consistent* total (snapshots)
+        // sequence themselves after the writers via `thread::scope` join
+        // edges, not via this atomic.  Model-checked by
+        // `registry_flush_never_drops_increments` (crn-sync tests/model.rs).
         self.cell.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// The current value.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // Ordering: Relaxed — a monitoring read with no ordering contract;
+        // exact totals are only claimed after joining the writers
+        // (`registry_reset_vs_flush_keeps_totals_uncorrupted` checks the
+        // joined read is exact even when `reset()` raced the adds).
         self.cell.load(Ordering::Relaxed)
     }
 }
@@ -51,14 +68,6 @@ pub struct Registry {
     spans: Mutex<HashMap<String, SpanSnapshot>>,
 }
 
-/// Locks `mutex`, recovering the guard if a panicking thread poisoned it —
-/// metrics must never turn one panic into a second one.
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl Registry {
     /// An empty registry.
     #[must_use]
@@ -68,7 +77,7 @@ impl Registry {
 
     /// A handle to the counter named `name`, creating it at zero.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut counters = lock(&self.counters);
+        let mut counters = lock_recover(&self.counters);
         let cell = counters
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)));
@@ -86,13 +95,17 @@ impl Registry {
     /// concurrent updates keep the largest observed value).
     pub fn gauge_max(&self, name: &str, value: u64) {
         let cell = {
-            let mut gauges = lock(&self.gauges);
+            let mut gauges = lock_recover(&self.gauges);
             Arc::clone(
                 gauges
                     .entry(name.to_string())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0))),
             )
         };
+        // Ordering: Relaxed — max is commutative and idempotent, so the
+        // invariant (final value = max of all submitted values, once writers
+        // are joined) holds at any ordering; only RMW atomicity matters.
+        // Same argument as `Counter::add` above.
         cell.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -111,14 +124,14 @@ impl Registry {
 
     /// Adds one entry of `nanos` to the span stats for `path`.
     pub fn record_span(&self, path: &str, nanos: u64) {
-        let mut spans = lock(&self.spans);
+        let mut spans = lock_recover(&self.spans);
         let stat = spans.entry(path.to_string()).or_default();
         stat.count += 1;
         stat.total_nanos = stat.total_nanos.saturating_add(nanos);
     }
 
     fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut histograms = lock(&self.histograms);
+        let mut histograms = lock_recover(&self.histograms);
         Arc::clone(
             histograms
                 .entry(name.to_string())
@@ -127,24 +140,29 @@ impl Registry {
     }
 
     /// A deterministic (name-sorted) copy of every metric.
+    ///
+    /// The Relaxed cell loads below are exact only for writers that
+    /// happened-before this call (normally: after the worker scope joined);
+    /// a snapshot racing live writers is a valid but unordered sample.
+    /// Model-checked by `registry_flush_never_drops_increments`.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut counters: Vec<(String, u64)> = lock(&self.counters)
+        let mut counters: Vec<(String, u64)> = lock_recover(&self.counters)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect();
         counters.sort();
-        let mut gauges: Vec<(String, u64)> = lock(&self.gauges)
+        let mut gauges: Vec<(String, u64)> = lock_recover(&self.gauges)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect();
         gauges.sort();
-        let mut histograms: Vec<(String, HistogramSnapshot)> = lock(&self.histograms)
+        let mut histograms: Vec<(String, HistogramSnapshot)> = lock_recover(&self.histograms)
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut spans: Vec<(String, SpanSnapshot)> = lock(&self.spans)
+        let mut spans: Vec<(String, SpanSnapshot)> = lock_recover(&self.spans)
             .iter()
             .map(|(path, stat)| (path.clone(), *stat))
             .collect();
@@ -161,10 +179,10 @@ impl Registry {
     /// initial state.  Counter handles from before the reset keep updating
     /// their detached cells, which are no longer visible in snapshots.
     pub fn reset(&self) {
-        lock(&self.counters).clear();
-        lock(&self.gauges).clear();
-        lock(&self.histograms).clear();
-        lock(&self.spans).clear();
+        lock_recover(&self.counters).clear();
+        lock_recover(&self.gauges).clear();
+        lock_recover(&self.histograms).clear();
+        lock_recover(&self.spans).clear();
     }
 }
 

@@ -5,7 +5,7 @@
 //! elapsed wall time under the "/"-joined path of every name on the stack,
 //! so nested spans form a phase tree (`cli.verify/model.box.sweep`).
 //!
-//! Worker threads spawned under `std::thread::scope` start with an empty
+//! Worker threads spawned under `crn_sync::thread::scope` start with an empty
 //! stack of their own.  To keep their spans parented under the phase that
 //! spawned them, capture [`SpanPath::current`] before spawning and call
 //! [`SpanPath::adopt`] inside the worker: the adopted prefix is prepended to

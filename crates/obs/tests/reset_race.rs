@@ -1,0 +1,84 @@
+//! Stress coverage for `Registry::reset()` racing live handles and map-path
+//! writers, under real OS threads (the model-checked twin of this race, at
+//! exhaustive coverage on a miniature, is
+//! `registry_reset_vs_flush_keeps_totals_uncorrupted` in
+//! `crates/sync/tests/model.rs`; see EXPERIMENTS.md E21).
+//!
+//! The contract under test is the detached-handle caveat documented on
+//! [`Registry::reset`]: a reset drops the registry's *references*, but a
+//! handle obtained earlier keeps its cell, so the handle's own total stays
+//! exact no matter how reset, snapshot, and add interleave — and nothing
+//! panics or poisons a lock along the way.
+
+use crn_obs::Registry;
+use crn_sync::thread;
+
+#[test]
+fn reset_racing_a_live_handle_keeps_its_total_exact() {
+    let reg = Registry::new();
+    let handle = reg.counter("race.handle");
+    const ADDS: u64 = 20_000;
+    thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..ADDS {
+                handle.add(1);
+            }
+        });
+        scope.spawn(|| {
+            for _ in 0..200 {
+                reg.reset();
+            }
+        });
+        scope.spawn(|| {
+            for _ in 0..200 {
+                let snap = reg.snapshot();
+                // A racing snapshot sees the cell only while it is still
+                // registered, and then some clean prefix of the adds.
+                if let Some(&(_, v)) = snap.counters.iter().find(|(n, _)| n == "race.handle") {
+                    assert!(v <= ADDS, "snapshot saw a torn total: {v}");
+                }
+            }
+        });
+    });
+    // The handle's cell survives every reset; its total is exact.
+    assert_eq!(handle.get(), ADDS);
+    // The last reset detached the name, and nothing re-registered it.
+    assert!(
+        !reg.snapshot()
+            .counters
+            .iter()
+            .any(|(n, _)| n == "race.handle"),
+        "reset must detach the name from future snapshots"
+    );
+}
+
+#[test]
+fn reset_racing_map_path_adds_never_panics_or_tears() {
+    let reg = Registry::new();
+    const ROUNDS: u64 = 5_000;
+    thread::scope(|scope| {
+        for _ in 0..2 {
+            let reg = &reg;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    // Map-path add: re-creates the counter after any reset,
+                    // contending on the registry lock.
+                    reg.add("race.map", 1);
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..200 {
+                reg.reset();
+                reg.gauge_max("race.gauge", 7);
+                reg.observe("race.hist", 3);
+            }
+        });
+    });
+    // Whatever survived the final reset is a clean suffix of the adds.
+    let snap = reg.snapshot();
+    if let Some(&(_, v)) = snap.counters.iter().find(|(n, _)| n == "race.map") {
+        assert!(v <= 2 * ROUNDS, "map-path total overshot the adds: {v}");
+        assert!(v > 0, "a registered counter snapshots a positive total");
+    }
+}

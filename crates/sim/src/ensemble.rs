@@ -152,7 +152,7 @@ impl TrialAccumulator {
 /// available core.
 #[must_use]
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    crn_sync::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
 }
@@ -296,7 +296,7 @@ impl<'a> Ensemble<'a> {
                 .map(|w| w * base + w.min(extra))
                 .collect();
             let parent = crn_obs::SpanPath::current();
-            let accs: Vec<TrialAccumulator> = std::thread::scope(|scope| {
+            let accs: Vec<TrialAccumulator> = crn_sync::thread::scope(|scope| {
                 let handles: Vec<_> = bounds
                     .windows(2)
                     .map(|range| {

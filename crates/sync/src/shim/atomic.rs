@@ -1,0 +1,388 @@
+//! Scheduler-backed atomic shims.
+//!
+//! Each shim wraps the real std atomic (so `const fn new` works and code
+//! running outside a checker falls back to genuine atomics) and gives it a
+//! model identity keyed by its address.  Inside a checker run every access
+//! is a scheduler step against the location's store history:
+//!
+//! * **load** — the readable stores are those at or after the thread's view
+//!   floor for the location; which one is read is a recorded
+//!   nondeterministic choice (alternative 0 = the newest store, so DFS
+//!   explores stale reads as deviations).  `Acquire` loads additionally join
+//!   the release view carried by the store they read.
+//! * **store** — appends to the modification order; `Release` stores attach
+//!   the writer's current view for future `Acquire` readers.
+//! * **RMW** (`fetch_add`, `fetch_min`, `compare_exchange`, `swap`, …) —
+//!   always reads the *newest* store (atomicity: an RMW can never act on a
+//!   stale value) and continues the release sequence by inheriting the
+//!   replaced store's release view, exactly as C11 release sequences let an
+//!   `AcqRel` RMW chain extend a `Release` store.
+//!
+//! The wrapped std atomic is kept mirrored with the newest model store so a
+//! late fallback access (after the checker run ends) still sees a sane
+//! value.
+//!
+//! **Address-identity caveat:** the model keys a location by the shim's
+//! address.  Miniatures must keep their atomics at stable addresses for the
+//! whole run — stack slots, `Arc` allocations, or fixed arrays; do not grow
+//! a `Vec` of shim atomics mid-run.
+
+use super::exec::{acquires, ctx, releases, Ctx};
+use std::sync::atomic::Ordering;
+
+/// Panics mirroring std's own aborts for malformed ordering arguments, so
+/// the shim rejects exactly what std rejects.
+fn check_load_order(order: Ordering) {
+    assert!(
+        !matches!(order, Ordering::Release | Ordering::AcqRel),
+        "there is no such thing as a release load"
+    );
+}
+
+fn check_store_order(order: Ordering) {
+    assert!(
+        !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+        "there is no such thing as an acquire store"
+    );
+}
+
+/// The shared model core: every shim type delegates to these free functions
+/// with its value already widened to `u64`.
+fn model_load(c: &Ctx, key: usize, initial: u64, order: Ordering, what: &str) -> u64 {
+    check_load_order(order);
+    let Ctx { exec, id } = c;
+    exec.step(*id, |st| {
+        let loc = st.location(key, initial);
+        let floor = st.threads[*id].view.floor(loc);
+        let len = st.loc(loc).stores.len();
+        // Readable stores: floor..len.  Alternative 0 = newest (index
+        // len-1), alternative k = k stores back; newest-first keeps the DFS
+        // default on the "expected" value.
+        let n = len - floor;
+        let back = st.choose(n, true);
+        let index = len - 1 - back;
+        let store = st.loc(loc).stores[index].clone();
+        st.threads[*id].view.raise(loc, index);
+        if acquires(order) {
+            if let Some(view) = &store.release_view {
+                st.threads[*id].view.join(view);
+            }
+        }
+        let name = st.loc(loc).name.clone();
+        st.trace_op(
+            *id,
+            &format!("{what} load {name} -> {} ({order:?})", store.value),
+        );
+        store.value
+    })
+}
+
+fn model_store(c: &Ctx, key: usize, initial: u64, value: u64, order: Ordering, what: &str) {
+    check_store_order(order);
+    let Ctx { exec, id } = c;
+    exec.step(*id, |st| {
+        let loc = st.location(key, initial);
+        let release_view = releases(order).then(|| st.threads[*id].view.clone());
+        st.loc_mut(loc).stores.push(super::exec::Store {
+            value,
+            release_view,
+        });
+        let index = st.loc(loc).stores.len() - 1;
+        st.threads[*id].view.raise(loc, index);
+        let name = st.loc(loc).name.clone();
+        st.trace_op(*id, &format!("{what} store {name} <- {value} ({order:?})"));
+    });
+}
+
+fn model_rmw(
+    c: &Ctx,
+    key: usize,
+    initial: u64,
+    order: Ordering,
+    what: &str,
+    f: impl FnOnce(u64) -> Option<u64>,
+) -> u64 {
+    let Ctx { exec, id } = c;
+    exec.step(*id, |st| {
+        let loc = st.location(key, initial);
+        let index = st.loc(loc).stores.len() - 1;
+        let prev = st.loc(loc).stores[index].clone();
+        st.threads[*id].view.raise(loc, index);
+        if acquires(order) {
+            if let Some(view) = &prev.release_view {
+                st.threads[*id].view.join(view);
+            }
+        }
+        let written = f(prev.value);
+        if let Some(new) = written {
+            // Release sequence: an RMW extends the sequence headed by the
+            // store it replaces, so its release view is the join of the
+            // previous store's view and (if this RMW releases) ours.
+            let mut release_view = prev.release_view.clone();
+            if releases(order) {
+                let mine = st.threads[*id].view.clone();
+                match &mut release_view {
+                    Some(view) => view.join(&mine),
+                    None => release_view = Some(mine),
+                }
+            }
+            st.loc_mut(loc).stores.push(super::exec::Store {
+                value: new,
+                release_view,
+            });
+            let new_index = st.loc(loc).stores.len() - 1;
+            st.threads[*id].view.raise(loc, new_index);
+            let name = st.loc(loc).name.clone();
+            st.trace_op(
+                *id,
+                &format!("{what} rmw {name} {} -> {new} ({order:?})", prev.value),
+            );
+        } else {
+            let name = st.loc(loc).name.clone();
+            st.trace_op(
+                *id,
+                &format!(
+                    "{what} rmw {name} read {} (no write, {order:?})",
+                    prev.value
+                ),
+            );
+        }
+        prev.value
+    })
+}
+
+/// Declares one shim atomic type wrapping `$real` with value type `$ty`,
+/// converting through `u64` for the model core.
+macro_rules! shim_atomic {
+    ($name:ident, $real:path, $ty:ty, $to:expr, $from:expr, $label:literal) => {
+        /// Scheduler-backed shim for the std atomic of the same name.  See
+        /// the module docs for the modelled semantics; outside a checker run
+        /// every method delegates to the wrapped std atomic.
+        #[derive(Debug)]
+        pub struct $name {
+            real: $real,
+        }
+
+        impl $name {
+            #[must_use]
+            pub const fn new(value: $ty) -> Self {
+                Self {
+                    real: <$real>::new(value),
+                }
+            }
+
+            fn key(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// The location's initial store: whatever the wrapped atomic
+            /// held when the model first touched it.
+            fn initial(&self) -> u64 {
+                ($to)(self.real.load(Ordering::Relaxed))
+            }
+
+            /// Mirrors the newest model value into the wrapped atomic so
+            /// post-run fallback accesses stay coherent.
+            fn mirror(&self, value: u64) {
+                self.real.store(($from)(value), Ordering::Relaxed);
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                match ctx() {
+                    Some(c) => ($from)(model_load(&c, self.key(), self.initial(), order, $label)),
+                    None => self.real.load(order),
+                }
+            }
+
+            pub fn store(&self, value: $ty, order: Ordering) {
+                match ctx() {
+                    Some(c) => {
+                        model_store(&c, self.key(), self.initial(), ($to)(value), order, $label);
+                        self.mirror(($to)(value));
+                    }
+                    None => self.real.store(value, order),
+                }
+            }
+
+            fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> Option<u64>) -> $ty {
+                let c = ctx().expect("rmw caller checked for a context");
+                let mut mirrored = None;
+                let prev = model_rmw(&c, self.key(), self.initial(), order, $label, |value| {
+                    let written = f(value);
+                    mirrored = written;
+                    written
+                });
+                if let Some(new) = mirrored {
+                    self.mirror(new);
+                }
+                ($from)(prev)
+            }
+
+            pub fn fetch_add(&self, delta: $ty, order: Ordering) -> $ty {
+                match ctx() {
+                    Some(_) => self.rmw(order, |value| {
+                        Some(($to)(($from)(value).wrapping_add(delta)))
+                    }),
+                    None => self.real.fetch_add(delta, order),
+                }
+            }
+
+            pub fn fetch_min(&self, other: $ty, order: Ordering) -> $ty {
+                match ctx() {
+                    Some(_) => self.rmw(order, |value| {
+                        let prev = ($from)(value);
+                        Some(($to)(if other < prev { other } else { prev }))
+                    }),
+                    None => self.real.fetch_min(other, order),
+                }
+            }
+
+            pub fn fetch_max(&self, other: $ty, order: Ordering) -> $ty {
+                match ctx() {
+                    Some(_) => self.rmw(order, |value| {
+                        let prev = ($from)(value);
+                        Some(($to)(if other > prev { other } else { prev }))
+                    }),
+                    None => self.real.fetch_max(other, order),
+                }
+            }
+
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                match ctx() {
+                    Some(_) => self.rmw(order, |_| Some(($to)(value))),
+                    None => self.real.swap(value, order),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                check_load_order(failure);
+                match ctx() {
+                    Some(_) => {
+                        // Failure uses the success ordering's step here; a
+                        // failed CAS still reads the newest store (it is an
+                        // RMW that writes nothing), which is stronger than
+                        // `failure` allows but sound (more synchronization,
+                        // never less visibility than the code relies on).
+                        let prev = self.rmw(success, |value| {
+                            (($from)(value) == current).then(|| ($to)(new))
+                        });
+                        if prev == current {
+                            Ok(prev)
+                        } else {
+                            Err(prev)
+                        }
+                    }
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                // The model never fails spuriously; weak == strong here.
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$ty>::default())
+            }
+        }
+    };
+}
+
+shim_atomic!(
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64,
+    |v: u64| v,
+    |v: u64| v,
+    "u64"
+);
+
+shim_atomic!(
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize,
+    |v: usize| v as u64,
+    |v: u64| usize::try_from(v).expect("model value fits usize"),
+    "usize"
+);
+
+/// Scheduler-backed shim for `std::sync::atomic::AtomicBool`.  Bools only
+/// need load/store/swap in this workspace.
+#[derive(Debug)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    #[must_use]
+    pub const fn new(value: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn initial(&self) -> u64 {
+        u64::from(self.real.load(Ordering::Relaxed))
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        match ctx() {
+            Some(c) => model_load(&c, self.key(), self.initial(), order, "bool") != 0,
+            None => self.real.load(order),
+        }
+    }
+
+    pub fn store(&self, value: bool, order: Ordering) {
+        match ctx() {
+            Some(c) => {
+                model_store(
+                    &c,
+                    self.key(),
+                    self.initial(),
+                    u64::from(value),
+                    order,
+                    "bool",
+                );
+                self.real.store(value, Ordering::Relaxed);
+            }
+            None => self.real.store(value, order),
+        }
+    }
+
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        match ctx() {
+            Some(c) => {
+                let prev = model_rmw(&c, self.key(), self.initial(), order, "bool", |_| {
+                    Some(u64::from(value))
+                });
+                self.real.store(value, Ordering::Relaxed);
+                prev != 0
+            }
+            None => self.real.swap(value, order),
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}

@@ -1,0 +1,357 @@
+//! The model-check driver: schedule exploration, violation reporting,
+//! replay.
+//!
+//! A [`Checker`] re-runs a test closure once per schedule.  Each run is one
+//! [`Execution`](super::exec::Execution): every nondeterministic decision
+//! (which thread steps next, which store a load reads) is recorded as a
+//! choice, and the DFS driver enumerates schedules by backtracking over the
+//! recorded choice log — flip the deepest choice that still has untried
+//! alternatives within the preemption bound, keep everything before it as a
+//! forced prefix, rerun.  The seeded random-walk strategy instead samples
+//! schedules uniformly at each choice point, for miniatures whose bounded
+//! DFS space is too large.
+//!
+//! A violation (assertion failure, deadlock, step-budget blowout) aborts
+//! the execution and is reported with the interleaving trace plus the
+//! choice sequence as a comma-joined schedule string; exporting it as
+//! `CRN_SYNC_SCHEDULE` makes the next `check` run exactly that schedule,
+//! and [`Checker::replay`] does the same in-process.  DESIGN.md §
+//! "Concurrency model" walks through the workflow.
+
+use super::exec::{
+    ctx, has_ctx, is_abort_payload, payload_message, set_ctx, Choice, Ctx, Execution, Mode,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Silences the default panic hook for panics that the checker itself
+/// catches and reports: the abort sentinel (threads being unwound after a
+/// violation elsewhere) and any panic raised on a thread inside a
+/// model-checked execution (its message reaches the user through the
+/// rendered [`ViolationReport`] instead).  Installed once per process, on
+/// first exploration; panics outside model checks still print normally.
+fn install_panic_silencer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if is_abort_payload(info.payload()) || has_ctx() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// How [`Checker::check`] explores the schedule space.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy {
+    /// Exhaustive DFS over schedule prefixes, bounded by the preemption
+    /// budget — complete for the bound: if no violation is reported, no
+    /// schedule with that many preemptions can produce one.
+    Dfs,
+    /// `executions` runs with seeded pseudo-random choices — a sampler for
+    /// spaces too large to exhaust; never reports completeness.
+    Random { seed: u64, executions: usize },
+}
+
+/// Summary of a completed (violation-free) exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub executions: usize,
+    /// `true` when exploration stopped at `max_executions` rather than
+    /// exhausting the bounded space — the result is then a sample, not a
+    /// proof.
+    pub truncated: bool,
+}
+
+/// A found violation, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct ViolationReport {
+    /// The failing assertion / deadlock description.
+    pub message: String,
+    /// Comma-joined choice sequence; feed to [`Checker::replay`] or export
+    /// as `CRN_SYNC_SCHEDULE` to re-run exactly this interleaving.
+    pub schedule: String,
+    /// Human-readable interleaving: one line per visible operation.
+    pub trace: Vec<String>,
+    /// Schedules executed before this one failed.
+    pub executions: usize,
+}
+
+impl ViolationReport {
+    /// The report as `check` renders it when panicking.
+    #[must_use]
+    pub fn render(&self, name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("crn-sync model check failed: {name}\n"));
+        out.push_str(&format!("violation: {}\n", self.message));
+        out.push_str(&format!(
+            "schedule:  {}   (export CRN_SYNC_SCHEDULE to replay)\n",
+            if self.schedule.is_empty() {
+                "<empty — fails on the default schedule>"
+            } else {
+                &self.schedule
+            }
+        ));
+        out.push_str(&format!(
+            "explored {} execution(s) before failing\ntrace:\n",
+            self.executions
+        ));
+        for line in &self.trace {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Drives a test closure through many schedules.  See the crate docs for
+/// the overall workflow and `tests/model.rs` for the workspace's invariant
+/// suites.
+#[derive(Debug, Clone, Copy)]
+pub struct Checker {
+    preemption_bound: usize,
+    max_executions: usize,
+    strategy: Strategy,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            // Two preemptions expose the overwhelming majority of real
+            // concurrency bugs (the CHESS observation) while keeping 2–3
+            // thread miniatures in the thousands of schedules.
+            preemption_bound: 2,
+            max_executions: 100_000,
+            strategy: Strategy::Dfs,
+        }
+    }
+}
+
+impl Checker {
+    #[must_use]
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Maximum context switches away from the default schedule per
+    /// execution (forced switches — blocking, exits — are free).
+    #[must_use]
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Hard cap on executed schedules; hitting it marks the report
+    /// truncated instead of running forever.
+    #[must_use]
+    pub fn max_executions(mut self, max: usize) -> Self {
+        self.max_executions = max;
+        self
+    }
+
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Explores `f` under the configured strategy; panics with a rendered
+    /// [`ViolationReport`] on the first violating schedule.  When the
+    /// `CRN_SYNC_SCHEDULE` environment variable is set, runs exactly that
+    /// schedule instead (the replay workflow).
+    pub fn check(&self, name: &str, f: impl Fn()) -> Report {
+        match self.explore(&f) {
+            Ok(report) => report,
+            Err(violation) => panic!("{}", violation.render(name)),
+        }
+    }
+
+    /// Explores `f` expecting a violation — the harness for negative tests
+    /// that prove the checker catches a seeded bug.  Panics if the bounded
+    /// exploration completes without one.
+    pub fn check_violation(&self, name: &str, f: impl Fn()) -> ViolationReport {
+        match self.explore(&f) {
+            Ok(report) => panic!(
+                "{name}: expected a violation, but {} execution(s) passed (truncated: {})",
+                report.executions, report.truncated
+            ),
+            Err(violation) => violation,
+        }
+    }
+
+    /// Runs exactly one schedule (a [`ViolationReport::schedule`] string),
+    /// returning the violation it reproduces, if any.
+    pub fn replay(schedule: &str, f: impl Fn()) -> Option<ViolationReport> {
+        let prefix = parse_schedule(schedule);
+        let outcome = run_once(prefix, Mode::Dfs, &f);
+        outcome.into_violation(1)
+    }
+
+    fn explore(&self, f: &impl Fn()) -> Result<Report, ViolationReport> {
+        assert!(
+            ctx().is_none(),
+            "Checker::check cannot run inside another model-checked execution"
+        );
+        install_panic_silencer();
+        if let Ok(schedule) = std::env::var("CRN_SYNC_SCHEDULE") {
+            let outcome = run_once(parse_schedule(&schedule), Mode::Dfs, f);
+            return match outcome.into_violation(1) {
+                Some(violation) => Err(violation),
+                None => Ok(Report {
+                    executions: 1,
+                    truncated: true,
+                }),
+            };
+        }
+        match self.strategy {
+            Strategy::Dfs => self.explore_dfs(f),
+            Strategy::Random { seed, executions } => self.explore_random(f, seed, executions),
+        }
+    }
+
+    fn explore_dfs(&self, f: &impl Fn()) -> Result<Report, ViolationReport> {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            let outcome = run_once(prefix.clone(), Mode::Dfs, f);
+            executions += 1;
+            if let Some(violation) = outcome.violation_report(executions) {
+                return Err(violation);
+            }
+            if executions >= self.max_executions {
+                return Ok(Report {
+                    executions,
+                    truncated: true,
+                });
+            }
+            match next_prefix(&outcome.choices, self.preemption_bound) {
+                Some(next) => prefix = next,
+                None => {
+                    return Ok(Report {
+                        executions,
+                        truncated: false,
+                    })
+                }
+            }
+        }
+    }
+
+    fn explore_random(
+        &self,
+        f: &impl Fn(),
+        seed: u64,
+        executions: usize,
+    ) -> Result<Report, ViolationReport> {
+        for i in 0..executions {
+            let run_seed = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let outcome = run_once(Vec::new(), Mode::Random(run_seed), f);
+            if let Some(violation) = outcome.into_violation(i + 1) {
+                return Err(violation);
+            }
+        }
+        Ok(Report {
+            executions,
+            truncated: true,
+        })
+    }
+}
+
+/// What one execution produced.
+struct Outcome {
+    choices: Vec<Choice>,
+    violation: Option<super::exec::Violation>,
+    trace: Vec<String>,
+}
+
+impl Outcome {
+    fn into_violation(self, executions: usize) -> Option<ViolationReport> {
+        let violation = self.violation?;
+        Some(ViolationReport {
+            message: format!("(thread t{}) {}", violation.thread, violation.message),
+            schedule: render_schedule(&self.choices),
+            trace: self.trace,
+            executions,
+        })
+    }
+
+    fn violation_report(&self, executions: usize) -> Option<ViolationReport> {
+        let violation = self.violation.as_ref()?;
+        Some(ViolationReport {
+            message: format!("(thread t{}) {}", violation.thread, violation.message),
+            schedule: render_schedule(&self.choices),
+            trace: self.trace.clone(),
+            executions,
+        })
+    }
+}
+
+/// Runs `f` once as thread 0 of a fresh execution with the given forced
+/// choice prefix.
+fn run_once(prefix: Vec<usize>, mode: Mode, f: &impl Fn()) -> Outcome {
+    let exec = Arc::new(Execution::new(prefix, mode));
+    set_ctx(Some(Ctx {
+        exec: exec.clone(),
+        id: 0,
+    }));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    set_ctx(None);
+    match result {
+        Ok(()) => exec.exit(0),
+        Err(payload) => {
+            if is_abort_payload(&*payload) {
+                exec.finish_quiet(0);
+            } else {
+                exec.report_panic(0, payload_message(&*payload));
+            }
+        }
+    }
+    let (choices, violation, trace, _preemptions) = exec.take_outcome();
+    Outcome {
+        choices,
+        violation,
+        trace,
+    }
+}
+
+/// The DFS backtracking step: keep the longest prefix whose deepest choice
+/// still has an untried alternative affordable within the preemption bound.
+/// Alternative 0 is the free default; flipping an unforced choice to a
+/// non-zero alternative costs one preemption on top of those already spent
+/// before it.
+fn next_prefix(choices: &[Choice], preemption_bound: usize) -> Option<Vec<usize>> {
+    for depth in (0..choices.len()).rev() {
+        let choice = &choices[depth];
+        let flip_cost = usize::from(!choice.forced);
+        let next = choice.taken + 1;
+        if next < choice.alternatives && choice.preemptions_before + flip_cost <= preemption_bound {
+            let mut prefix: Vec<usize> = choices[..depth].iter().map(|c| c.taken).collect();
+            prefix.push(next);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+fn render_schedule(choices: &[Choice]) -> String {
+    choices
+        .iter()
+        .map(|c| c.taken.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_schedule(schedule: &str) -> Vec<usize> {
+    schedule
+        .split(',')
+        .filter(|part| !part.trim().is_empty())
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .expect("CRN_SYNC_SCHEDULE entries must be non-negative integers")
+        })
+        .collect()
+}

@@ -1,0 +1,549 @@
+//! One model-checked execution: scheduler state and the baton protocol.
+//!
+//! Model threads are real OS threads, but exactly one runs at a time: every
+//! visible operation (atomic access, mutex acquire/release, spawn, join,
+//! thread exit) is a [`Execution::step_opt`] that waits for the baton,
+//! applies its effect to the shared [`ExecState`] under one lock, asks the
+//! chooser which thread runs next, and passes the baton on.  All
+//! nondeterminism — which runnable thread steps next, and which store a
+//! relaxed load reads — flows through [`ExecState::choose`], so a recorded
+//! choice sequence replays an execution exactly.
+//!
+//! # Memory model
+//!
+//! Each atomic location keeps its full modification order (the list of
+//! stores, in execution order), and each thread carries a *view*: for every
+//! location, the index of the newest store known to happen-before the
+//! thread's next operation.  A load may read any store at or after its
+//! view's floor (a nondeterministic choice); reading a `Release` store with
+//! an `Acquire` load joins the writer's released view into the reader's,
+//! which is exactly the edge that makes `Acquire` stronger than `Relaxed`
+//! here.  Read-modify-writes always read the newest store (atomicity) and
+//! continue release sequences by inheriting the released view of the store
+//! they replace.  `SeqCst` is approximated as `AcqRel` plus reading only the
+//! newest store — sound for this workspace, which uses no `SeqCst`
+//! (documented in DESIGN.md).  Spawn, join, and mutex hand-over edges join
+//! views in the same way, matching their std synchronization guarantees.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Index of a model thread in the execution's thread table.
+pub(crate) type ThreadId = usize;
+
+/// Identity of an atomic location or mutex: the shim object's address.
+pub(crate) type LocKey = usize;
+
+/// The panic payload used to unwind model threads when an execution aborts
+/// (violation found or deadlock); the spawn wrappers and the checker swallow
+/// it rather than reporting it as a test panic.
+pub(crate) const ABORT_PAYLOAD: &str = "crn-sync: execution aborted";
+
+/// Whether a caught panic payload is the abort sentinel.
+pub(crate) fn is_abort_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<&str>()
+        .is_some_and(|s| *s == ABORT_PAYLOAD)
+}
+
+/// Renders a panic payload for the violation report.
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Whether `order` has acquire semantics on a load / RMW.
+pub(crate) fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Whether `order` has release semantics on a store / RMW.
+pub(crate) fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// A thread's knowledge of the store histories: for each location, the index
+/// of the newest store known to happen-before the thread's next op.  Loads
+/// may not read anything older.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct View {
+    floors: HashMap<LocKey, usize>,
+}
+
+impl View {
+    pub(crate) fn floor(&self, loc: LocKey) -> usize {
+        self.floors.get(&loc).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn raise(&mut self, loc: LocKey, index: usize) {
+        let slot = self.floors.entry(loc).or_insert(0);
+        if *slot < index {
+            *slot = index;
+        }
+    }
+
+    /// Pointwise max — the happens-before join.
+    pub(crate) fn join(&mut self, other: &View) {
+        for (&loc, &index) in &other.floors {
+            self.raise(loc, index);
+        }
+    }
+}
+
+/// One store in a location's modification order.
+#[derive(Debug, Clone)]
+pub(crate) struct Store {
+    pub(crate) value: u64,
+    /// The view an `Acquire` reader of this store joins: `Some` for release
+    /// stores, and carried forward through RMWs (release sequences).  `None`
+    /// for plain relaxed stores — reading one synchronizes nothing.
+    pub(crate) release_view: Option<View>,
+}
+
+/// One atomic location: its modification order and display name.
+#[derive(Debug)]
+pub(crate) struct Location {
+    pub(crate) name: String,
+    pub(crate) stores: Vec<Store>,
+}
+
+/// One shim mutex: the model-side holder/waiter bookkeeping.  The released
+/// view of the last unlock is joined by the next locker — critical sections
+/// are totally ordered, so this models the full acquire/release pairing.
+#[derive(Debug, Default)]
+pub(crate) struct MutexState {
+    pub(crate) name: String,
+    pub(crate) holder: Option<ThreadId>,
+    pub(crate) poisoned: bool,
+    pub(crate) unlock_view: Option<View>,
+}
+
+/// Why a thread cannot currently be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting for the mutex with this key to be released.
+    Mutex(LocKey),
+    /// Waiting for this thread to finish.
+    Join(ThreadId),
+}
+
+/// A model thread's scheduler state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug)]
+pub(crate) struct ThreadInfo {
+    pub(crate) run: Run,
+    pub(crate) view: View,
+}
+
+/// One recorded nondeterministic decision.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    /// Number of alternatives that were available.
+    pub(crate) alternatives: usize,
+    /// The alternative taken (0 is always the default: continue the current
+    /// thread for schedule choices, the newest store for load choices).
+    pub(crate) taken: usize,
+    /// `true` when alternative 0 is not "continue the current thread" — the
+    /// current thread blocked or finished (forced switch), or this is a
+    /// load-value choice.  Non-zero alternatives of such choices cost no
+    /// preemption.
+    pub(crate) forced: bool,
+    /// Preemptions accumulated strictly before this choice, so the DFS
+    /// driver can tell whether flipping it stays within the bound.
+    pub(crate) preemptions_before: usize,
+}
+
+/// How the chooser resolves decisions past the forced prefix.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Mode {
+    /// Take alternative 0 (the DFS driver supplies ever-longer prefixes).
+    Dfs,
+    /// Seeded uniform choice (random-walk strategy).
+    Random(u64),
+}
+
+/// The shared state of one execution.
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadInfo>,
+    /// The thread holding the baton (`usize::MAX` once all have finished).
+    pub(crate) active: ThreadId,
+    pub(crate) abort: bool,
+    pub(crate) violation: Option<Violation>,
+    locations: Vec<Location>,
+    location_index: HashMap<LocKey, usize>,
+    mutexes: Vec<MutexState>,
+    mutex_index: HashMap<LocKey, usize>,
+    pub(crate) choices: Vec<Choice>,
+    /// Forced decisions (a DFS prefix or a replayed schedule).
+    prefix: Vec<usize>,
+    mode: Mode,
+    pub(crate) preemptions: usize,
+    pub(crate) steps: u64,
+    pub(crate) trace: Vec<String>,
+}
+
+/// A property failure found during an execution.
+#[derive(Debug, Clone)]
+pub(crate) struct Violation {
+    pub(crate) thread: ThreadId,
+    pub(crate) message: String,
+}
+
+/// Hard per-execution step budget: a miniature that exceeds this is looping,
+/// not exploring.
+const STEP_BUDGET: u64 = 1_000_000;
+
+impl ExecState {
+    fn new(prefix: Vec<usize>, mode: Mode) -> Self {
+        ExecState {
+            threads: vec![ThreadInfo {
+                run: Run::Runnable,
+                view: View::default(),
+            }],
+            active: 0,
+            abort: false,
+            violation: None,
+            locations: Vec::new(),
+            location_index: HashMap::new(),
+            mutexes: Vec::new(),
+            mutex_index: HashMap::new(),
+            choices: Vec::new(),
+            prefix,
+            mode,
+            preemptions: 0,
+            steps: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The location for `key`, registered on first touch with `initial` as
+    /// its initial store (visible to every thread).
+    pub(crate) fn location(&mut self, key: LocKey, initial: u64) -> usize {
+        if let Some(&index) = self.location_index.get(&key) {
+            return index;
+        }
+        let index = self.locations.len();
+        self.locations.push(Location {
+            name: format!("a{index}"),
+            stores: vec![Store {
+                value: initial,
+                release_view: None,
+            }],
+        });
+        self.location_index.insert(key, index);
+        index
+    }
+
+    pub(crate) fn loc(&self, index: usize) -> &Location {
+        &self.locations[index]
+    }
+
+    pub(crate) fn loc_mut(&mut self, index: usize) -> &mut Location {
+        &mut self.locations[index]
+    }
+
+    /// The mutex state for `key`, registered on first touch.
+    pub(crate) fn mutex(&mut self, key: LocKey) -> usize {
+        if let Some(&index) = self.mutex_index.get(&key) {
+            return index;
+        }
+        let index = self.mutexes.len();
+        self.mutexes.push(MutexState {
+            name: format!("m{index}"),
+            ..MutexState::default()
+        });
+        self.mutex_index.insert(key, index);
+        index
+    }
+
+    pub(crate) fn mx(&self, index: usize) -> &MutexState {
+        &self.mutexes[index]
+    }
+
+    pub(crate) fn mx_mut(&mut self, index: usize) -> &mut MutexState {
+        &mut self.mutexes[index]
+    }
+
+    /// Appends one trace line for thread `t`.
+    pub(crate) fn trace_op(&mut self, t: ThreadId, desc: &str) {
+        self.trace.push(format!("t{t}  {desc}"));
+    }
+
+    /// Resolves one nondeterministic decision with `n` alternatives.
+    /// Decisions with a single alternative are not recorded (there is
+    /// nothing to explore), which keeps prefixes aligned across runs.
+    pub(crate) fn choose(&mut self, n: usize, forced: bool) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let depth = self.choices.len();
+        let taken = if depth < self.prefix.len() {
+            let forced_choice = self.prefix[depth];
+            assert!(
+                forced_choice < n,
+                "schedule prefix does not replay: choice {depth} wants alternative \
+                 {forced_choice} of {n} — the checked closure must be deterministic"
+            );
+            forced_choice
+        } else {
+            match &mut self.mode {
+                Mode::Dfs => 0,
+                Mode::Random(state) => {
+                    // SplitMix64 step; uniform-enough for schedule sampling.
+                    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = *state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    usize::try_from((z ^ (z >> 31)) % n as u64).expect("n fits usize")
+                }
+            }
+        };
+        self.choices.push(Choice {
+            alternatives: n,
+            taken,
+            forced,
+            preemptions_before: self.preemptions,
+        });
+        taken
+    }
+
+    /// Records a violation and puts the execution into abort mode (idempotent
+    /// for the message: the first violation wins).
+    pub(crate) fn record_violation(&mut self, thread: ThreadId, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation { thread, message });
+        }
+        self.abort = true;
+    }
+
+    /// Marks every thread blocked on `block` runnable again.
+    pub(crate) fn wake(&mut self, block: Block) {
+        for info in &mut self.threads {
+            if info.run == Run::Blocked(block) {
+                info.run = Run::Runnable;
+            }
+        }
+    }
+}
+
+/// One execution's shared state plus the baton condvar.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    baton: Condvar,
+}
+
+impl Execution {
+    pub(crate) fn new(prefix: Vec<usize>, mode: Mode) -> Self {
+        Execution {
+            state: Mutex::new(ExecState::new(prefix, mode)),
+            baton: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs `op` as one visible step of thread `me`: waits for the baton,
+    /// applies `op` under the state lock, schedules the next thread, and
+    /// passes the baton.  Returns `None` when the execution aborted (the
+    /// caller unwinds with the abort sentinel, or ignores it in drops).
+    pub(crate) fn step_opt<R>(
+        &self,
+        me: ThreadId,
+        op: impl FnOnce(&mut ExecState) -> R,
+    ) -> Option<R> {
+        let mut st = self.lock();
+        while !st.abort && st.active != me {
+            st = self.baton.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.abort {
+            drop(st);
+            self.baton.notify_all();
+            return None;
+        }
+        st.steps += 1;
+        if st.steps > STEP_BUDGET {
+            st.record_violation(
+                me,
+                format!("step budget ({STEP_BUDGET}) exceeded — non-terminating schedule?"),
+            );
+            drop(st);
+            self.baton.notify_all();
+            return None;
+        }
+        let result = op(&mut st);
+        self.schedule_next(&mut st, me);
+        let aborted = st.abort;
+        drop(st);
+        self.baton.notify_all();
+        if aborted {
+            None
+        } else {
+            Some(result)
+        }
+    }
+
+    /// Like [`Execution::step_opt`] but panics with the abort sentinel when
+    /// the execution is over — the default for operations in normal control
+    /// flow (drop-path operations use `step_opt` and swallow the `None`).
+    pub(crate) fn step<R>(&self, me: ThreadId, op: impl FnOnce(&mut ExecState) -> R) -> R {
+        match self.step_opt(me, op) {
+            Some(result) => result,
+            None => panic!("{ABORT_PAYLOAD}"),
+        }
+    }
+
+    /// Picks the next thread to hold the baton.  The alternatives are
+    /// ordered "continue current thread first, then runnable threads by
+    /// ascending id", so alternative 0 never costs a preemption.
+    fn schedule_next(&self, st: &mut ExecState, me: ThreadId) {
+        if st.abort {
+            return;
+        }
+        let me_runnable = st.threads[me].run == Run::Runnable;
+        let mut order: Vec<ThreadId> = Vec::with_capacity(st.threads.len());
+        if me_runnable {
+            order.push(me);
+        }
+        for (t, info) in st.threads.iter().enumerate() {
+            if info.run == Run::Runnable && t != me {
+                order.push(t);
+            }
+        }
+        if order.is_empty() {
+            if st.threads.iter().any(|t| matches!(t.run, Run::Blocked(_))) {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, info)| match info.run {
+                        Run::Blocked(b) => Some(format!("t{t} on {b:?}")),
+                        _ => None,
+                    })
+                    .collect();
+                st.record_violation(me, format!("deadlock: {}", blocked.join(", ")));
+            } else {
+                // Everything finished; nobody waits on the baton.
+                st.active = usize::MAX;
+            }
+            return;
+        }
+        let index = st.choose(order.len(), !me_runnable);
+        let chosen = order[index];
+        if me_runnable && chosen != me {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+    }
+
+    /// Marks `me` finished as a scheduled step (the thread's exit event),
+    /// waking its joiners.  Joiners synchronize with the exiting thread's
+    /// final view when their join completes.
+    pub(crate) fn exit(&self, me: ThreadId) {
+        let _ = self.step_opt(me, |st| {
+            st.threads[me].run = Run::Finished;
+            st.wake(Block::Join(me));
+            st.trace_op(me, "exit");
+        });
+    }
+
+    /// Marks `me` finished without scheduling — the abort path, where the
+    /// baton protocol is already torn down.
+    pub(crate) fn finish_quiet(&self, me: ThreadId) {
+        let mut st = self.lock();
+        st.threads[me].run = Run::Finished;
+        drop(st);
+        self.baton.notify_all();
+    }
+
+    /// Records a violation raised by thread `me` (a caught user panic) and
+    /// aborts the execution.
+    pub(crate) fn report_panic(&self, me: ThreadId, message: String) {
+        let mut st = self.lock();
+        st.trace_op(me, &format!("panic: {message}"));
+        st.record_violation(me, message);
+        st.threads[me].run = Run::Finished;
+        drop(st);
+        self.baton.notify_all();
+    }
+
+    /// Registers a new model thread whose view starts from `parent`'s (the
+    /// spawn edge synchronizes), returning its id.  Must be called as part
+    /// of a step by `parent`.
+    pub(crate) fn register_thread(st: &mut ExecState, parent: ThreadId) -> ThreadId {
+        let tid = st.threads.len();
+        let view = st.threads[parent].view.clone();
+        st.threads.push(ThreadInfo {
+            run: Run::Runnable,
+            view,
+        });
+        tid
+    }
+
+    /// Drains the execution's outcome after the closure returned or
+    /// unwound: `(choices, violation, trace, preemptions)`.
+    pub(crate) fn take_outcome(&self) -> (Vec<Choice>, Option<Violation>, Vec<String>, usize) {
+        let mut st = self.lock();
+        (
+            std::mem::take(&mut st.choices),
+            st.violation.take(),
+            std::mem::take(&mut st.trace),
+            st.preemptions,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local execution context.
+// ---------------------------------------------------------------------------
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A thread's binding to the execution it participates in.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) id: ThreadId,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's execution context, if it is part of a model check.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CTX.with(|slot| slot.borrow().clone())
+}
+
+/// Whether the calling thread is inside a model-checked execution.  Safe to
+/// call from a panic hook: uses `try_with` so a thread whose TLS is already
+/// torn down reads as "not in a model check".
+pub(crate) fn has_ctx() -> bool {
+    CTX.try_with(|slot| slot.borrow().is_some())
+        .unwrap_or(false)
+}
+
+/// Binds (or clears) the calling thread's execution context.
+pub(crate) fn set_ctx(new: Option<Ctx>) {
+    CTX.with(|slot| *slot.borrow_mut() = new);
+}

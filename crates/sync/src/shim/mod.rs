@@ -1,0 +1,19 @@
+//! The model-checking shim layer (only built under `--cfg crn_model_check`).
+//!
+//! * [`exec`] — one execution's scheduler state: thread table, per-location
+//!   store histories, choice log, trace, and the cooperative baton protocol.
+//! * [`checker`] — the driver: DFS over schedule prefixes with a preemption
+//!   bound, seeded random walk, violation reporting and schedule replay.
+//! * [`atomic`] / [`mutex`] / [`thread`] — the shim types the facade exports
+//!   in place of `std::sync` / `std::thread`.
+//!
+//! Shim operations executed *outside* a checker run (no thread-local
+//! execution context) fall back to the underlying std primitive, so code
+//! compiled with the cfg still behaves normally when it is not being model
+//! checked.
+
+pub(crate) mod atomic;
+pub(crate) mod checker;
+pub(crate) mod exec;
+pub(crate) mod mutex;
+pub(crate) mod thread;

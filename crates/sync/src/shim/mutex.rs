@@ -1,0 +1,170 @@
+//! Scheduler-backed `Mutex`/`MutexGuard` shims.
+//!
+//! Inside a checker run, acquiring the lock is a scheduled step: if the
+//! model lock is held, the thread parks as `Blocked(Mutex(key))` and is
+//! rescheduled only after an unlock wakes it, so lock contention is part of
+//! the explored interleaving space and lock-order deadlocks are detected as
+//! violations.  The model synchronization edge — the next locker joins the
+//! last unlocker's view — mirrors the release/acquire pairing a real mutex
+//! provides.
+//!
+//! The shim wraps a real `std::sync::Mutex` for the data itself; inside a
+//! run the real lock is uncontended by construction (the model admits one
+//! holder at a time), and outside a run the shim degrades to exactly the
+//! std behavior.  The guard releases the *real* lock before taking the
+//! model unlock step, so an aborting execution can never strand the real
+//! lock behind a parked model thread.
+//!
+//! Poisoning: the model tracks its own poison bit (set when a guard is
+//! dropped during a non-abort panic, observed via `std::thread::panicking`)
+//! and surfaces it through [`Mutex::lock`]'s `LockResult` exactly like std,
+//! so `lock_recover` exercises the same policy under the checker.
+
+use super::exec::{ctx, Block, Ctx, Run};
+use std::sync::{LockResult, PoisonError};
+
+/// Scheduler-backed shim for `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    real: std::sync::Mutex<T>,
+}
+
+/// Guard returned by the shim [`Mutex`]: wraps the real guard and replays
+/// the unlock as a model step on drop.
+pub struct MutexGuard<'a, T> {
+    /// `Some` until dropped; released *before* the model unlock step.
+    real: Option<std::sync::MutexGuard<'a, T>>,
+    /// `Some` when the lock was taken inside a checker run.
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    #[must_use]
+    pub const fn new(data: T) -> Self {
+        Self {
+            real: std::sync::Mutex::new(data),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some(c) = ctx() else {
+            // Outside a checker run: plain std behavior.
+            return match self.real.lock() {
+                Ok(real) => Ok(MutexGuard {
+                    real: Some(real),
+                    model: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    real: Some(poisoned.into_inner()),
+                    model: None,
+                })),
+            };
+        };
+        let Ctx { exec, id } = &c;
+        let key = self.key();
+        // Acquire the model lock: retry as scheduled steps, parking while
+        // held.  Each retry only runs after an unlock woke us, so the loop
+        // is bounded by other threads' progress.
+        let poisoned = loop {
+            let acquired = exec.step(*id, |st| {
+                let mx = st.mutex(key);
+                if st.mx(mx).holder.is_none() {
+                    st.mx_mut(mx).holder = Some(*id);
+                    // The synchronization edge: joining the last unlocker's
+                    // view is what makes data written before an unlock
+                    // visible after the next lock.
+                    if let Some(view) = st.mx(mx).unlock_view.clone() {
+                        st.threads[*id].view.join(&view);
+                    }
+                    let name = st.mx(mx).name.clone();
+                    st.trace_op(*id, &format!("lock {name}"));
+                    Some(st.mx(mx).poisoned)
+                } else {
+                    st.threads[*id].run = Run::Blocked(Block::Mutex(key));
+                    None
+                }
+            });
+            if let Some(poisoned) = acquired {
+                break poisoned;
+            }
+        };
+        // The real lock is uncontended here: the model admits one holder at
+        // a time, and every model holder drops the real guard before the
+        // model unlock.  Recover the real poison bit — the *model* poison
+        // bit is authoritative under the checker.
+        let real = self.real.lock().unwrap_or_else(PoisonError::into_inner);
+        let guard = MutexGuard {
+            real: Some(real),
+            model: Some((c, key)),
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        match ctx() {
+            Some(Ctx { exec, id }) => {
+                let key = self.key();
+                exec.step(id, |st| {
+                    let mx = st.mutex(key);
+                    st.mx(mx).poisoned
+                })
+            }
+            None => self.real.is_poisoned(),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.real.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.real.get_mut()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.real.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().expect("guard not yet dropped")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so an aborted model step can never
+        // leave it held.
+        self.real = None;
+        if let Some((Ctx { exec, id }, key)) = self.model.take() {
+            let panicking = std::thread::panicking();
+            // `step_opt`, not `step`: unlocking during an abort unwind must
+            // not panic again (panic-in-panic aborts the process).
+            let _ = exec.step_opt(id, |st| {
+                let mx = st.mutex(key);
+                st.mx_mut(mx).holder = None;
+                st.mx_mut(mx).unlock_view = Some(st.threads[id].view.clone());
+                if panicking {
+                    st.mx_mut(mx).poisoned = true;
+                }
+                let name = st.mx(mx).name.clone();
+                let suffix = if panicking { " (poisoned)" } else { "" };
+                st.trace_op(id, &format!("unlock {name}{suffix}"));
+                st.wake(Block::Mutex(key));
+            });
+        }
+    }
+}

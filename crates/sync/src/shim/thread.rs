@@ -1,0 +1,198 @@
+//! Scheduler-backed `thread::scope` shim.
+//!
+//! Model threads are real scoped OS threads, but their execution order is
+//! owned by the scheduler: spawning registers the child in the execution
+//! (it inherits the parent's view — the spawn synchronization edge), the
+//! child's closure runs between baton handoffs, and joining blocks the
+//! joiner as a model step and then joins the child's final view (the join
+//! edge).  Handles that are never joined explicitly are model-joined when
+//! the scope closure returns, *before* `std::thread::scope`'s implicit real
+//! join — otherwise the real join would wait on a child that is parked
+//! waiting for the baton only the scope caller can relinquish.
+//!
+//! A panic anywhere becomes a violation: child panics are caught by the
+//! spawn wrapper and reported with the schedule trace; a panic in the scope
+//! closure itself is reported before unwinding into `std::thread::scope`,
+//! which puts the execution into abort mode so parked children drain
+//! instead of deadlocking the implicit join.
+
+use super::exec::{
+    ctx, is_abort_payload, payload_message, set_ctx, Block, Ctx, Execution, Run, ThreadId,
+    ABORT_PAYLOAD,
+};
+use std::cell::{Cell, RefCell};
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// Model-side bookkeeping of one scope: the execution the spawns belong to
+/// and which children still need a model join at scope end.
+struct ScopeModel {
+    ctx: Ctx,
+    children: RefCell<Vec<(ThreadId, Rc<Cell<bool>>)>>,
+}
+
+/// Scheduler-backed shim for `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    real: &'scope std::thread::Scope<'scope, 'env>,
+    model: Option<ScopeModel>,
+}
+
+/// Scheduler-backed shim for `std::thread::ScopedJoinHandle`.  The wrapped
+/// real handle yields `Option<T>`: `None` means the child's closure did not
+/// complete (the execution aborted), in which case the joiner unwinds with
+/// the abort sentinel instead of observing a value.
+pub struct ScopedJoinHandle<'scope, T> {
+    real: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    model: Option<(Ctx, ThreadId, Rc<Cell<bool>>)>,
+}
+
+/// Shim for `std::thread::scope`.  The extra `'a` rank (compared to std's
+/// `&'scope Scope<'scope, _>`) exists because the shim `Scope` is a local
+/// wrapper around std's; closure call sites infer it identically.
+pub fn scope<'env, T, F>(f: F) -> T
+where
+    F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> T,
+{
+    match ctx() {
+        None => std::thread::scope(|real| f(&Scope { real, model: None })),
+        Some(c) => std::thread::scope(|real| {
+            let shim = Scope {
+                real,
+                model: Some(ScopeModel {
+                    ctx: c.clone(),
+                    children: RefCell::new(Vec::new()),
+                }),
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&shim))) {
+                Ok(value) => {
+                    shim.join_remaining();
+                    value
+                }
+                Err(payload) => {
+                    // Put the execution into abort mode before std's
+                    // implicit join, so parked children drain.
+                    if !is_abort_payload(&*payload) {
+                        c.exec.report_panic(c.id, payload_message(&*payload));
+                    }
+                    resume_unwind(payload)
+                }
+            }
+        }),
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let Some(model) = &self.model else {
+            return ScopedJoinHandle {
+                real: self.real.spawn(move || Some(f())),
+                model: None,
+            };
+        };
+        let Ctx { exec, id } = &model.ctx;
+        let tid = exec.step(*id, |st| {
+            let tid = Execution::register_thread(st, *id);
+            st.trace_op(*id, &format!("spawn t{tid}"));
+            tid
+        });
+        let joined = Rc::new(Cell::new(false));
+        model.children.borrow_mut().push((tid, joined.clone()));
+        let child_exec = exec.clone();
+        let real = self.real.spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: child_exec.clone(),
+                id: tid,
+            }));
+            let result = catch_unwind(AssertUnwindSafe(f));
+            set_ctx(None);
+            match result {
+                Ok(value) => {
+                    child_exec.exit(tid);
+                    Some(value)
+                }
+                Err(payload) => {
+                    if is_abort_payload(&*payload) {
+                        child_exec.finish_quiet(tid);
+                    } else {
+                        child_exec.report_panic(tid, payload_message(&*payload));
+                    }
+                    None
+                }
+            }
+        });
+        ScopedJoinHandle {
+            real,
+            model: Some((model.ctx.clone(), tid, joined)),
+        }
+    }
+
+    /// Model-joins every child that was not joined through its handle, so
+    /// the scope-end implicit real join cannot park on the baton.
+    fn join_remaining(&self) {
+        let Some(model) = &self.model else {
+            return;
+        };
+        let children: Vec<(ThreadId, Rc<Cell<bool>>)> = model.children.borrow().clone();
+        for (tid, joined) in children {
+            if !joined.replace(true) {
+                model_join(&model.ctx, tid);
+            }
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.model {
+            None => self
+                .real
+                .join()
+                .map(|value| value.expect("non-model spawn wrapper always yields a value")),
+            Some((c, tid, joined)) => {
+                joined.set(true);
+                model_join(&c, tid);
+                match self.real.join() {
+                    Ok(Some(value)) => Ok(value),
+                    // The child did not complete: the execution aborted
+                    // (its violation is already recorded) — unwind quietly.
+                    _ => panic!("{ABORT_PAYLOAD}"),
+                }
+            }
+        }
+    }
+}
+
+/// Blocks thread `c.id` until `target` finishes, then joins its final view
+/// (the join synchronization edge: everything the child did happens-before
+/// the join's return).
+fn model_join(c: &Ctx, target: ThreadId) {
+    let Ctx { exec, id } = c;
+    loop {
+        let done = exec.step(*id, |st| {
+            if st.threads[target].run == Run::Finished {
+                let view = st.threads[target].view.clone();
+                st.threads[*id].view.join(&view);
+                st.trace_op(*id, &format!("join t{target}"));
+                true
+            } else {
+                st.threads[*id].run = Run::Blocked(Block::Join(target));
+                false
+            }
+        });
+        if done {
+            return;
+        }
+    }
+}
+
+/// Shim for `std::thread::available_parallelism`.  Under the checker this
+/// still reports the host's parallelism — miniatures pass explicit worker
+/// counts, and scheduling is baton-serialized regardless.
+pub fn available_parallelism() -> std::io::Result<NonZeroUsize> {
+    std::thread::available_parallelism()
+}

@@ -1,0 +1,147 @@
+//! Atomics-hygiene lint (satellite of E21): every crate in the workspace
+//! must reach atomics and threads through the `crn_sync` facade, never
+//! through `std`/`core` directly — otherwise the model checker silently
+//! loses sight of those operations and its exhaustive guarantees are void.
+//!
+//! This test walks the workspace's Rust sources (all `crates/*`, the
+//! umbrella `src/`, plus root `tests/` and `examples/`), strips comments,
+//! and fails listing `path:line` for every occurrence of a denied pattern
+//! outside the allowlist.  It runs in *normal* builds, so plain
+//! `cargo test` enforces the facade boundary; no nightly or external
+//! tooling involved.
+//!
+//! Allowlist: `crates/sync` itself (the facade's one legitimate home) and
+//! the vendored `vendor/` tree (third-party code, not ours to lint).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Substrings that must not appear in (comment-stripped) source outside the
+/// facade.  `use std::sync::{Arc, Mutex}` style imports are fine — only the
+/// atomics submodule and the thread module are facade-owned, because those
+/// are the operations the model checker must interpose on.
+const DENIED: &[&str] = &["std::sync::atomic", "core::sync::atomic", "std::thread"];
+
+/// Path prefixes (relative to the workspace root, `/`-separated) exempt
+/// from the lint.
+const ALLOWED_PREFIXES: &[&str] = &["crates/sync/", "vendor/", "target/"];
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/sync
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/sync sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Strips `/* ... */` block comments (non-nested, as in Rust without
+/// doc-block nesting games) and `// ...` line tails.  Deliberately naive
+/// about `//` inside string literals: that can only *hide* text after a
+/// literal containing `//`, and none of the denied patterns belongs in a
+/// string literal anyway.  Newlines are preserved so reported line numbers
+/// match the original file.
+fn strip_comments(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    let mut rest = source;
+    while let Some(open) = rest.find("/*") {
+        out.push_str(&rest[..open]);
+        match rest[open + 2..].find("*/") {
+            Some(close) => {
+                // Keep the comment's newlines for stable line numbers.
+                let body = &rest[open..open + 2 + close + 2];
+                out.extend(body.chars().filter(|&c| c == '\n'));
+                rest = &rest[open + 2 + close + 2..];
+            }
+            None => {
+                out.extend(rest[open..].chars().filter(|&c| c == '\n'));
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out.lines()
+        .map(|line| line.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn scan_file(root: &Path, path: &Path, violations: &mut Vec<String>) {
+    let source =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    for (idx, line) in strip_comments(&source).lines().enumerate() {
+        for pattern in DENIED {
+            if line.contains(pattern) {
+                violations.push(format!("{rel}:{}: `{pattern}`", idx + 1));
+            }
+        }
+    }
+}
+
+fn scan_dir(root: &Path, dir: &Path, violations: &mut Vec<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return, // optional dir (tests/, examples/) absent
+    };
+    for entry in entries {
+        let entry = entry.expect("directory entry");
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ALLOWED_PREFIXES
+            .iter()
+            .any(|prefix| rel.starts_with(prefix))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            scan_dir(root, &path, violations);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            scan_file(root, &path, violations);
+        }
+    }
+}
+
+#[test]
+fn no_direct_atomics_or_threads_outside_the_facade() {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        scan_dir(&root, &root.join(top), &mut violations);
+    }
+    violations.sort();
+    assert!(
+        violations.is_empty(),
+        "direct std/core concurrency use outside crn-sync — route it \
+         through the facade so the model checker can see it (or extend the \
+         allowlist in crates/sync/tests/hygiene.rs with justification):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn the_lint_itself_sees_through_comments() {
+    // Self-test of the comment stripper so a refactor can't silently turn
+    // the lint into a no-op.
+    let source = "/* std::thread */\nuse x; // std::sync::atomic\nuse std::thread;\n";
+    let stripped = strip_comments(source);
+    let hits: Vec<usize> = stripped
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("std::thread"))
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(
+        hits,
+        vec![3],
+        "comments ignored, code flagged, lines stable"
+    );
+}

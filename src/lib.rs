@@ -18,6 +18,9 @@
 //! * [`lang`] — the textual `.crn` language (parser, printer, lowering)
 //!   behind the `crn` CLI (`crates/cli`);
 //! * [`obs`] — the opt-in metrics/span registry behind `--profile`;
+//! * [`sync`] — the concurrency facade every crate threads and counts
+//!   through: `std::sync`/`std::thread` re-exports in normal builds, a
+//!   deterministic model-checking scheduler under `--cfg crn_model_check`;
 //! * [`report`] — the JSON emitter and metrics-report schema shared by
 //!   the CLI and future service front ends.
 //!
@@ -45,6 +48,7 @@ pub use crn_popproto as popproto;
 pub use crn_report as report;
 pub use crn_semilinear as semilinear;
 pub use crn_sim as sim;
+pub use crn_sync as sync;
 
 #[cfg(test)]
 mod tests {
